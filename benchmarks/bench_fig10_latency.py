@@ -1,0 +1,78 @@
+"""Figure 10 (Appendix D.1): Flumina synchronization latency.
+
+(a) Latency grows with the number of workers (deeper trees, more
+    messages per barrier) and is worse for lower value:barrier ratios
+    (more frequent synchronization).
+(b) Latency is high when heartbeats are very sparse (mailboxes release
+    events in big batches only at barriers) and flat across the
+    ~10-1000 heartbeats-per-barrier range.
+"""
+
+import os
+
+from repro.bench import experiments as ex
+from repro.bench import publish, render_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+WORKERS = (5, 10, 20) if QUICK else (5, 10, 20, 30, 40)
+RATIOS = (100, 1000)
+HB_RATES = (1, 10, 100) if QUICK else (1, 5, 10, 50, 100, 500, 1000)
+
+
+def test_fig10a_latency_vs_workers(benchmark):
+    data = benchmark.pedantic(
+        lambda: ex.figure10a(WORKERS, RATIOS), rounds=1, iterations=1
+    )
+    series = {}
+    for ratio, pts in data.items():
+        series[f"vb={ratio} p50"] = [p50 for _, _, p50, _ in pts]
+        series[f"vb={ratio} p90"] = [p90 for _, _, _, p90 in pts]
+    text = render_table(
+        "Figure 10 (a) - Flumina latency (ms) vs number of workers",
+        "#workers",
+        list(WORKERS),
+        series,
+        note="paper shape: latency grows ~linearly with workers; worse for low vb-ratio",
+    )
+    publish("fig10a_latency_workers", text)
+
+    for ratio, pts in data.items():
+        p50s = [p50 for _, _, p50, _ in pts]
+        # Monotone-ish growth: the largest tree is slower than the smallest.
+        assert p50s[-1] > p50s[0], (ratio, p50s)
+    # Lower vb-ratio (more frequent syncs) has the higher latency at
+    # the largest worker count (the paper's vb=100 line breaks down
+    # first).
+    last = {ratio: pts[-1][2] for ratio, pts in data.items()}
+    assert last[100] > 1.5 * last[1000]
+
+
+def test_fig10b_latency_vs_heartbeat_rate(benchmark):
+    data = benchmark.pedantic(
+        lambda: ex.figure10b(HB_RATES, (1000,)), rounds=1, iterations=1
+    )
+    pts = data[1000]
+    series = {
+        "p10": [p10 for _, p10, _, _ in pts],
+        "p50": [p50 for _, _, p50, _ in pts],
+        "p90": [p90 for _, _, _, p90 in pts],
+    }
+    text = render_table(
+        "Figure 10 (b) - Flumina latency (ms) vs heartbeat rate (per barrier)",
+        "hb/barrier",
+        [hb for hb, _, _, _ in pts],
+        series,
+        note="paper shape: high latency at very low heartbeat rates, flat over ~10-1000",
+    )
+    publish("fig10b_latency_heartbeats", text)
+
+    p50 = {hb: v for hb, _, v, _ in pts}
+    rates = sorted(p50)
+    # Very sparse heartbeats hurt latency badly (mailboxes only flush
+    # at barriers)...
+    assert p50[rates[0]] > 3.0 * p50[rates[-1]]
+    # ...and latency is monotone non-increasing in the heartbeat rate
+    # over the measured range (the paper's stable 10-1000 plateau).
+    mids = [p50[r] for r in rates]
+    assert all(a >= b * 0.8 for a, b in zip(mids, mids[1:]))

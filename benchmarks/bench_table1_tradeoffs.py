@@ -1,0 +1,54 @@
+"""Table 1: development tradeoffs — PIP1-3 compliance and 12-node
+throughput scaling for every (application, system) pair.
+
+Paper values (scaling @12): EW: F 10x, TD 8x, DGS 8x; PV: F 2x, FM 9x,
+TD 1x, TDM 2x, DGS 8x; FD: F 1x, FM 9x, TD 6x, DGS 8x.  PIP rows: only
+FM sacrifices all three; TDM sacrifices PIP2.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import publish, render_matrix
+
+COLUMNS = list(ex.PIP_MATRIX)
+
+
+def test_table1(benchmark):
+    scaling = benchmark.pedantic(lambda: ex.table1_scaling(12), rounds=1, iterations=1)
+    cells = {
+        "PIP1 paral.indep": {c: ex.PIP_MATRIX[c]["PIP1"] for c in COLUMNS},
+        "PIP2 part.indep": {c: ex.PIP_MATRIX[c]["PIP2"] for c in COLUMNS},
+        "PIP3 API compl.": {c: ex.PIP_MATRIX[c]["PIP3"] for c in COLUMNS},
+        "Scaling @12": {c: f"{scaling[c]:.1f}x" for c in COLUMNS},
+    }
+    text = render_matrix(
+        "Table 1 - Development tradeoffs (EW=event window, PV=page view, "
+        "FD=fraud; F=Flink, FM=Flink manual, TD=Timely, TDM=Timely manual, "
+        "DGS=Flumina)",
+        list(cells),
+        COLUMNS,
+        cells,
+        note="paper: EW 10x/8x/8x; PV 2x/9x/1x/2x/8x; FD 1x/9x/6x/8x",
+    )
+    publish("table1_tradeoffs", text)
+
+    # The paper's qualitative claims:
+    # 1. Only DGS scales everything without sacrificing any PIP.
+    dgs_ok = all(
+        ex.PIP_MATRIX[c][pip] == "Y"
+        for c in ("EW/DGS", "PV/DGS", "FD/DGS")
+        for pip in ("PIP1", "PIP2", "PIP3")
+    )
+    assert dgs_ok
+    assert min(scaling["EW/DGS"], scaling["PV/DGS"], scaling["FD/DGS"]) > 4.0
+    # 2. Flink fails on fraud and hot-key page views...
+    assert scaling["FD/F"] < 2.5
+    assert scaling["PV/F"] < 4.0
+    # ...unless synchronization is implemented manually (sacrificing PIPs).
+    assert scaling["FD/FM"] > 2.0 * scaling["FD/F"]
+    assert scaling["PV/FM"] > 1.5 * scaling["PV/F"]
+    assert all(v == "N" for v in ex.PIP_MATRIX["FD/FM"].values())
+    # 3. Timely's feedback loop handles fraud automatically.
+    assert scaling["FD/TD"] > 4.0
+    # 4. Timely manual page-view beats automatic at the cost of PIP2.
+    assert scaling["PV/TDM"] > scaling["PV/TD"]
+    assert ex.PIP_MATRIX["PV/TDM"]["PIP2"] == "N"

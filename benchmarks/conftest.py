@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_BENCH_QUICK=1`` to run the figure reproductions on a
+reduced parallelism axis (useful for smoke runs); the default runs the
+paper's full 1-20 node axis.
+"""
+
+import glob
+import os
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+PARALLELISM_LEVELS = (1, 4, 12) if QUICK else (1, 4, 8, 12, 16, 20)
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Dump every regenerated paper artifact into the terminal report
+    (stdout of passing tests is captured by pytest, so without this the
+    tables would only exist as files under benchmarks/results/)."""
+    paths = sorted(glob.glob(os.path.join(_RESULTS_DIR, "*.txt")))
+    if not paths:
+        return
+    tr = terminalreporter
+    tr.section("reproduced paper artifacts (also in benchmarks/results/)")
+    for path in paths:
+        with open(path) as f:
+            tr.write_line("")
+            for line in f.read().rstrip().splitlines():
+                tr.write_line(line)

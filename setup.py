@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Shim for legacy editable installs on environments without the `wheel`
+# package (no network); all real metadata lives in pyproject.toml.
+setup()

@@ -1,0 +1,17 @@
+"""repro — a Python reproduction of "Stream Processing with
+Dependency-Guided Synchronization" (Flumina, PPoPP 2022).
+
+Public API lives in the subpackages:
+
+* :mod:`repro.core`    — the DGS programming model (§2).
+* :mod:`repro.plans`   — synchronization plans, validity, optimizer (§3.2-3.3, App. B).
+* :mod:`repro.sim`     — deterministic discrete-event cluster simulator.
+* :mod:`repro.runtime` — the Flumina-style runtime (§3.4) + sequential/threaded executors.
+* :mod:`repro.flinklike`  — a mini Flink-style sharded dataflow baseline (§4.2-4.3).
+* :mod:`repro.timelylike` — a mini Timely-style epoch dataflow baseline (§4.2).
+* :mod:`repro.apps`    — the paper's applications and case studies (§4.1, App. A).
+* :mod:`repro.data`    — synthetic workload generators.
+* :mod:`repro.bench`   — throughput/latency measurement harness (§4).
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,29 @@
+"""The paper's applications (§4.1) and case studies (Appendix A).
+
+Every module follows the same layout:
+
+* a DGS program (``make_program``) — sequential update + dependence
+  relation + fork/join,
+* a synthetic workload generator matching the paper's input shape,
+* ``make_streams`` converting a workload into runtime input streams,
+* ``make_plan`` building the synchronization plan the paper describes
+  for the application (the optimizer reproduces the same shapes; see
+  the tests).
+
+Modules: :mod:`keycounter` (the Figure-1 running example),
+:mod:`value_barrier` (event-based windowing), :mod:`pageview`
+(page-view join), :mod:`fraud` (fraud detection), :mod:`outlier`
+(Reloaded outlier detection, A.1), :mod:`smarthome` (DEBS'14 power
+prediction, A.2).
+"""
+
+from . import fraud, keycounter, outlier, pageview, smarthome, value_barrier
+
+__all__ = [
+    "fraud",
+    "keycounter",
+    "outlier",
+    "pageview",
+    "smarthome",
+    "value_barrier",
+]

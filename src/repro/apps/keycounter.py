@@ -1,0 +1,110 @@
+"""The paper's running example (Figure 1): a map from keys to counters.
+
+Two event kinds per key ``k``:
+
+* ``("i", k)`` — increment the counter for ``k`` by the payload (the
+  paper increments by one; we allow a payload amount defaulting to 1,
+  which preserves all the algebraic structure),
+* ``("r", k)`` — *read-reset*: output the current counter, reset to 0.
+
+Dependence (Figure 1): ``r(k)`` depends on ``r(k)`` and ``i(k)`` of the
+same key; increments are independent of each other (counting is
+commutative and mergeable); different keys are fully independent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.dependence import DependenceRelation
+from ..core.events import Event, Tag
+from ..core.predicates import TagPredicate
+from ..core.program import DGSProgram, single_state_program
+
+KeyCounterState = Dict[int, int]
+
+
+def inc_tag(key: int) -> Tag:
+    return ("i", key)
+
+
+def reset_tag(key: int) -> Tag:
+    return ("r", key)
+
+
+def tag_universe(num_keys: int) -> List[Tag]:
+    tags: List[Tag] = []
+    for k in range(num_keys):
+        tags.append(inc_tag(k))
+        tags.append(reset_tag(k))
+    return tags
+
+
+def depends_fn(t1: Tag, t2: Tag) -> bool:
+    kind1, k1 = t1
+    kind2, k2 = t2
+    if k1 != k2:
+        return False
+    # Same key: everything is dependent except increment/increment.
+    return not (kind1 == "i" and kind2 == "i")
+
+
+def _update(state: KeyCounterState, event: Event) -> Tuple[KeyCounterState, List[Any]]:
+    kind, key = event.tag
+    if kind == "i":
+        amount = 1 if event.payload is None else int(event.payload)
+        new = dict(state)
+        new[key] = new.get(key, 0) + amount
+        return new, []
+    if kind == "r":
+        value = state.get(key, 0)
+        new = dict(state)
+        new[key] = 0
+        return new, [(key, value)]
+    raise ValueError(f"unknown tag kind {kind!r}")
+
+
+def _fork(
+    state: KeyCounterState, pred1: TagPredicate, pred2: TagPredicate
+) -> Tuple[KeyCounterState, KeyCounterState]:
+    """Figure 1's fork: the side responsible for read-resets of a key
+    keeps that key's count; keys owned by neither side default to the
+    second state (as in the paper's pseudocode)."""
+    s1: KeyCounterState = {}
+    s2: KeyCounterState = {}
+    for key, count in state.items():
+        if reset_tag(key) in pred1:
+            s1[key] = count
+        else:
+            s2[key] = count
+    return s1, s2
+
+
+def _join(s1: KeyCounterState, s2: KeyCounterState) -> KeyCounterState:
+    out = dict(s1)
+    for key, count in s2.items():
+        out[key] = out.get(key, 0) + count
+    return out
+
+
+def _normalize(state: KeyCounterState) -> Dict[int, int]:
+    return {k: v for k, v in state.items() if v != 0}
+
+
+def state_eq(a: KeyCounterState, b: KeyCounterState) -> bool:
+    """Counter maps are equal up to absent-vs-zero entries."""
+    return _normalize(a) == _normalize(b)
+
+
+def make_program(num_keys: int = 2) -> DGSProgram:
+    universe = tag_universe(num_keys)
+    depends = DependenceRelation.from_function(universe, depends_fn)
+    return single_state_program(
+        name=f"keycounter[{num_keys}]",
+        tags=universe,
+        depends=depends,
+        init=dict,
+        update=_update,
+        fork=_fork,
+        join=_join,
+    )

@@ -1,0 +1,155 @@
+"""Page-view join (paper §4.1 & Figure 12).
+
+Input: *page-view* events (visits, skewed so a couple of hot pages get
+most traffic, split across several parallel sources per page) and
+*update-page-info* events carrying new page metadata.  The goal: join
+each view with the latest metadata of its page; processing an update
+also outputs the replaced (old) metadata.
+
+Dependence: updates of a page depend on views, gets, and updates of the
+same page; views of the same page are mutually independent (the source
+of same-key parallelism that sharded engines cannot exploit, §4.2);
+different pages are fully independent.
+
+DGS program (Figure 12): state = map page -> metadata; ``fork`` gives
+each side the entries for pages mentioned in its predicate — sides may
+*share* a page (replicated read-only metadata for view processing);
+``join`` merges maps left-biased.  Replication is consistent because an
+update of page ``p`` can never run in parallel with anything touching
+``p`` (its tag depends on all of ``p``'s tags).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.dependence import DependenceRelation
+from ..core.events import Event, ImplTag
+from ..core.predicates import TagPredicate
+from ..core.program import DGSProgram, single_state_program
+from ..data.generators import PageViewWorkload, pageview_workload
+from ..plans.generation import forest_plan
+from ..plans.plan import SyncPlan
+from ..runtime.runtime import InputStream
+
+DEFAULT_ZIP = 10_000
+
+State = Dict[int, int]  # page -> zip code
+
+
+def view_tag(page: int):
+    return ("view", page)
+
+
+def update_tag(page: int):
+    return ("update", page)
+
+
+def tag_universe(n_pages: int) -> List[Any]:
+    tags: List[Any] = []
+    for p in range(n_pages):
+        tags.append(view_tag(p))
+        tags.append(update_tag(p))
+    return tags
+
+
+def depends_fn(t1, t2) -> bool:
+    kind1, p1 = t1
+    kind2, p2 = t2
+    if p1 != p2:
+        return False
+    return "update" in (kind1, kind2)
+
+
+def _update(state: State, event: Event) -> Tuple[State, List[Any]]:
+    kind, page = event.tag
+    if kind == "view":
+        # The join itself: a real deployment would enrich and forward
+        # the view; like the paper's Erlang we read the metadata and
+        # produce no output (outputs are measured on updates).
+        _ = state.get(page, DEFAULT_ZIP)
+        return state, []
+    old = state.get(page, DEFAULT_ZIP)
+    new = dict(state)
+    new[page] = int(event.payload)
+    return new, [("old_info", event.ts, page, old)]
+
+
+def _fork(state: State, pred1: TagPredicate, pred2: TagPredicate) -> Tuple[State, State]:
+    def mentions(pred: TagPredicate, page: int) -> bool:
+        return view_tag(page) in pred or update_tag(page) in pred
+
+    s1 = {p: z for p, z in state.items() if mentions(pred1, p)}
+    s2 = {p: z for p, z in state.items() if mentions(pred2, p)}
+    # Pages mentioned by neither side stay with the left state so the
+    # fork/join round-trip loses nothing (C2).
+    for p, z in state.items():
+        if p not in s1 and p not in s2:
+            s1[p] = z
+    return s1, s2
+
+
+def _join(s1: State, s2: State) -> State:
+    out = dict(s2)
+    out.update(s1)  # left-biased merge (util:merge_with taking V1)
+    return out
+
+
+def state_eq(a: State, b: State) -> bool:
+    return a == b
+
+
+def make_program(n_pages: int = 2) -> DGSProgram:
+    tags = tag_universe(n_pages)
+    return single_state_program(
+        name=f"pageview[{n_pages}]",
+        tags=tags,
+        depends=DependenceRelation.from_function(tags, depends_fn),
+        init=dict,
+        update=_update,
+        fork=_fork,
+        join=_join,
+    )
+
+
+def make_workload(
+    *,
+    n_pages: int = 2,
+    n_view_streams: int = 4,
+    views_per_update: int = 100,
+    n_updates_per_page: int = 10,
+    view_rate_per_ms: float = 10.0,
+) -> PageViewWorkload:
+    return pageview_workload(
+        view_tag_fn=view_tag,
+        update_tag_fn=update_tag,
+        n_pages=n_pages,
+        n_view_streams=n_view_streams,
+        views_per_update=views_per_update,
+        n_updates_per_page=n_updates_per_page,
+        view_rate_per_ms=view_rate_per_ms,
+    )
+
+
+def make_streams(
+    workload: PageViewWorkload, *, heartbeat_interval: float | None = 1.0
+) -> List[InputStream]:
+    return [
+        InputStream(itag, events, heartbeat_interval=heartbeat_interval)
+        for itag, events in workload.all_streams()
+    ]
+
+
+def make_plan(program: DGSProgram, workload: PageViewWorkload) -> SyncPlan:
+    """The §4.3 plan: a forest with one tree per page — updates at the
+    tree root, that page's view streams at the leaves."""
+    by_page: Dict[int, List[ImplTag]] = {}
+    for itag in workload.view_streams:
+        _, page = itag.tag
+        by_page.setdefault(page, []).append(itag)
+    subtrees = []
+    for uptag in workload.update_streams:
+        _, page = uptag.tag
+        leaves = [[t] for t in sorted(by_page.get(page, []), key=repr)]
+        subtrees.append(([uptag], leaves))
+    return forest_plan(program, subtrees)

@@ -1,0 +1,226 @@
+"""Case study A.2: DEBS 2014 Grand Challenge query 1 — smart-plug power
+prediction at plug / household / house granularity.
+
+Prediction method (the challenge's suggested one, which the paper also
+uses): the predicted load for the next timeslice is the average of the
+current timeslice's mean load and the historic mean load of the same
+slice-of-day.  Output at every granularity on each end-of-timeslice
+event.
+
+DGS structure (paper Appendix A.2): each house is a tag, dependent on
+itself (measurements of one house are processed in order by one
+worker) and independent of other houses; the ``end-timeslice`` tag
+depends on everything.  ``fork`` splits the state maps by house;
+``join`` merges them.
+
+Substitution (DESIGN.md): the 29 GB challenge trace is replaced by
+:func:`synthetic_plug_load`, a diurnal-pattern generator with the same
+key hierarchy (2125 plugs / 40 houses in the original; sizes are
+parameters here).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Tuple
+
+from ..core.dependence import DependenceRelation
+from ..core.events import Event, ImplTag
+from ..core.predicates import TagPredicate
+from ..core.program import DGSProgram, single_state_program
+from ..plans.generation import root_and_leaves_plan
+from ..plans.plan import SyncPlan
+from ..runtime.runtime import InputStream
+
+TICK_TAG = "tick"
+
+# Key = (house, household, plug); state tracks, per key and per
+# granularity, the current-slice accumulator and historic per-slice
+# averages.
+Key = Tuple[int, int, int]
+
+# state: {granularity_key: {"cur": (sum, n), "hist": {slice: (sum, n)}}}
+SmartState = Dict[Any, Dict[str, Any]]
+
+
+def house_tag(house: int):
+    return ("house", house)
+
+
+def tag_universe(n_houses: int) -> List[Any]:
+    return [house_tag(h) for h in range(n_houses)] + [TICK_TAG]
+
+
+def depends_fn(t1, t2) -> bool:
+    if TICK_TAG in (t1, t2):
+        return True
+    return t1 == t2  # same house: self-dependent (ordered averaging)
+
+
+def _granularities(key: Key) -> List[Any]:
+    house, household, plug = key
+    return [
+        ("house", house),
+        ("household", house, household),
+        ("plug", house, household, plug),
+    ]
+
+
+def _update(state: SmartState, event: Event) -> Tuple[SmartState, List[Any]]:
+    if event.tag == TICK_TAG:
+        slice_idx = event.payload
+        outs: List[Any] = []
+        new: SmartState = {}
+        for gkey in sorted(state, key=repr):
+            entry = state[gkey]
+            cur_sum, cur_n = entry["cur"]
+            hist: Dict[int, Tuple[float, int]] = entry["hist"]
+            h_sum, h_n = hist.get(slice_idx, (0.0, 0))
+            cur_avg = cur_sum / cur_n if cur_n else 0.0
+            hist_avg = h_sum / h_n if h_n else cur_avg
+            prediction = (cur_avg + hist_avg) / 2.0
+            outs.append(("prediction", gkey, round(prediction, 6)))
+            new_hist = dict(hist)
+            if cur_n:
+                new_hist[slice_idx] = (h_sum + cur_sum, h_n + cur_n)
+            new[gkey] = {"cur": (0.0, 0), "hist": new_hist}
+        return new, outs
+    # Load measurement for one plug.
+    _, house = event.tag
+    household, plug, load = event.payload
+    new = dict(state)
+    for gkey in _granularities((house, household, plug)):
+        entry = new.get(gkey, {"cur": (0.0, 0), "hist": {}})
+        cur_sum, cur_n = entry["cur"]
+        new[gkey] = {"cur": (cur_sum + load, cur_n + 1), "hist": entry["hist"]}
+    return new, []
+
+
+def _house_of(gkey: Any) -> int:
+    return gkey[1]
+
+
+def _fork(
+    state: SmartState, pred1: TagPredicate, pred2: TagPredicate
+) -> Tuple[SmartState, SmartState]:
+    s1: SmartState = {}
+    s2: SmartState = {}
+    for gkey, entry in state.items():
+        if house_tag(_house_of(gkey)) in pred1:
+            s1[gkey] = entry
+        else:
+            s2[gkey] = entry
+    return s1, s2
+
+
+def _merge_entry(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    cur = (a["cur"][0] + b["cur"][0], a["cur"][1] + b["cur"][1])
+    hist = dict(a["hist"])
+    for sl, (s, n) in b["hist"].items():
+        hs, hn = hist.get(sl, (0.0, 0))
+        hist[sl] = (hs + s, hn + n)
+    return {"cur": cur, "hist": hist}
+
+
+def _join(s1: SmartState, s2: SmartState) -> SmartState:
+    out = dict(s1)
+    for gkey, entry in s2.items():
+        out[gkey] = _merge_entry(out[gkey], entry) if gkey in out else entry
+    return out
+
+
+def state_eq(a: SmartState, b: SmartState) -> bool:
+    def norm(s):
+        return {
+            k: (v["cur"], tuple(sorted(v["hist"].items())))
+            for k, v in s.items()
+            if v["cur"][1] or v["hist"]
+        }
+
+    return norm(a) == norm(b)
+
+
+def make_program(n_houses: int = 4) -> DGSProgram:
+    tags = tag_universe(n_houses)
+    return single_state_program(
+        name=f"smarthome[{n_houses}]",
+        tags=tags,
+        depends=DependenceRelation.from_function(tags, depends_fn),
+        init=dict,
+        update=_update,
+        fork=_fork,
+        join=_join,
+    )
+
+
+def synthetic_plug_load(
+    *,
+    n_houses: int,
+    households_per_house: int = 2,
+    plugs_per_household: int = 3,
+    measurements_per_slice: int = 40,
+    n_slices: int = 4,
+    rate_per_ms: float = 10.0,
+    seed: int = 0,
+) -> Tuple[Dict[ImplTag, Tuple[Event, ...]], Tuple[Event, ...], ImplTag]:
+    """Diurnal synthetic load: base load per plug plus a slice-of-day
+    sinusoid plus noise (the structure the historic average exploits)."""
+    rng = random.Random(seed)
+    period = 1.0 / rate_per_ms
+    slice_ms = measurements_per_slice * period
+    streams: Dict[ImplTag, Tuple[Event, ...]] = {}
+    for h in range(n_houses):
+        itag = ImplTag(house_tag(h), f"h{h}")
+        events = []
+        for i in range(measurements_per_slice * n_slices):
+            ts = 1.0 + i * period + (h + 1) * 1e-3
+            slice_idx = int(i / measurements_per_slice) % 2  # day/night
+            household = rng.randrange(households_per_house)
+            plug = rng.randrange(plugs_per_household)
+            base = 50.0 + 10.0 * plug
+            diurnal = 30.0 * math.sin(math.pi * slice_idx)
+            load = max(0.0, base + diurnal + rng.gauss(0, 5))
+            events.append(
+                Event(itag.tag, itag.stream, ts, (household, plug, load))
+            )
+        streams[itag] = tuple(events)
+    tick_itag = ImplTag(TICK_TAG, "t")
+    ticks = tuple(
+        Event(TICK_TAG, "t", 1.0 + k * slice_ms, (k - 1) % 2)
+        for k in range(1, n_slices + 1)
+    )
+    return streams, ticks, tick_itag
+
+
+def make_streams(
+    house_streams: Dict[ImplTag, Tuple[Event, ...]],
+    ticks: Tuple[Event, ...],
+    tick_itag: ImplTag,
+    *,
+    heartbeat_interval: float = 1.0,
+    house_hosts: Dict[ImplTag, str] | None = None,
+) -> List[InputStream]:
+    out = [
+        InputStream(
+            itag,
+            events,
+            heartbeat_interval=heartbeat_interval,
+            source_host=(house_hosts or {}).get(itag),
+        )
+        for itag, events in house_streams.items()
+    ]
+    out.append(InputStream(tick_itag, ticks, heartbeat_interval=heartbeat_interval))
+    return out
+
+
+def make_plan(
+    program: DGSProgram,
+    house_streams: Dict[ImplTag, Tuple[Event, ...]],
+    tick_itag: ImplTag,
+) -> SyncPlan:
+    """End-of-timeslice at the root, one leaf per house (edge
+    processing: each house's leaf sits next to its data source)."""
+    return root_and_leaves_plan(
+        program, [tick_itag], [[itag] for itag in house_streams]
+    )

@@ -1,0 +1,27 @@
+"""Benchmark harness: throughput/latency measurement (§4 methodology),
+experiment drivers for every paper figure/table, and ASCII renderers."""
+
+from .harness import (
+    RatePoint,
+    ScalingPoint,
+    SweepResult,
+    latency_profile,
+    max_throughput,
+    scaling_curve,
+    speedup,
+)
+from .tables import publish, render_matrix, render_table, results_dir
+
+__all__ = [
+    "RatePoint",
+    "ScalingPoint",
+    "SweepResult",
+    "latency_profile",
+    "max_throughput",
+    "publish",
+    "render_matrix",
+    "render_table",
+    "results_dir",
+    "scaling_curve",
+    "speedup",
+]

@@ -1,0 +1,316 @@
+"""Consistency conditions C1-C3 (paper Definition 2.3).
+
+A program is *consistent* when:
+
+* **C1** (update/join commutation): for every join ``(State_j, State_k)
+  -> State_i`` and event ``e`` with ``pred_i(e)`` and ``pred_j(e)``,
+  ``join(update(s1, e), s2) == update(join(s1, s2), e)`` and both sides
+  produce the same outputs.
+* **C2** (fork/join inverse): ``join(fork(s, pred1, pred2)) == s``.
+* **C3** (commutation of independent updates): for independent events
+  ``e1, e2`` allowed by ``pred_i``, updates commute on the state and
+  the combined output multisets agree.
+
+Consistency is the analogue of MapReduce's commutativity/associativity
+requirement: the runtime does not *assume* it, but without it parallel
+executions may diverge from the sequential spec.  This module checks
+the conditions on concrete sample states and events — directed testing
+rather than proof — and is wired into hypothesis property tests in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import Event
+from .predicates import TagPredicate
+from .program import DGSProgram, ForkFn, JoinFn, State
+from .semantics import output_multiset
+
+StateEq = Callable[[State, State], bool]
+
+
+def _default_eq(a: State, b: State) -> bool:
+    return a == b
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single observed violation of a consistency condition."""
+
+    condition: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.condition}] {self.detail}"
+
+
+@dataclass
+class ConsistencyReport:
+    violations: List[Violation] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, condition: str, detail: str) -> None:
+        self.violations.append(Violation(condition, detail))
+
+    def merge(self, other: "ConsistencyReport") -> None:
+        self.violations.extend(other.violations)
+        self.checks += other.checks
+
+
+def check_c1(
+    program: DGSProgram,
+    join: JoinFn,
+    state_pairs: Iterable[Tuple[State, State, Optional[TagPredicate]]],
+    events: Iterable[Event],
+    *,
+    state_eq: StateEq = _default_eq,
+) -> ConsistencyReport:
+    """Check C1 on the given (s1, s2, wire_pred) triples.
+
+    Deviation from the paper's literal statement, documented in
+    DESIGN.md: Definition 2.3 quantifies C1 over *all* state pairs, but
+    the proof of Theorem 2.4 only ever applies C1 to pairs that co-occur
+    on two parallel wires — where ``s1``'s wire predicate contains ``e``
+    and ``s2``'s does not.  Checking over arbitrary pairs falsely flags
+    the paper's own Figure-1 program (a read-reset on ``s1`` observes
+    counts parked in an arbitrary ``s2``).  We therefore check C1 on
+    *co-reachable* pairs produced by :func:`co_reachable_pairs`, each
+    carrying the wire predicate of the left state (``None`` means
+    unrestricted).
+    """
+    report = ConsistencyReport()
+    pred_i = program.pred(join.output)
+    pred_j = program.pred(join.left)
+    upd_j = program.state_type(join.left).update
+    upd_i = program.state_type(join.output).update
+    events = [e for e in events if e.tag in pred_i and e.tag in pred_j]
+    for (s1, s2, wire_pred), e in itertools.product(list(state_pairs), events):
+        if wire_pred is not None and e.tag not in wire_pred:
+            continue
+        report.checks += 1
+        lhs_state, lhs_out = upd_j(s1, e)
+        lhs = join(lhs_state, s2)
+        joined = join(s1, s2)
+        rhs, rhs_out = upd_i(joined, e)
+        if not state_eq(lhs, rhs):
+            report.add(
+                "C1",
+                f"join∘update != update∘join for event {e.tag!r}: "
+                f"{lhs!r} vs {rhs!r}",
+            )
+        if output_multiset(lhs_out) != output_multiset(rhs_out):
+            report.add(
+                "C1",
+                f"outputs differ for event {e.tag!r}: {lhs_out!r} vs {rhs_out!r}",
+            )
+    return report
+
+
+def co_reachable_pairs(
+    program: DGSProgram,
+    events: Sequence[Event],
+    rng: random.Random,
+    *,
+    n: int = 12,
+    max_len: int = 10,
+) -> List[Tuple[State, State, TagPredicate]]:
+    """Sample (s1, s2, pred1) triples that can co-occur on parallel
+    wires: fork a reachable state with independent predicates, then
+    advance each side with events satisfying its own predicate."""
+    st0 = program.state_type(program.initial_type)
+    if not program.has_fork_join(
+        program.initial_type, program.initial_type, program.initial_type
+    ):
+        return []
+    fork = program.fork_for(
+        program.initial_type, program.initial_type, program.initial_type
+    )
+    bases = reachable_states(program, events, rng, n=max(2, n // 3))
+    pred_pairs = independent_pred_pairs(program, rng, n=n)
+    triples: List[Tuple[State, State, TagPredicate]] = []
+    for _ in range(n):
+        base = bases[rng.randrange(len(bases))]
+        p1, p2 = pred_pairs[rng.randrange(len(pred_pairs))]
+        s1, s2 = fork(base, p1, p2)
+        for _ in range(rng.randrange(max_len)):
+            pool1 = [e for e in events if e.tag in p1]
+            if pool1:
+                s1, _ = st0.update(s1, pool1[rng.randrange(len(pool1))])
+        for _ in range(rng.randrange(max_len)):
+            pool2 = [e for e in events if e.tag in p2]
+            if pool2:
+                s2, _ = st0.update(s2, pool2[rng.randrange(len(pool2))])
+        triples.append((s1, s2, p1))
+    return triples
+
+
+def check_c2(
+    program: DGSProgram,
+    fork: ForkFn,
+    join: JoinFn,
+    states: Iterable[State],
+    pred_pairs: Iterable[Tuple[TagPredicate, TagPredicate]],
+    *,
+    state_eq: StateEq = _default_eq,
+) -> ConsistencyReport:
+    report = ConsistencyReport()
+    for s, (p1, p2) in itertools.product(list(states), list(pred_pairs)):
+        report.checks += 1
+        s1, s2 = fork(s, p1, p2)
+        back = join(s1, s2)
+        if not state_eq(back, s):
+            report.add(
+                "C2",
+                f"join(fork(s)) != s with preds ({sorted(map(repr, p1.tags))}, "
+                f"{sorted(map(repr, p2.tags))}): {back!r} vs {s!r}",
+            )
+    return report
+
+
+def check_c3(
+    program: DGSProgram,
+    state_type: str,
+    states: Iterable[State],
+    event_pairs: Iterable[Tuple[Event, Event]],
+    *,
+    state_eq: StateEq = _default_eq,
+) -> ConsistencyReport:
+    report = ConsistencyReport()
+    st = program.state_type(state_type)
+    pairs = [
+        (e1, e2)
+        for e1, e2 in event_pairs
+        if program.depends.indep(e1.tag, e2.tag)
+        and e1.tag in st.pred
+        and e2.tag in st.pred
+    ]
+    for s, (e1, e2) in itertools.product(list(states), pairs):
+        report.checks += 1
+        s12, out1a = st.update(s, e1)
+        s12, out1b = st.update(s12, e2)
+        s21, out2a = st.update(s, e2)
+        s21, out2b = st.update(s21, e1)
+        if not state_eq(s12, s21):
+            report.add(
+                "C3",
+                f"independent events {e1.tag!r}, {e2.tag!r} do not commute: "
+                f"{s12!r} vs {s21!r}",
+            )
+        if output_multiset(out1a + out1b) != output_multiset(out2a + out2b):
+            report.add(
+                "C3",
+                f"output multisets differ for {e1.tag!r}, {e2.tag!r}",
+            )
+    return report
+
+
+def independent_pred_pairs(
+    program: DGSProgram, rng: random.Random, n: int = 8
+) -> List[Tuple[TagPredicate, TagPredicate]]:
+    """Sample pairs of independent (possibly overlapping) predicates —
+    the legal fork arguments for a program."""
+    from .semantics import _independent_tag_split  # shared sampling logic
+
+    universe = program.true_pred()
+    pairs: List[Tuple[TagPredicate, TagPredicate]] = []
+    tags = sorted(program.tags, key=repr)
+    for _ in range(n * 4):
+        if len(pairs) >= n:
+            break
+        subset = [t for t in tags if rng.random() < 0.7] or tags[:1]
+        split = _independent_tag_split(program.depends, subset, rng)
+        if split is None:
+            continue
+        pairs.append((universe.restrict(split[0]), universe.restrict(split[1])))
+    if not pairs:
+        # Always legal: fork with one empty predicate.
+        from .predicates import false_pred
+
+        pairs.append((universe, false_pred(program.tags)))
+    return pairs
+
+
+def reachable_states(
+    program: DGSProgram,
+    events: Sequence[Event],
+    rng: random.Random,
+    *,
+    n: int = 6,
+    max_len: int = 12,
+) -> List[State]:
+    """Sample states reachable from ``init`` by random event prefixes.
+
+    Checking consistency on reachable states (rather than arbitrary
+    values) matches how the conditions are exercised at runtime.
+    """
+    states: List[State] = [program.init()]
+    st = program.state_type(program.initial_type)
+    for _ in range(max(0, n - 1)):
+        state = program.init()
+        for _ in range(rng.randrange(1, max_len + 1)):
+            if not events:
+                break
+            e = events[rng.randrange(len(events))]
+            state, _ = st.update(state, e)
+        states.append(state)
+    return states
+
+
+def check_consistency(
+    program: DGSProgram,
+    events: Sequence[Event],
+    *,
+    rng: Optional[random.Random] = None,
+    n_states: int = 6,
+    n_pred_pairs: int = 6,
+    state_eq: StateEq = _default_eq,
+) -> ConsistencyReport:
+    """Run C1-C3 over sampled reachable states, event pairs and
+    independent predicate pairs.  A clean report is evidence (not
+    proof) of consistency; any violation is a definite bug in the
+    program's fork/join/update definitions."""
+    rng = rng or random.Random(0)
+    report = ConsistencyReport()
+    states = reachable_states(program, events, rng, n=n_states)
+    pred_pairs = independent_pred_pairs(program, rng, n=n_pred_pairs)
+    co_pairs = co_reachable_pairs(program, events, rng, n=3 * n_states)
+
+    for join in program.joins:
+        # C1 needs (s1: State_j, s2: State_k); for single-state programs
+        # co-reachable pairs serve both roles.  For multi-state programs
+        # users should call check_c1 directly with typed samples.
+        if join.left == program.initial_type and join.right == program.initial_type:
+            report.merge(
+                check_c1(program, join, co_pairs, events, state_eq=state_eq)
+            )
+    for fork in program.forks:
+        if fork.input != program.initial_type:
+            continue
+        try:
+            join = program.join_for(fork.left, fork.right, fork.input)
+        except Exception:
+            continue
+        report.merge(
+            check_c2(program, fork, join, states, pred_pairs, state_eq=state_eq)
+        )
+    event_pairs = list(itertools.product(events, events))
+    rng.shuffle(event_pairs)
+    report.merge(
+        check_c3(
+            program,
+            program.initial_type,
+            states,
+            event_pairs[: 20 * max(1, len(events) // 2)],
+            state_eq=state_eq,
+        )
+    )
+    return report

@@ -1,0 +1,124 @@
+"""Tag predicates over a finite tag universe (paper §2.2, "Representing
+predicates").
+
+The implementation-level representation the paper chooses (and we
+follow) is *sets of tags*: a predicate is a finite subset of the tag
+universe, so fork functions receive simple set-membership tests instead
+of arbitrary Boolean functions.  :class:`TagPredicate` is an immutable
+set wrapper with the combinators needed by plan generation (union,
+intersection, difference, restriction) and with evaluation on both tags
+and events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, FrozenSet, Iterable, Iterator
+
+from .errors import PredicateError
+from .events import Event, Tag
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dependence import DependenceRelation
+
+
+@dataclass(frozen=True, slots=True)
+class TagPredicate:
+    """An immutable set-of-tags predicate.
+
+    ``universe`` records the full finite tag universe the predicate was
+    built against; combinators require matching universes, which guards
+    against accidentally mixing predicates from different programs.
+    """
+
+    tags: FrozenSet[Tag]
+    universe: FrozenSet[Tag]
+
+    def __post_init__(self) -> None:
+        extra = self.tags - self.universe
+        if extra:
+            raise PredicateError(f"tags outside universe: {sorted(map(repr, extra))}")
+
+    # -- evaluation ----------------------------------------------------
+    def __call__(self, tag: Tag) -> bool:
+        return tag in self.tags
+
+    def matches_event(self, event: Event) -> bool:
+        return event.tag in self.tags
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self.tags
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(self.tags)
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __bool__(self) -> bool:
+        return bool(self.tags)
+
+    # -- combinators ---------------------------------------------------
+    def _check(self, other: "TagPredicate") -> None:
+        if self.universe != other.universe:
+            raise PredicateError("predicates built over different universes")
+
+    def union(self, other: "TagPredicate") -> "TagPredicate":
+        self._check(other)
+        return TagPredicate(self.tags | other.tags, self.universe)
+
+    def intersect(self, other: "TagPredicate") -> "TagPredicate":
+        self._check(other)
+        return TagPredicate(self.tags & other.tags, self.universe)
+
+    def difference(self, other: "TagPredicate") -> "TagPredicate":
+        self._check(other)
+        return TagPredicate(self.tags - other.tags, self.universe)
+
+    def complement(self) -> "TagPredicate":
+        return TagPredicate(self.universe - self.tags, self.universe)
+
+    def restrict(self, tags: Iterable[Tag]) -> "TagPredicate":
+        return TagPredicate(self.tags & frozenset(tags), self.universe)
+
+    def implies(self, other: "TagPredicate") -> bool:
+        """``self`` implies ``other`` iff self's tag set is a subset."""
+        self._check(other)
+        return self.tags <= other.tags
+
+    def is_disjoint(self, other: "TagPredicate") -> bool:
+        self._check(other)
+        return not (self.tags & other.tags)
+
+    def independent_of(self, other: "TagPredicate", depends: "DependenceRelation") -> bool:
+        """Every tag satisfying ``self`` is independent of every tag
+        satisfying ``other`` (the fork precondition of Definition 2.2)."""
+        self._check(other)
+        return all(depends.indep(a, b) for a in self.tags for b in other.tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(sorted(map(repr, self.tags)))
+        return f"TagPredicate({{{inner}}})"
+
+
+def true_pred(universe: Iterable[Tag]) -> TagPredicate:
+    """The always-true predicate (required for ``pred_0``)."""
+    uni = frozenset(universe)
+    return TagPredicate(uni, uni)
+
+
+def false_pred(universe: Iterable[Tag]) -> TagPredicate:
+    uni = frozenset(universe)
+    return TagPredicate(frozenset(), uni)
+
+
+def pred_of(universe: Iterable[Tag], tags: Iterable[Tag]) -> TagPredicate:
+    return TagPredicate(frozenset(tags), frozenset(universe))
+
+
+def pred_where(universe: Iterable[Tag], fn: Callable[[Tag], bool]) -> TagPredicate:
+    """Materialize a Boolean function into a set predicate over a
+    finite universe — the bridge from the paper's symbolic predicates
+    to the implementation's tag sets."""
+    uni = frozenset(universe)
+    return TagPredicate(frozenset(t for t in uni if fn(t)), uni)

@@ -1,0 +1,303 @@
+"""Reference (wire-diagram) semantics of DGS programs (Definition 2.2).
+
+The semantics of a program is defined inductively over *wire diagrams*:
+trees whose leaves apply ``update`` to single events and whose internal
+nodes either sequence two sub-diagrams or run two sub-diagrams in
+parallel between a fork and a join.  This module provides
+
+* an explicit diagram datatype (:class:`Update`, :class:`Sequence`,
+  :class:`Parallel`),
+* an evaluator that checks every side condition of Definition 2.2
+  (predicate implication, independence of the forked predicates, event
+  membership) while computing the resulting state and outputs,
+* a random legal-diagram generator used by the property tests for
+  Theorem 2.4 (consistency implies determinism up to output
+  reordering).
+
+This is the executable specification against which both the simulated
+and the threaded runtimes are tested.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence as Seq, Tuple
+
+from .dependence import DependenceRelation
+from .errors import ProgramError
+from .events import Event
+from .predicates import TagPredicate
+from .program import DGSProgram, State
+
+
+class Diagram:
+    """Base class for wire diagrams."""
+
+    def events(self) -> List[Event]:
+        raise NotImplementedError
+
+    def n_forks(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Update(Diagram):
+    event: Event
+
+    def events(self) -> List[Event]:
+        return [self.event]
+
+    def n_forks(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Sequence(Diagram):
+    parts: Tuple[Diagram, ...]
+
+    def events(self) -> List[Event]:
+        out: List[Event] = []
+        for p in self.parts:
+            out.extend(p.events())
+        return out
+
+    def n_forks(self) -> int:
+        return sum(p.n_forks() for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Parallel(Diagram):
+    """Fork into (left_type, right_type), run branches, join back."""
+
+    left_type: str
+    right_type: str
+    pred1: TagPredicate
+    pred2: TagPredicate
+    left: Diagram
+    right: Diagram
+
+    def events(self) -> List[Event]:
+        return self.left.events() + self.right.events()
+
+    def n_forks(self) -> int:
+        return 1 + self.left.n_forks() + self.right.n_forks()
+
+
+def seq(*parts: Diagram) -> Diagram:
+    return Sequence(tuple(parts))
+
+
+def updates(events: Iterable[Event]) -> Diagram:
+    return Sequence(tuple(Update(e) for e in events))
+
+
+@dataclass
+class EvalResult:
+    state: State
+    outputs: List[Any]
+
+
+def evaluate(
+    program: DGSProgram,
+    diagram: Diagram,
+    *,
+    state: Optional[State] = None,
+    state_type: Optional[str] = None,
+    pred: Optional[TagPredicate] = None,
+) -> EvalResult:
+    """Evaluate ``diagram`` under Definition 2.2, enforcing all side
+    conditions.  Defaults start from the initial wire
+    ``<State_0, true, init()>``.
+
+    Raises :class:`ProgramError` if the diagram is not a legal wire
+    diagram for the program (e.g. a branch processes an event outside
+    its predicate, or forked predicates are not independent).
+    """
+    if state is None:
+        state = program.init()
+    if state_type is None:
+        state_type = program.initial_type
+    if pred is None:
+        pred = program.true_pred()
+    st = program.state_type(state_type)
+    if not pred.implies(st.pred):
+        raise ProgramError(
+            f"wire predicate is not within pred_{state_type} (Definition 2.2)"
+        )
+    return _eval(program, diagram, state, state_type, pred)
+
+
+def _eval(
+    program: DGSProgram,
+    diagram: Diagram,
+    state: State,
+    state_type: str,
+    pred: TagPredicate,
+) -> EvalResult:
+    st = program.state_type(state_type)
+    if isinstance(diagram, Update):
+        event = diagram.event
+        if event.tag not in pred:
+            raise ProgramError(
+                f"event {event.tag!r} does not satisfy the wire predicate"
+            )
+        new_state, outs = st.update(state, event)
+        return EvalResult(new_state, list(outs))
+    if isinstance(diagram, Sequence):
+        outputs: List[Any] = []
+        for part in diagram.parts:
+            res = _eval(program, part, state, state_type, pred)
+            state = res.state
+            outputs.extend(res.outputs)
+        return EvalResult(state, outputs)
+    if isinstance(diagram, Parallel):
+        pred1, pred2 = diagram.pred1, diagram.pred2
+        if not pred1.implies(pred) or not pred2.implies(pred):
+            raise ProgramError("forked predicates must imply the wire predicate")
+        if not pred1.independent_of(pred2, program.depends):
+            raise ProgramError("forked predicates are not independent")
+        fork = program.fork_for(state_type, diagram.left_type, diagram.right_type)
+        join = program.join_for(diagram.left_type, diagram.right_type, state_type)
+        s1, s2 = fork(state, pred1, pred2)
+        r1 = _eval(program, diagram.left, s1, diagram.left_type, pred1)
+        r2 = _eval(program, diagram.right, s2, diagram.right_type, pred2)
+        joined = join(r1.state, r2.state)
+        # Outputs of parallel branches may interleave arbitrarily; we
+        # return left-then-right.  Theorem 2.4 is about multisets, so
+        # any interleaving is equally representative.
+        return EvalResult(joined, r1.outputs + r2.outputs)
+    raise ProgramError(f"unknown diagram node {type(diagram).__name__}")
+
+
+def output_multiset(outputs: Iterable[Any]) -> Counter:
+    return Counter(_hashable(o) for o in outputs)
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_hashable(v) for v in value)
+    return value
+
+
+def random_diagram(
+    program: DGSProgram,
+    events: Seq[Event],
+    rng: random.Random,
+    *,
+    state_type: Optional[str] = None,
+    pred: Optional[TagPredicate] = None,
+    max_depth: int = 6,
+) -> Diagram:
+    """Generate a random *legal* wire diagram processing ``events`` (in
+    the given relative order within each dependence class).
+
+    The generator recursively tries to split the remaining events into
+    two independent groups (by partitioning the tags present into two
+    sets with no dependence edges across); when it succeeds it emits a
+    :class:`Parallel` node, otherwise a plain sequence of updates.
+    Only programs with a self fork/join on the current state type can
+    parallelize; others fall back to sequential diagrams.
+    """
+    if state_type is None:
+        state_type = program.initial_type
+    if pred is None:
+        pred = program.true_pred()
+    if max_depth <= 0 or len(events) < 2:
+        return updates(events)
+    if not program.has_fork_join(state_type, state_type, state_type):
+        return updates(events)
+
+    present = sorted({e.tag for e in events}, key=repr)
+    split = _independent_tag_split(program.depends, present, rng)
+    if split is None:
+        # No independent tag split: sequence of chunks, recursing so
+        # that a later suffix (with different tags) may still fork.
+        if len(events) < 4:
+            return updates(events)
+        cut = rng.randrange(1, len(events))
+        left = random_diagram(
+            program, events[:cut], rng, state_type=state_type, pred=pred,
+            max_depth=max_depth - 1,
+        )
+        right = random_diagram(
+            program, events[cut:], rng, state_type=state_type, pred=pred,
+            max_depth=max_depth - 1,
+        )
+        return seq(left, right)
+
+    tags1, tags2 = split
+    pred1 = pred.restrict(tags1)
+    pred2 = pred.restrict(tags2)
+    # Each event is processed exactly once: events matching both
+    # (overlapping) predicates are routed to a random branch, which is
+    # precisely the interleaving freedom of Definition 2.2 case (4).
+    ev1: List[Event] = []
+    ev2: List[Event] = []
+    rest: List[Event] = []
+    for e in events:
+        in1, in2 = e.tag in pred1, e.tag in pred2
+        if in1 and in2:
+            (ev1 if rng.random() < 0.5 else ev2).append(e)
+        elif in1:
+            ev1.append(e)
+        elif in2:
+            ev2.append(e)
+        else:
+            rest.append(e)
+    left = random_diagram(
+        program, ev1, rng, state_type=state_type, pred=pred1, max_depth=max_depth - 1
+    )
+    right = random_diagram(
+        program, ev2, rng, state_type=state_type, pred=pred2, max_depth=max_depth - 1
+    )
+    par = Parallel(state_type, state_type, pred1, pred2, left, right)
+    if rest:
+        # Events not covered by either branch must be processed outside
+        # the parallel section (after the join).
+        tail = random_diagram(
+            program, rest, rng, state_type=state_type, pred=pred,
+            max_depth=max_depth - 1,
+        )
+        return seq(par, tail)
+    return par
+
+
+def _independent_tag_split(
+    depends: DependenceRelation, tags: List[Any], rng: random.Random
+) -> Optional[Tuple[List[Any], List[Any]]]:
+    """Partition ``tags`` into two nonempty cross-independent groups.
+
+    A tag that is self-dependent may appear in at most one group; a tag
+    that is *not* self-dependent may be duplicated into both groups
+    (the paper's increments-of-one-key example), which we do with small
+    probability to exercise non-disjoint predicates.
+    """
+    if len(tags) < 2:
+        # Single non-self-dependent tag can still split into two copies.
+        if len(tags) == 1 and not depends.is_self_dependent(tags[0]):
+            return [tags[0]], [tags[0]]
+        return None
+    order = tags[:]
+    rng.shuffle(order)
+    group1: List[Any] = []
+    group2: List[Any] = []
+    for t in order:
+        ok1 = all(depends.indep(t, u) for u in group2)
+        ok2 = all(depends.indep(t, u) for u in group1)
+        if ok1 and ok2 and not depends.is_self_dependent(t) and rng.random() < 0.2:
+            group1.append(t)
+            group2.append(t)
+        elif ok1 and (not ok2 or rng.random() < 0.5):
+            group1.append(t)
+        elif ok2:
+            group2.append(t)
+        # tags fitting neither group are left uncovered
+    if group1 and group2:
+        return group1, group2
+    return None

@@ -1,0 +1,18 @@
+"""Synthetic workload generators replacing the paper's generated and
+recorded datasets (see the substitution table in DESIGN.md)."""
+
+from .generators import (
+    PageViewWorkload,
+    ValueBarrierWorkload,
+    pageview_workload,
+    uniform_stream,
+    value_barrier_workload,
+)
+
+__all__ = [
+    "PageViewWorkload",
+    "ValueBarrierWorkload",
+    "pageview_workload",
+    "uniform_stream",
+    "value_barrier_workload",
+]

@@ -1,0 +1,261 @@
+"""The paper's three applications implemented on the Flink-like engine
+(§4.2, Appendix G), in the same variants the paper evaluates:
+
+* **event windowing** — parallel via barrier broadcast + windowed
+  partial aggregation (scales), plus a sequential low-level join
+  baseline;
+* **page-view join** — the automatic keyed join (parallel in pages, so
+  it saturates at the number of hot pages);
+* **fraud detection** — sequential only: the sharded API offers no way
+  to propagate the model across instances (the paper's central
+  negative result for Flink).
+
+Inputs come from the same workload generators as the DGS runtime, so
+throughput comparisons are apples-to-apples within the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import fraud as fraud_app
+from ..apps import pageview as pv_app
+from ..apps import value_barrier as vb_app
+from ..data.generators import PageViewWorkload, ValueBarrierWorkload
+from ..sim.params import DEFAULT_PARAMS, SimParams
+from .engine import (
+    FlinkJob,
+    FlinkResult,
+    JobGraph,
+    OperatorInstance,
+    Rec,
+    TimestampMerger,
+)
+
+
+def _recs(events) -> List[Rec]:
+    return [Rec(e.ts, e.payload) for e in events]
+
+
+class _Forward(OperatorInstance):
+    """Source pass-through: re-emits records and watermarks.  Reading
+    and forwarding a record is much cheaper than operator logic."""
+
+    cpu_cost_factor = 0.2
+
+    def process(self, rec: Rec, input_id: int, channel: int) -> None:
+        self.emit(rec)
+
+    def on_watermark(self, ts: float, input_id: int, channel: int) -> None:
+        self.emit_watermark(ts)
+
+
+class _MergingInstance(OperatorInstance):
+    """Base for operators that merge all input channels by timestamp
+    (the paper's makeProgress pattern); subclasses implement
+    ``on_ordered(rec, input_id)``."""
+
+    def open(self) -> None:
+        self._input_of: Dict[int, int] = {}
+        for input_id, channel in self.ctx.expected_channels:
+            self._input_of[channel] = input_id
+        self._merger = TimestampMerger(list(self._input_of))
+
+    def process(self, rec: Rec, input_id: int, channel: int) -> None:
+        self._input_of[channel] = input_id
+        for r, ch in self._tag(self._merger.add(channel, rec)):
+            self.on_ordered(r, self._input_of[ch])
+
+    def on_watermark(self, ts: float, input_id: int, channel: int) -> None:
+        self._input_of[channel] = input_id
+        for r, ch in self._tag(self._merger.watermark(channel, ts)):
+            self.on_ordered(r, self._input_of[ch])
+
+    def _tag(self, recs: List[Rec]):
+        return zip(recs, self._merger.last_released_channels)
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        raise NotImplementedError
+
+
+# -- Event-based windowing ----------------------------------------------------
+
+
+class _WindowPartial(_MergingInstance):
+    """Per-shard partial sum, closed by broadcast barriers (input 1)."""
+
+    def open(self) -> None:
+        super().open()
+        self.sum = 0
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        if input_id == 0:
+            self.sum += int(rec.value)
+        else:
+            self.emit(Rec(rec.ts, ("partial", rec.ts, self.sum)))
+            self.sum = 0
+
+
+class _WindowReduce(OperatorInstance):
+    def __init__(self, expected: int) -> None:
+        super().__init__()
+        self.expected = expected
+        self.acc: Dict[float, Tuple[int, int]] = {}
+
+    def process(self, rec: Rec, input_id: int, channel: int) -> None:
+        _, barrier_ts, partial = rec.value
+        count, total = self.acc.get(barrier_ts, (0, 0))
+        count += 1
+        total += partial
+        if count == self.expected:
+            self.output(("window_sum", barrier_ts, total), barrier_ts)
+            self.acc.pop(barrier_ts, None)
+        else:
+            self.acc[barrier_ts] = (count, total)
+
+
+class _SeqWindow(_MergingInstance):
+    """Sequential low-level join: one instance does everything."""
+
+    def open(self) -> None:
+        super().open()
+        self.sum = 0
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        if input_id == 0:
+            self.sum += int(rec.value)
+        else:
+            self.output(("window_sum", rec.ts, self.sum), rec.ts)
+            self.sum = 0
+
+
+def build_event_window_job(
+    workload: ValueBarrierWorkload,
+    *,
+    parallelism: int,
+    n_hosts: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    mode: str = "parallel",
+    heartbeat_interval: float = 1.0,
+) -> FlinkJob:
+    value_lists = [_recs(evs) for evs in workload.value_streams.values()]
+    if len(value_lists) != parallelism:
+        raise ValueError("one value stream per parallel instance expected")
+    g = JobGraph(f"event-window-{mode}")
+    values = g.add("values", parallelism, lambda i: _Forward())
+    barriers = g.add("barriers", 1, lambda i: _Forward())
+    if mode == "parallel":
+        agg = g.add("agg", parallelism, lambda i: _WindowPartial())
+        red = g.add("reduce", 1, lambda i: _WindowReduce(parallelism))
+        g.connect(values, agg, mode="forward", input_id=0)
+        g.connect(barriers, agg, mode="broadcast", input_id=1)
+        g.connect(agg, red, mode="rebalance")
+    elif mode == "sequential":
+        proc = g.add("proc", 1, lambda i: _SeqWindow())
+        g.connect(values, proc, mode="rebalance", input_id=0)
+        g.connect(barriers, proc, mode="forward", input_id=1)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    job = FlinkJob(g, n_hosts=n_hosts or parallelism, params=params)
+    job.feed("values", value_lists, heartbeat_interval=heartbeat_interval)
+    job.feed("barriers", [_recs(workload.barrier_stream)], heartbeat_interval=heartbeat_interval)
+    return job
+
+
+# -- Page-view join -------------------------------------------------------------
+
+
+class _KeyedJoin(_MergingInstance):
+    """Keyed co-process: updates (input 1) set metadata, views (input
+    0) read it.  Parallel in the page key only."""
+
+    def open(self) -> None:
+        super().open()
+        self.zip: Dict[int, int] = {}
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        page, payload = rec.value
+        if input_id == 0:
+            _ = self.zip.get(page, pv_app.DEFAULT_ZIP)
+        else:
+            old = self.zip.get(page, pv_app.DEFAULT_ZIP)
+            self.zip[page] = int(payload)
+            self.output(("old_info", rec.ts, page, old), rec.ts)
+
+
+def build_pageview_job(
+    workload: PageViewWorkload,
+    *,
+    parallelism: int,
+    n_hosts: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    heartbeat_interval: float = 1.0,
+) -> FlinkJob:
+    """Automatic keyed implementation: views and updates keyBy(page)."""
+    view_lists = [
+        [Rec(e.ts, (itag.tag[1], e.payload)) for e in evs]
+        for itag, evs in workload.view_streams.items()
+    ]
+    update_list = sorted(
+        (
+            Rec(e.ts, (itag.tag[1], e.payload))
+            for itag, evs in workload.update_streams.items()
+            for e in evs
+        ),
+        key=lambda r: r.ts,
+    )
+    g = JobGraph("pageview-keyed")
+    views = g.add("views", len(view_lists), lambda i: _Forward())
+    updates = g.add("updates", 1, lambda i: _Forward())
+    join = g.add("join", parallelism, lambda i: _KeyedJoin())
+    g.connect(views, join, mode="hash", key_fn=lambda v: v[0], input_id=0)
+    g.connect(updates, join, mode="hash", key_fn=lambda v: v[0], input_id=1)
+    job = FlinkJob(g, n_hosts=n_hosts or parallelism, params=params)
+    job.feed("views", view_lists, heartbeat_interval=heartbeat_interval)
+    job.feed("updates", [update_list], heartbeat_interval=heartbeat_interval)
+    return job
+
+
+# -- Fraud detection ---------------------------------------------------------------
+
+
+class _SeqFraud(_MergingInstance):
+    def open(self) -> None:
+        super().open()
+        self.total = 0
+        self.model = 0
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        if input_id == 0:
+            value = int(rec.value)
+            if value % fraud_app.MODULO == self.model:
+                self.output(("fraud", rec.ts, value), rec.ts)
+            self.total += value
+        else:
+            self.output(("window_sum", rec.ts, self.total), rec.ts)
+            self.model = (self.total + int(rec.value)) % fraud_app.MODULO
+            self.total = 0
+
+
+def build_fraud_job(
+    workload: ValueBarrierWorkload,
+    *,
+    parallelism: int,
+    n_hosts: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    heartbeat_interval: float = 1.0,
+) -> FlinkJob:
+    """Flink can only run fraud detection sequentially (§4.2): the model
+    update requires cross-shard state, which sharding forbids.
+    ``parallelism`` only spreads the (cheap) sources."""
+    txn_lists = [_recs(evs) for evs in workload.value_streams.values()]
+    g = JobGraph("fraud-sequential")
+    txns = g.add("txns", len(txn_lists), lambda i: _Forward())
+    rules = g.add("rules", 1, lambda i: _Forward())
+    proc = g.add("proc", 1, lambda i: _SeqFraud())
+    g.connect(txns, proc, mode="rebalance", input_id=0)
+    g.connect(rules, proc, mode="forward", input_id=1)
+    job = FlinkJob(g, n_hosts=n_hosts or parallelism, params=params)
+    job.feed("txns", txn_lists, heartbeat_interval=heartbeat_interval)
+    job.feed("rules", [_recs(workload.barrier_stream)], heartbeat_interval=heartbeat_interval)
+    return job

@@ -1,0 +1,341 @@
+"""Manual synchronization plans inside the Flink-like engine (§4.3).
+
+The paper implements synchronization plans *manually* in Flink by
+letting parallel operator instances rendezvous through an external
+Java-RMI service guarded by semaphores (Figure 7) — sacrificing
+parallelism independence (PIP1: the code knows the instance count),
+partition independence (PIP2: subtask indices map to trees), and API
+compliance (PIP3: operators now have side effects).
+
+We model the RMI service as a :class:`ForkJoinService` actor on its own
+host.  A child instance "releases its J semaphore and acquires its F
+semaphore" by sending its state and blocking until the fork response
+arrives; the parent joins all child states, processes the
+synchronizing event, and releases the children with forked states.
+
+Two applications are provided, matching §4.3:
+
+* fraud detection — one tree: rules joined against all transaction
+  shards;
+* page-view join — a forest: one tree per page over that page's view
+  shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..apps import fraud as fraud_app
+from ..apps import pageview as pv_app
+from ..data.generators import PageViewWorkload, ValueBarrierWorkload
+from ..sim.actors import Actor
+from ..sim.params import DEFAULT_PARAMS, SimParams
+from .apps import _MergingInstance, _Forward, _recs
+from .engine import FlinkJob, JobGraph, OperatorInstance, Rec
+
+
+@dataclass(frozen=True)
+class JoinChild:
+    group: int
+    child: str
+    state: Any
+
+
+@dataclass(frozen=True)
+class JoinParent:
+    group: int
+    parent: str
+    payload: Any
+    ts: float
+
+
+@dataclass(frozen=True)
+class ForkResponse:
+    group: int
+    state: Any
+
+
+@dataclass(frozen=True)
+class ParentResult:
+    group: int
+    result: Any
+    ts: float
+
+
+class ForkJoinService(Actor):
+    """Central rendezvous service (the RMI + semaphores analog).
+
+    One *group* per tree in the synchronization plan; each group has a
+    fixed set of children and one parent.  ``combine(states, payload)``
+    returns ``(parent_result, [child_state, ...])``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        *,
+        groups: Dict[int, int],  # group -> number of children
+        combine: Callable[[List[Any], Any], Tuple[Any, List[Any]]],
+        virtual_init: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        super().__init__(name, host)
+        self.expected = dict(groups)
+        self.combine = combine
+        self._children: Dict[int, List[JoinChild]] = {g: [] for g in groups}
+        self._parent: Dict[int, Optional[JoinParent]] = {g: None for g in groups}
+        # Childless groups (no shard serves the key at this
+        # parallelism): the service itself holds the state.
+        self._virtual: Dict[int, Any] = {
+            g: virtual_init() if virtual_init else None
+            for g, n in groups.items()
+            if n == 0
+        }
+
+    def handle(self, msg: Any, sender: Optional[str]) -> None:
+        if isinstance(msg, JoinChild):
+            self._children[msg.group].append(msg)
+        elif isinstance(msg, JoinParent):
+            if self._parent[msg.group] is not None:
+                raise RuntimeError(f"group {msg.group}: overlapping parent joins")
+            self._parent[msg.group] = msg
+        else:
+            raise RuntimeError(f"ForkJoinService got {msg!r}")
+        self._try_complete(msg.group)
+
+    def _try_complete(self, group: int) -> None:
+        parent = self._parent[group]
+        children = self._children[group]
+        if parent is None or len(children) < self.expected[group]:
+            return
+        children.sort(key=lambda c: c.child)
+        if self.expected[group] == 0:
+            states = [self._virtual[group]]
+            result, new_states = self.combine(states, parent.payload)
+            self._virtual[group] = new_states[0]
+        else:
+            states = [c.state for c in children]
+            result, new_states = self.combine(states, parent.payload)
+            for child, new_state in zip(children, new_states):
+                self.send(child.child, ForkResponse(group, new_state), state_size=1.0)
+        self.send(parent.parent, ParentResult(group, result, parent.ts))
+        self._children[group] = []
+        self._parent[group] = None
+
+
+# -- Fraud detection (manual) ----------------------------------------------------
+
+
+class _FraudShard(_MergingInstance):
+    """Transaction shard: local (sum, model); on each broadcast rule it
+    joins through the service and blocks (the semaphore acquire)."""
+
+    def __init__(self, service: str) -> None:
+        super().__init__()
+        self.service = service
+
+    def open(self) -> None:
+        super().open()
+        self.total = 0
+        self.model = 0
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        if input_id == 0:
+            value = int(rec.value)
+            if value % fraud_app.MODULO == self.model:
+                self.output(("fraud", rec.ts, value), rec.ts)
+            self.total += value
+        else:
+            # Rule: join via the central service, then block until the
+            # forked state comes back.
+            self.send_service(
+                self.service, JoinChild(0, self.ctx.name, (self.total, self.model))
+            )
+            self.block()
+
+    def on_service(self, msg: Any, sender: Optional[str]) -> None:
+        assert isinstance(msg, ForkResponse)
+        self.total, self.model = msg.state
+        self.unblock()
+
+
+class _FraudRuleParent(OperatorInstance):
+    def __init__(self, service: str) -> None:
+        super().__init__()
+        self.service = service
+
+    def process(self, rec: Rec, input_id: int, channel: int) -> None:
+        self.send_service(
+            self.service, JoinParent(0, self.ctx.name, int(rec.value), rec.ts)
+        )
+        self.block()
+
+    def on_service(self, msg: Any, sender: Optional[str]) -> None:
+        assert isinstance(msg, ParentResult)
+        self.output(("window_sum", msg.ts, msg.result), msg.ts)
+        self.unblock()
+
+
+def build_fraud_splan_job(
+    workload: ValueBarrierWorkload,
+    *,
+    parallelism: int,
+    n_hosts: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    heartbeat_interval: float = 1.0,
+) -> FlinkJob:
+    txn_lists = [_recs(evs) for evs in workload.value_streams.values()]
+    if len(txn_lists) != parallelism:
+        raise ValueError("one txn stream per shard expected")
+    service_name = "svc:fraud"
+
+    def combine(states: List[Any], rule_value: Any) -> Tuple[Any, List[Any]]:
+        total = sum(s[0] for s in states)
+        model = (total + int(rule_value)) % fraud_app.MODULO
+        return total, [(0, model) for _ in states]
+
+    g = JobGraph("fraud-splan")
+    txns = g.add("txns", parallelism, lambda i: _Forward())
+    rules = g.add("rules", 1, lambda i: _Forward())
+    shards = g.add("shards", parallelism, lambda i: _FraudShard(service_name))
+    parent = g.add("parent", 1, lambda i: _FraudRuleParent(service_name))
+    g.connect(txns, shards, mode="forward", input_id=0)
+    g.connect(rules, shards, mode="broadcast", input_id=1)
+    g.connect(rules, parent, mode="forward", input_id=0)
+    job = FlinkJob(g, n_hosts=n_hosts or parallelism, params=params)
+    # The central service runs on its own host, like the paper's
+    # external RMI registry (all calls to it are remote).
+    job.add_service(
+        ForkJoinService(
+            service_name,
+            job.topology.host_names()[0],
+            groups={0: parallelism},
+            combine=combine,
+        )
+    )
+    job.feed("txns", txn_lists, heartbeat_interval=heartbeat_interval)
+    job.feed("rules", [_recs(workload.barrier_stream)], heartbeat_interval=heartbeat_interval)
+    return job
+
+
+# -- Page-view join (manual) ---------------------------------------------------------
+
+
+class _PageViewShard(_MergingInstance):
+    """View shard for one page: local replicated metadata; updates of
+    its page arrive broadcast and trigger a service join."""
+
+    def __init__(self, service: str, page: int) -> None:
+        super().__init__()
+        self.service = service
+        self.page = page
+
+    def open(self) -> None:
+        super().open()
+        self.zip = pv_app.DEFAULT_ZIP
+
+    def on_ordered(self, rec: Rec, input_id: int) -> None:
+        page, payload = rec.value
+        if page != self.page:
+            return  # broadcast noise for other pages (PIP2 violation)
+        if input_id == 0:
+            _ = self.zip
+        else:
+            self.send_service(
+                self.service, JoinChild(self.page, self.ctx.name, self.zip)
+            )
+            self.block()
+
+    def on_service(self, msg: Any, sender: Optional[str]) -> None:
+        assert isinstance(msg, ForkResponse)
+        self.zip = msg.state
+        self.unblock()
+
+
+class _PageUpdateParent(OperatorInstance):
+    def __init__(self, service: str) -> None:
+        super().__init__()
+        self.service = service
+
+    def process(self, rec: Rec, input_id: int, channel: int) -> None:
+        page, payload = rec.value
+        self.send_service(
+            self.service, JoinParent(page, self.ctx.name, (page, payload), rec.ts)
+        )
+        self.block()
+
+    def on_service(self, msg: Any, sender: Optional[str]) -> None:
+        assert isinstance(msg, ParentResult)
+        page, old = msg.result
+        self.output(("old_info", msg.ts, page, old), msg.ts)
+        self.unblock()
+
+
+def build_pageview_splan_job(
+    workload: PageViewWorkload,
+    *,
+    n_hosts: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    heartbeat_interval: float = 1.0,
+) -> FlinkJob:
+    """One tree per page; each page's view shards join through the
+    service when that page's metadata is updated."""
+    view_items = list(workload.view_streams.items())
+    # Every page with an update stream needs a (possibly childless)
+    # group, even when no view shard serves it at low parallelism.
+    pages = sorted(
+        {itag.tag[1] for itag, _ in view_items}
+        | {itag.tag[1] for itag in workload.update_streams}
+    )
+    shards_per_page: Dict[int, int] = {
+        p: sum(1 for itag, _ in view_items if itag.tag[1] == p) for p in pages
+    }
+    service_name = "svc:pageview"
+
+    def combine(states: List[Any], payload: Any) -> Tuple[Any, List[Any]]:
+        page, new_zip = payload
+        old = states[0] if states else pv_app.DEFAULT_ZIP
+        return (page, old), [int(new_zip) for _ in states]
+
+    g = JobGraph("pageview-splan")
+    view_lists = []
+    factories: List[Tuple[int, int]] = []  # (page, shard index)
+    for itag, evs in view_items:
+        page = itag.tag[1]
+        view_lists.append([Rec(e.ts, (page, e.payload)) for e in evs])
+        factories.append(page)
+    views = g.add("views", len(view_lists), lambda i: _Forward())
+    updates = g.add("updates", 1, lambda i: _Forward())
+    shards = g.add(
+        "shards",
+        len(view_lists),
+        lambda i: _PageViewShard(service_name, factories[i]),
+    )
+    parent = g.add("parent", 1, lambda i: _PageUpdateParent(service_name))
+    g.connect(views, shards, mode="forward", input_id=0)
+    # PIP2/PIP3 violation: all updates are broadcast to every shard,
+    # which filters by its hard-coded page (Figure 5's pattern).
+    g.connect(updates, shards, mode="broadcast", input_id=1)
+    g.connect(updates, parent, mode="forward", input_id=0)
+    update_list = sorted(
+        (
+            Rec(e.ts, (itag.tag[1], e.payload))
+            for itag, evs in workload.update_streams.items()
+            for e in evs
+        ),
+        key=lambda r: r.ts,
+    )
+    job = FlinkJob(g, n_hosts=n_hosts or len(view_lists), params=params)
+    job.add_service(
+        ForkJoinService(
+            service_name,
+            job.topology.host_names()[0],
+            groups={p: shards_per_page[p] for p in pages},
+            combine=combine,
+            virtual_init=lambda: pv_app.DEFAULT_ZIP,
+        )
+    )
+    job.feed("views", view_lists, heartbeat_interval=heartbeat_interval)
+    job.feed("updates", [update_list], heartbeat_interval=heartbeat_interval)
+    return job

@@ -1,0 +1,42 @@
+"""Synchronization plans: structure, P-validity, generation, and the
+communication-minimizing optimizer (paper §3.2-§3.3, Appendix B)."""
+
+from .cost import CostEstimate, compare_plans, estimate_cost
+from .generation import (
+    assign_hosts_round_robin,
+    chain_plan,
+    forest_plan,
+    map_hosts,
+    random_valid_plan,
+    root_and_leaves_plan,
+    sequential_plan,
+)
+from .optimizer import StreamInfo, optimize
+from .plan import PlanNode, SyncPlan
+from .validity import (
+    ValidityViolation,
+    assert_p_valid,
+    is_p_valid,
+    validity_violations,
+)
+
+__all__ = [
+    "CostEstimate",
+    "PlanNode",
+    "StreamInfo",
+    "SyncPlan",
+    "ValidityViolation",
+    "assert_p_valid",
+    "assign_hosts_round_robin",
+    "chain_plan",
+    "compare_plans",
+    "estimate_cost",
+    "forest_plan",
+    "is_p_valid",
+    "map_hosts",
+    "optimize",
+    "random_valid_plan",
+    "root_and_leaves_plan",
+    "sequential_plan",
+    "validity_violations",
+]

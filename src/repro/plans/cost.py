@@ -1,0 +1,144 @@
+"""Analytic cost model for synchronization plans.
+
+Estimates, for a plan and per-itag input rates, the quantities that
+drive the paper's performance results:
+
+* **sync overhead** — every event processed at an internal worker joins
+  and re-forks its whole subtree: ``2 * (subtree size - 1)`` state
+  messages plus a critical path of ``2 * subtree depth`` network hops;
+* **leaf capacity** — leaves process their share of events at CPU
+  speed, so the achievable throughput is bounded by the busiest worker
+  (CPU) and by the fraction of time the tree is *not* stalled in
+  joins;
+* **network load** — bytes/ms crossing host boundaries.
+
+The model is deliberately simple (no queueing theory): it is used by
+the ablation benchmarks to *rank* plans, and its ranking is validated
+against simulated throughput in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..core.events import ImplTag
+from ..sim.params import DEFAULT_PARAMS, SimParams
+from .plan import PlanNode, SyncPlan
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Summary statistics for a plan under given input rates."""
+
+    throughput_bound_events_per_ms: float
+    sync_messages_per_ms: float
+    sync_stall_fraction: float
+    remote_bytes_per_ms: float
+    max_worker_load: float  # CPU utilization of the busiest worker
+
+    def score(self) -> float:
+        """Higher is better: the throughput bound discounted by stall."""
+        return self.throughput_bound_events_per_ms * max(
+            0.0, 1.0 - self.sync_stall_fraction
+        )
+
+
+def estimate_cost(
+    plan: SyncPlan,
+    rates: Mapping[ImplTag, float],
+    *,
+    params: SimParams = DEFAULT_PARAMS,
+    source_hosts: Mapping[ImplTag, str] | None = None,
+) -> CostEstimate:
+    """Estimate plan performance under the given per-itag input rates
+    (events per millisecond)."""
+    total_rate = sum(rates.values())
+    source_hosts = source_hosts or {}
+
+    # --- per-worker CPU load from its own events ---
+    worker_rate: Dict[str, float] = {}
+    for node in plan.workers():
+        worker_rate[node.id] = sum(rates.get(t, 0.0) for t in node.itags)
+
+    # --- synchronization: internal workers join/fork their subtree ---
+    sync_msgs = 0.0
+    stall = 0.0
+    subtree_cpu_penalty: Dict[str, float] = {n.id: 0.0 for n in plan.workers()}
+    for node in plan.internal():
+        r = worker_rate[node.id]
+        if r <= 0:
+            continue
+        desc = plan.descendants_of(node.id)
+        n_edges = len(desc)  # tree edges below node
+        sync_msgs += r * 2 * n_edges
+        depth = _subtree_depth(node)
+        # Critical path: join requests travel down, states travel up,
+        # forked states travel down again => ~2 hops per level.
+        stall_per_event = 2 * depth * params.remote_latency_ms
+        stall += r * stall_per_event
+        # Every descendant spends CPU handling the join+fork messages.
+        for d in desc:
+            subtree_cpu_penalty[d.id] += r * 2 * (
+                params.recv_overhead_ms + params.send_overhead_ms
+            )
+
+    # --- busiest worker utilization ---
+    max_load = 0.0
+    for node in plan.workers():
+        load = worker_rate[node.id] * (
+            params.cpu_per_event_ms + params.recv_overhead_ms
+        ) + subtree_cpu_penalty[node.id]
+        max_load = max(max_load, load)
+
+    # --- throughput bound ---
+    if total_rate > 0 and max_load > 0:
+        # Scale rates by 1/max_load until the busiest worker saturates.
+        throughput_bound = total_rate / max_load
+    else:
+        throughput_bound = float("inf") if total_rate == 0 else 0.0
+    stall_fraction = min(1.0, stall / 1.0) if total_rate else 0.0
+    # stall is ms of blocked tree time per ms of input; tree-wide stalls
+    # suppress leaf processing for the whole subtree.
+
+    # --- network bytes ---
+    remote_bytes = 0.0
+    for node in plan.workers():
+        own_rate = worker_rate[node.id]
+        for t in node.itags:
+            src = source_hosts.get(t)
+            if src is not None and node.host is not None and src != node.host:
+                remote_bytes += rates.get(t, 0.0) * params.bytes_per_event
+    for node in plan.internal():
+        r = worker_rate[node.id]
+        if r <= 0:
+            continue
+        for d in plan.descendants_of(node.id):
+            parent = plan.parent_of(d.id)
+            if parent is not None and d.host != parent.host:
+                remote_bytes += r * 2 * params.bytes_per_event
+
+    return CostEstimate(
+        throughput_bound_events_per_ms=throughput_bound,
+        sync_messages_per_ms=sync_msgs,
+        sync_stall_fraction=stall_fraction,
+        remote_bytes_per_ms=remote_bytes,
+        max_worker_load=max_load,
+    )
+
+
+def _subtree_depth(node: PlanNode) -> int:
+    if node.is_leaf:
+        return 0
+    return 1 + max(_subtree_depth(c) for c in node.children)
+
+
+def compare_plans(
+    plans: Mapping[str, SyncPlan],
+    rates: Mapping[ImplTag, float],
+    *,
+    params: SimParams = DEFAULT_PARAMS,
+) -> Dict[str, CostEstimate]:
+    """Estimate costs for several plans under identical rates (the
+    ablation-bench entry point)."""
+    return {name: estimate_cost(p, rates, params=params) for name, p in plans.items()}

@@ -1,0 +1,131 @@
+"""P-validity of synchronization plans (paper Definition 3.2).
+
+A plan is *P-valid* for a program P when:
+
+* **V1** (typing): every worker's state type exists in P, can handle
+  the tags of the worker's implementation tags (``pred_i``), and every
+  internal worker has a fork/join pair defined between its state type
+  and its children's state types.
+* **V2** (isolation): every pair of workers *without* an ancestor/
+  descendant relationship handles disjoint and pairwise-independent
+  implementation tag sets.
+
+Validity is purely syntactic and is a precondition of the end-to-end
+correctness theorem (Theorem 3.5); the runtime refuses to instantiate
+invalid plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from ..core.errors import ValidityError
+from ..core.program import DGSProgram
+from .plan import SyncPlan
+
+
+@dataclass(frozen=True)
+class ValidityViolation:
+    rule: str  # "V1" or "V2"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] {self.detail}"
+
+
+def validity_violations(plan: SyncPlan, program: DGSProgram) -> List[ValidityViolation]:
+    """Return all V1/V2 violations (empty list == P-valid)."""
+    out: List[ValidityViolation] = []
+    out.extend(_check_v1(plan, program))
+    out.extend(_check_v2(plan, program))
+    return out
+
+
+def is_p_valid(plan: SyncPlan, program: DGSProgram) -> bool:
+    return not validity_violations(plan, program)
+
+
+def assert_p_valid(plan: SyncPlan, program: DGSProgram) -> None:
+    violations = validity_violations(plan, program)
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ValidityError(f"plan is not P-valid: {summary}{more}")
+
+
+def _check_v1(plan: SyncPlan, program: DGSProgram) -> List[ValidityViolation]:
+    out: List[ValidityViolation] = []
+    for node in plan.workers():
+        if node.state_type not in program.state_types:
+            out.append(
+                ValidityViolation(
+                    "V1", f"worker {node.id} uses unknown state type {node.state_type!r}"
+                )
+            )
+            continue
+        pred = program.pred(node.state_type)
+        for itag in node.itags:
+            if itag.tag not in program.tags:
+                out.append(
+                    ValidityViolation(
+                        "V1", f"worker {node.id} itag {itag!r} outside tag universe"
+                    )
+                )
+            elif itag.tag not in pred:
+                out.append(
+                    ValidityViolation(
+                        "V1",
+                        f"worker {node.id} state type {node.state_type!r} cannot "
+                        f"handle tag {itag.tag!r}",
+                    )
+                )
+        if node.children:
+            left, right = node.children
+            try:
+                program.fork_for(node.state_type, left.state_type, right.state_type)
+            except Exception:
+                out.append(
+                    ValidityViolation(
+                        "V1",
+                        f"no fork {node.state_type!r} -> "
+                        f"({left.state_type!r}, {right.state_type!r}) for worker {node.id}",
+                    )
+                )
+            try:
+                program.join_for(left.state_type, right.state_type, node.state_type)
+            except Exception:
+                out.append(
+                    ValidityViolation(
+                        "V1",
+                        f"no join ({left.state_type!r}, {right.state_type!r}) -> "
+                        f"{node.state_type!r} for worker {node.id}",
+                    )
+                )
+    return out
+
+
+def _check_v2(plan: SyncPlan, program: DGSProgram) -> List[ValidityViolation]:
+    out: List[ValidityViolation] = []
+    workers = plan.workers()
+    for a, b in itertools.combinations(workers, 2):
+        if plan.related(a.id, b.id):
+            continue
+        overlap = a.itags & b.itags
+        if overlap:
+            out.append(
+                ValidityViolation(
+                    "V2",
+                    f"unrelated workers {a.id} and {b.id} share itags "
+                    f"{sorted(map(repr, overlap))}",
+                )
+            )
+        if not program.depends.itag_sets_independent(a.itags, b.itags):
+            out.append(
+                ValidityViolation(
+                    "V2",
+                    f"unrelated workers {a.id} and {b.id} handle dependent tags",
+                )
+            )
+    return out

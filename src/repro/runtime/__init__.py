@@ -1,0 +1,45 @@
+"""The Flumina-style DGS runtime (paper §3.4) plus checkpointing and a
+sequential reference oracle."""
+
+from .checkpoint import (
+    by_timestamp_interval,
+    every_nth_join,
+    every_root_join,
+    recover,
+)
+from .mailbox import Buffered, Mailbox
+from .messages import (
+    EventMsg,
+    ForkStateMsg,
+    HeartbeatMsg,
+    JoinRequest,
+    JoinResponse,
+)
+from .runtime import (
+    FluminaRuntime,
+    InputStream,
+    RunResult,
+    run_sequential_reference,
+)
+from .worker import RunCollector, WorkerActor, default_state_size
+
+__all__ = [
+    "Buffered",
+    "EventMsg",
+    "FluminaRuntime",
+    "ForkStateMsg",
+    "HeartbeatMsg",
+    "InputStream",
+    "JoinRequest",
+    "JoinResponse",
+    "Mailbox",
+    "RunCollector",
+    "RunResult",
+    "WorkerActor",
+    "by_timestamp_interval",
+    "default_state_size",
+    "every_nth_join",
+    "every_root_join",
+    "recover",
+    "run_sequential_reference",
+]

@@ -1,0 +1,163 @@
+"""Selective reordering mailbox (paper §3.4, "Event reordering").
+
+Each worker's mailbox holds, per implementation tag it may receive
+(its own tags plus all ancestors' tags):
+
+* a FIFO **buffer** of pending items (events or join requests), which
+  arrive in increasing order-key order per tag (producers are monotone,
+  parents dispatch join requests in processing order, and channels are
+  FIFO);
+* a **timer**: the largest order key seen for the tag (events,
+  heartbeats, or join requests).
+
+An item with tag ``s`` and key ``k`` is *released* to the worker when
+
+1. it is at the front of its own buffer, and
+2. for every tag ``s'`` that ``s`` depends on: ``timer[s'] >= k`` (the
+   mailbox has proof no earlier ``s'`` item is still in flight) and the
+   front of ``s'``'s buffer (if any) has key ``> k`` (earlier dependent
+   items are processed first).
+
+Releases cascade through a tag workset exactly as described in the
+paper.  The mailbox is pure data-structure logic — no simulator
+dependencies — so it is unit-testable and reusable by both the
+simulated and the threaded runtimes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.dependence import DependenceRelation
+from ..core.errors import InputError
+from ..core.events import ImplTag
+
+OrderKey = Tuple
+
+NEG_INF_KEY: OrderKey = (float("-inf"),)
+
+
+@dataclass(frozen=True)
+class Buffered:
+    """An item awaiting release: its tag, order key and payload."""
+
+    itag: ImplTag
+    key: OrderKey
+    item: Any
+
+
+class Mailbox:
+    """Selective reordering over a fixed set of known implementation tags."""
+
+    def __init__(
+        self,
+        known_itags: Iterable[ImplTag],
+        depends: DependenceRelation,
+    ) -> None:
+        self.itags: FrozenSet[ImplTag] = frozenset(known_itags)
+        self._buffers: Dict[ImplTag, Deque[Buffered]] = {
+            t: deque() for t in self.itags
+        }
+        self._timers: Dict[ImplTag, OrderKey] = {t: NEG_INF_KEY for t in self.itags}
+        # Precompute, for each tag, which known tags it depends on
+        # (excluding itself: same-tag ordering is the buffer's FIFO).
+        self._deps: Dict[ImplTag, Tuple[ImplTag, ...]] = {}
+        for a in self.itags:
+            self._deps[a] = tuple(
+                b for b in self.itags if b != a and depends.itag_depends(a, b)
+            )
+        # Reverse direction: tags whose release may be unblocked when
+        # `a` makes progress.
+        self._rdeps: Dict[ImplTag, Tuple[ImplTag, ...]] = {}
+        for a in self.itags:
+            self._rdeps[a] = tuple(
+                b for b in self.itags if b != a and a in self._deps[b]
+            )
+
+    # -- queries -----------------------------------------------------------
+    def timer(self, itag: ImplTag) -> OrderKey:
+        return self._timers[itag]
+
+    def buffered_count(self, itag: Optional[ImplTag] = None) -> int:
+        if itag is not None:
+            return len(self._buffers[itag])
+        return sum(len(b) for b in self._buffers.values())
+
+    def buffer_empty(self, itag: ImplTag) -> bool:
+        return not self._buffers[itag]
+
+    def frontier(self, itag: ImplTag) -> Optional[OrderKey]:
+        """The key up to which this mailbox can *vouch* for ``itag``:
+        the timer, but only when nothing for the tag is still buffered
+        (a buffered item may turn into a join request with a smaller
+        key than the timer).  ``None`` = cannot vouch beyond what
+        children already know."""
+        if self._buffers[itag]:
+            return None
+        return self._timers[itag]
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, itag: ImplTag, key: OrderKey, item: Any) -> List[Buffered]:
+        """Buffer an item and return everything releasable, in order."""
+        if itag not in self.itags:
+            raise InputError(f"mailbox does not know itag {itag!r}")
+        buf = self._buffers[itag]
+        if buf and buf[-1].key >= key:
+            raise InputError(
+                f"non-monotone arrival for {itag!r}: {key} after {buf[-1].key}"
+            )
+        if self._timers[itag] > key:
+            raise InputError(
+                f"item for {itag!r} arrives behind its heartbeat frontier"
+            )
+        buf.append(Buffered(itag, key, item))
+        self._timers[itag] = key
+        return self._cascade(itag)
+
+    def advance(self, itag: ImplTag, key: OrderKey) -> List[Buffered]:
+        """Heartbeat: advance the timer without buffering anything."""
+        if itag not in self.itags:
+            raise InputError(f"mailbox does not know itag {itag!r}")
+        if key <= self._timers[itag]:
+            return []  # stale heartbeat, nothing new
+        self._timers[itag] = key
+        return self._cascade(itag)
+
+    # -- release machinery ----------------------------------------------------
+    def _releasable(self, front: Buffered) -> bool:
+        for dep in self._deps[front.itag]:
+            if self._timers[dep] < front.key:
+                return False
+            dep_buf = self._buffers[dep]
+            if dep_buf and dep_buf[0].key < front.key:
+                return False
+        return True
+
+    def _cascade(self, seed: ImplTag) -> List[Buffered]:
+        """The paper's cascading-release procedure with a tag workset."""
+        released: List[Buffered] = []
+        workset: List[ImplTag] = [seed]
+        workset.extend(self._rdeps[seed])
+        in_set = set(workset)
+        while workset:
+            tag = workset.pop()
+            in_set.discard(tag)
+            buf = self._buffers[tag]
+            progressed = False
+            while buf and self._releasable(buf[0]):
+                released.append(buf.popleft())
+                progressed = True
+            if progressed:
+                for nxt in self._rdeps[tag]:
+                    if nxt not in in_set:
+                        workset.append(nxt)
+                        in_set.add(nxt)
+                # Our own later items may also now be releasable; the
+                # inner while loop already drained them greedily.
+        released.sort(key=lambda b: b.key)
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mailbox(tags={len(self.itags)}, buffered={self.buffered_count()})"

@@ -1,0 +1,63 @@
+"""Message types exchanged by the Flumina-style runtime (paper §3.4).
+
+Five message kinds flow between producers and workers:
+
+* :class:`EventMsg` — an application event, producer -> owning worker;
+* :class:`HeartbeatMsg` — progress promise for one implementation tag;
+  producers send them to the tag's owner, and workers *relay* them down
+  the tree so descendants' mailboxes can release buffered events;
+* :class:`JoinRequest` — sent by a worker processing a synchronizing
+  event to its children (and relayed recursively); carries the
+  triggering event's order key so child mailboxes can sequence it
+  against their own events;
+* :class:`JoinResponse` — a child's state traveling up;
+* :class:`ForkStateMsg` — a forked state traveling back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..core.events import Event, ImplTag
+
+OrderKey = Tuple
+
+
+@dataclass(frozen=True)
+class EventMsg:
+    event: Event
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    """Progress for ``itag`` up to (and including) ``key``."""
+
+    itag: ImplTag
+    key: OrderKey
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Join your subtree state as of ``key`` and reply to ``reply_to``."""
+
+    req_id: Tuple[str, int]
+    itag: ImplTag  # implementation tag of the triggering event
+    key: OrderKey
+    reply_to: str
+    side: str  # "left" or "right" slot in the requester's join
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    req_id: Tuple[str, int]
+    side: str
+    state: Any
+    state_size: float
+
+
+@dataclass(frozen=True)
+class ForkStateMsg:
+    req_id: Tuple[str, int]
+    state: Any
+    state_size: float

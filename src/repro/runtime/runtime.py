@@ -1,0 +1,273 @@
+"""The end-to-end Flumina-style runtime on the cluster simulator.
+
+:class:`FluminaRuntime` instantiates a P-valid synchronization plan as
+one actor per worker, distributes the initial state down the tree with
+the program's fork (consistent by C2), feeds the input streams (with
+periodic heartbeats, §3.4), runs the simulation to completion, and
+returns a :class:`RunResult` with outputs, latencies, throughput, and
+network statistics.
+
+Timestamps double as simulated arrival times: an event with timestamp
+``ts`` departs its producer at ``ts`` milliseconds of simulated time,
+so event latency is ``emit_time - ts``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import RuntimeFault
+from ..core.events import Event, Heartbeat, ImplTag
+from ..core.program import DGSProgram
+from ..plans.generation import assign_hosts_round_robin
+from ..plans.plan import SyncPlan
+from ..plans.validity import assert_p_valid
+from ..sim.actors import ActorSystem
+from ..sim.core import Simulator
+from ..sim.network import NetworkStats, Topology
+from ..sim.params import DEFAULT_PARAMS, SimParams
+from .messages import EventMsg, HeartbeatMsg
+from .worker import RunCollector, StateSizeFn, WorkerActor, default_state_size
+
+
+@dataclass(frozen=True)
+class InputStream:
+    """One input stream: a single implementation tag's events.
+
+    ``events`` must be strictly increasing in timestamp.  ``source_host``
+    is where the producer runs (events from a producer co-located with
+    the owning worker are local).  ``heartbeat_interval`` is the gap (in
+    timestamp units == simulated ms) between heartbeats; ``None``
+    disables periodic heartbeats (a closing heartbeat is still sent so
+    finite runs drain).
+    """
+
+    itag: ImplTag
+    events: Tuple[Event, ...]
+    source_host: Optional[str] = None
+    heartbeat_interval: Optional[float] = 10.0
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulated execution."""
+
+    outputs: List[Tuple[Any, float, float]]  # (value, emit_time, latency)
+    duration_ms: float
+    first_input_ms: float
+    last_input_ms: float
+    events_in: int
+    events_processed: int
+    joins: int
+    network: NetworkStats
+    host_utilization: Dict[str, float]
+    checkpoints: List[Tuple[float, Any]] = field(default_factory=list)
+    event_latencies: List[float] = field(default_factory=list)
+
+    def event_latency_percentiles(
+        self, qs: Sequence[float] = (10, 50, 90)
+    ) -> List[float]:
+        """Percentiles over *every processed event's* latency — the
+        Appendix D.1 metric (requires track_event_latency=True)."""
+        if not self.event_latencies:
+            return [math.nan for _ in qs]
+        return [float(p) for p in np.percentile(self.event_latencies, qs)]
+
+    def output_values(self) -> List[Any]:
+        return [v for v, _, _ in self.outputs]
+
+    def latencies(self) -> List[float]:
+        return [lat for _, _, lat in self.outputs]
+
+    def latency_percentiles(self, qs: Sequence[float] = (10, 50, 90)) -> List[float]:
+        lats = self.latencies()
+        if not lats:
+            return [math.nan for _ in qs]
+        return [float(p) for p in np.percentile(lats, qs)]
+
+    @property
+    def input_span_ms(self) -> float:
+        """Length of the input injection window (offered-load basis)."""
+        return max(self.last_input_ms - self.first_input_ms, 1e-9)
+
+    @property
+    def throughput_events_per_ms(self) -> float:
+        span = self.duration_ms - self.first_input_ms
+        if span <= 0:
+            return 0.0
+        return self.events_in / span
+
+
+class FluminaRuntime:
+    """Instantiate a program + plan on a simulated cluster and run it."""
+
+    def __init__(
+        self,
+        program: DGSProgram,
+        plan: SyncPlan,
+        *,
+        topology: Optional[Topology] = None,
+        params: SimParams = DEFAULT_PARAMS,
+        state_size: StateSizeFn = default_state_size,
+        checkpoint_predicate: Optional[Callable[[Event, int], bool]] = None,
+        track_event_latency: bool = False,
+        validate: bool = True,
+    ) -> None:
+        self.program = program
+        if validate:
+            assert_p_valid(plan, program)
+        if topology is None:
+            n_hosts = max(1, len(plan.leaves()))
+            topology = Topology.cluster(n_hosts, params=params)
+        self.topology = topology
+        if any(n.host is None for n in plan.workers()):
+            plan = assign_hosts_round_robin(plan, topology.host_names())
+        for node in plan.workers():
+            if node.host not in topology.hosts:
+                raise RuntimeFault(
+                    f"worker {node.id} placed on unknown host {node.host!r}"
+                )
+        self.plan = plan
+        self.params = topology.params
+        self.state_size = state_size
+        self.checkpoint_predicate = checkpoint_predicate
+        self.track_event_latency = track_event_latency
+
+    # -- setup ----------------------------------------------------------------
+    @staticmethod
+    def actor_name_of(worker_id: str) -> str:
+        return f"worker:{worker_id}"
+
+    def _build(self) -> Tuple[ActorSystem, RunCollector, Dict[str, WorkerActor]]:
+        sim = Simulator()
+        system = ActorSystem(sim, self.topology)
+        collector = RunCollector(track_event_latency=self.track_event_latency)
+        workers: Dict[str, WorkerActor] = {}
+        for node in self.plan.workers():
+            actor = WorkerActor(
+                self.actor_name_of(node.id),
+                node.host,  # type: ignore[arg-type]
+                node=node,
+                plan=self.plan,
+                program=self.program,
+                collector=collector,
+                actor_name_of=self.actor_name_of,
+                state_size=self.state_size,
+                checkpoint_predicate=self.checkpoint_predicate,
+            )
+            system.add(actor)
+            workers[node.id] = actor
+        self._distribute_initial_state(workers)
+        return system, collector, workers
+
+    def _distribute_initial_state(self, workers: Dict[str, WorkerActor]) -> None:
+        """Fork ``init()`` down the tree so every leaf holds its share
+        (consistent with the sequential initial state by C2)."""
+
+        def distribute(node_id: str, state: Any) -> None:
+            worker = workers[node_id]
+            if worker.is_leaf:
+                worker.state = state
+                worker.has_state = True
+                return
+            left, right = worker.node.children
+            s_left, s_right = worker.fork(state, worker.pred_left, worker.pred_right)
+            distribute(left.id, s_left)
+            distribute(right.id, s_right)
+
+        distribute(self.plan.root.id, self.program.init())
+
+    # -- input feeding ------------------------------------------------------------
+    def _feed(self, system: ActorSystem, streams: Sequence[InputStream]) -> Tuple[int, float, float]:
+        owners = {s.itag: self.plan.owner_of(s.itag) for s in streams}
+        events_in = 0
+        first_ts = math.inf
+        last_ts = 0.0
+        for stream in streams:
+            for e in stream.events:
+                if e.itag != stream.itag:
+                    raise RuntimeFault(
+                        f"event {e!r} does not belong to stream {stream.itag!r}"
+                    )
+                first_ts = min(first_ts, e.ts)
+                last_ts = max(last_ts, e.ts)
+        end_ts = last_ts + 1.0
+        for stream in streams:
+            owner = owners[stream.itag]
+            dst = self.actor_name_of(owner.id)
+            src_host = stream.source_host or owner.host
+            prev_ts = 0.0
+            for e in stream.events:
+                if e.ts <= prev_ts and events_in:
+                    pass  # monotonicity enforced by the mailbox on arrival
+                system.inject(dst, EventMsg(e), at=e.ts, from_host=src_host)
+                prev_ts = e.ts
+                events_in += 1
+            # Periodic heartbeats between events, plus a closing one so
+            # that every buffer drains at the end of the run.
+            hb_times: List[float] = []
+            if stream.heartbeat_interval:
+                t = stream.heartbeat_interval
+                while t < end_ts:
+                    hb_times.append(t)
+                    t += stream.heartbeat_interval
+            hb_times.append(end_ts)
+            event_ts = {e.ts for e in stream.events}
+            for t in hb_times:
+                if t in event_ts:
+                    continue
+                hb = Heartbeat(stream.itag.tag, stream.itag.stream, t)
+                system.inject(
+                    dst,
+                    HeartbeatMsg(stream.itag, hb.order_key),
+                    at=t,
+                    from_host=src_host,
+                )
+        if not math.isfinite(first_ts):
+            first_ts = 0.0
+        return events_in, first_ts, last_ts
+
+    # -- execution ------------------------------------------------------------------
+    def run(self, streams: Sequence[InputStream], *, max_sim_events: int = 50_000_000) -> RunResult:
+        system, collector, workers = self._build()
+        events_in, first_ts, last_ts = self._feed(system, streams)
+        system.sim.run(max_events=max_sim_events)
+        duration_clock = max(system.sim.now, system.last_completion)
+        for worker in workers.values():
+            if worker.mailbox.buffered_count() or worker.pending:
+                raise RuntimeFault(
+                    f"run ended with unprocessed items at {worker.name} "
+                    f"(buffered={worker.mailbox.buffered_count()}, "
+                    f"pending={len(worker.pending)}); "
+                    "check heartbeats / dependence relation"
+                )
+        duration = duration_clock
+        util = {
+            name: host.utilization(duration) if duration > 0 else 0.0
+            for name, host in self.topology.hosts.items()
+        }
+        return RunResult(
+            outputs=list(collector.outputs),
+            duration_ms=duration,
+            first_input_ms=first_ts,
+            last_input_ms=last_ts,
+            events_in=events_in,
+            events_processed=collector.events_processed,
+            joins=collector.joins,
+            network=self.topology.stats,
+            host_utilization=util,
+            checkpoints=list(collector.checkpoints),
+            event_latencies=collector.event_latencies,
+        )
+
+
+def run_sequential_reference(
+    program: DGSProgram, streams: Sequence[InputStream]
+) -> List[Any]:
+    """The sequential specification output for the same input streams
+    (the correctness oracle of Definition 3.4)."""
+    return program.spec_of_streams([list(s.events) for s in streams])

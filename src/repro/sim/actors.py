@@ -1,0 +1,214 @@
+"""Actor layer on top of the simulation kernel.
+
+Actors are named, live on a host, and handle one message at a time;
+hosts are serial (1-core) resources, so all actors co-located on a host
+share its CPU in FIFO order.  The execution model:
+
+* a message delivered at time ``t`` claims ``service_time(msg) [+
+  remote receive overhead] [+ per-send overhead]`` of CPU on the
+  destination host, starting no earlier than ``t``;
+* the handler runs atomically; its effects (sends, outputs) are
+  timestamped at the handler's *completion* time;
+* per-pair message delivery is FIFO (constant per-pair latency), which
+  is the Erlang delivery guarantee the paper's proof assumes
+  (Appendix C assumption 4).
+
+This gives deterministic, reproducible simulations: same inputs, same
+schedule, same statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .core import Simulator
+from .network import Host, Topology
+from .params import SimParams
+
+
+@dataclass
+class OutputRecord:
+    """An output emitted by an actor, with emission time."""
+
+    time: float
+    actor: str
+    value: Any
+
+
+class Actor:
+    """Base class for simulated actors.
+
+    Subclasses override :meth:`handle` (and optionally
+    :meth:`service_time` for message-dependent CPU costs).
+    """
+
+    def __init__(self, name: str, host: str) -> None:
+        self.name = name
+        self.host_name = host
+        self.system: "ActorSystem" = None  # type: ignore[assignment]
+        self.now: float = 0.0  # completion time of the current handler
+        self._outbox: List[Tuple[str, Any, int, float]] = []
+        self.messages_handled = 0
+
+    # -- to override -----------------------------------------------------
+    def handle(self, msg: Any, sender: Optional[str]) -> None:
+        raise NotImplementedError
+
+    def service_time(self, msg: Any) -> float:
+        """CPU cost of handling ``msg``; defaults to one event's cost."""
+        return self.system.params.cpu_per_event_ms
+
+    # -- actions available inside handle ---------------------------------
+    def send(self, dst: str, msg: Any, *, units: int = 1, state_size: float = 0.0) -> None:
+        """Queue a message to actor ``dst``; departs at handler completion.
+
+        ``units`` counts the application events carried (for byte
+        accounting and batched delivery); ``state_size`` adds state
+        transfer cost to the receiver (fork/join state movement).
+        """
+        self._outbox.append((dst, msg, units, state_size))
+
+    def emit(self, value: Any) -> None:
+        self.system.record_output(OutputRecord(self.now, self.name, value))
+
+    def set_timer(self, delay: float, key: Any = None) -> None:
+        """Schedule :meth:`on_timer` to fire ``delay`` from now (no CPU
+        cost is charged for the timer interrupt itself)."""
+        self.system.sim.schedule(delay, lambda: self.system._deliver_timer(self, key))
+
+    def on_timer(self, key: Any) -> None:  # pragma: no cover - default no-op
+        pass
+
+    @property
+    def host(self) -> Host:
+        return self.system.topology.host(self.host_name)
+
+
+class ActorSystem:
+    """Registry + message router binding actors to the simulator."""
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.params: SimParams = topology.params
+        self.actors: Dict[str, Actor] = {}
+        self.outputs: List[OutputRecord] = []
+        self.messages_delivered = 0
+        #: Latest handler completion time; the simulator clock only
+        #: advances on *scheduled* events, so a busy tail of handlers
+        #: that send nothing would otherwise be invisible in makespans.
+        self.last_completion = 0.0
+
+    def add(self, actor: Actor) -> Actor:
+        if actor.name in self.actors:
+            raise ValueError(f"duplicate actor name {actor.name!r}")
+        if actor.host_name not in self.topology.hosts:
+            raise ValueError(f"unknown host {actor.host_name!r}")
+        actor.system = self
+        self.actors[actor.name] = actor
+        return actor
+
+    def record_output(self, rec: OutputRecord) -> None:
+        self.outputs.append(rec)
+
+    # -- message transport -------------------------------------------------
+    def inject(
+        self,
+        dst: str,
+        msg: Any,
+        *,
+        at: float,
+        from_host: Optional[str] = None,
+        units: int = 1,
+    ) -> None:
+        """Schedule an external event (e.g. from a data source) to
+        arrive at actor ``dst``.  ``at`` is the departure time at the
+        source; network latency from ``from_host`` (default: remote)
+        is added on top."""
+        actor = self.actors[dst]
+        src_host = from_host if from_host is not None else "__external__"
+        latency = (
+            self.topology.latency(src_host, actor.host_name)
+            if from_host is not None
+            else self.params.remote_latency_ms
+        )
+        nbytes = units * self.params.bytes_per_event
+        self.topology.record_message(src_host, actor.host_name, nbytes)
+        remote = src_host != actor.host_name
+        self.sim.schedule_at(
+            at + latency, lambda: self._deliver(actor, msg, None, units, 0.0, remote)
+        )
+
+    def _send_from(
+        self, src: Actor, dst: str, msg: Any, units: int, state_size: float
+    ) -> None:
+        actor = self.actors[dst]
+        latency = self.topology.latency(src.host_name, actor.host_name)
+        remote = src.host_name != actor.host_name
+        nbytes = units * self.params.bytes_per_event + int(
+            state_size * self.params.bytes_per_state_unit
+        )
+        self.topology.record_message(src.host_name, actor.host_name, nbytes)
+        depart = self.sim.now
+        self.sim.schedule_at(
+            depart + latency,
+            lambda: self._deliver(actor, msg, src.name, units, state_size, remote),
+        )
+
+    def _deliver(
+        self,
+        actor: Actor,
+        msg: Any,
+        sender: Optional[str],
+        units: int,
+        state_size: float,
+        remote: bool,
+    ) -> None:
+        """Delivery event: reserve CPU, run the handler, ship outbox."""
+        self.messages_delivered += 1
+        cost = actor.service_time(msg)
+        if remote:
+            cost += self.params.recv_overhead_ms
+        if state_size:
+            cost += state_size * self.params.state_transfer_ms_per_unit
+        host = actor.host
+        start_guard = self.sim.now
+        completion = host.reserve(start_guard, cost)
+        actor.now = completion
+        actor.messages_handled += 1
+        actor._outbox = []
+        actor.handle(msg, sender)
+        outbox = actor._outbox
+        actor._outbox = []
+        if outbox:
+            # Sends are part of the handler's work: charge send
+            # overhead serially after the handler body.
+            send_cost = self.params.send_overhead_ms * len(outbox)
+            completion = host.reserve(completion, send_cost)
+            actor.now = completion
+        if completion > self.last_completion:
+            self.last_completion = completion
+        # Effects depart at completion; run them at that simulated time.
+        if outbox:
+            def ship() -> None:
+                for dst, m, u, ssz in outbox:
+                    self._send_from(actor, dst, m, u, ssz)
+
+            self.sim.schedule_at(completion, ship)
+
+    def _deliver_timer(self, actor: Actor, key: Any) -> None:
+        actor.now = self.sim.now
+        actor._outbox = []
+        actor.on_timer(key)
+        outbox = actor._outbox
+        actor._outbox = []
+        for dst, m, u, ssz in outbox:
+            self._send_from(actor, dst, m, u, ssz)
+
+    # -- measurement helpers -------------------------------------------------
+    def output_values(self) -> List[Any]:
+        return [rec.value for rec in self.outputs]
+
+    def run(self, **kwargs) -> float:
+        return self.sim.run(**kwargs)

@@ -1,0 +1,57 @@
+"""Calibrated simulator constants.
+
+All times are in **milliseconds**.  The defaults are calibrated so that
+relative throughput/latency shapes match the paper's AWS m6g.medium
+(1-core) cluster results; see EXPERIMENTS.md for the calibration notes.
+Absolute numbers are *not* the reproduction target (the paper itself
+declares cross-system absolute throughput non-comparable).
+
+The parameters are grouped in an immutable dataclass so experiments can
+run with explicit, documented variations (e.g. the Timely-like engine
+uses a larger batch size, which amortizes ``recv_overhead_ms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Cost model for hosts and links.
+
+    Attributes:
+        cpu_per_event_ms: CPU time to run one application ``update``.
+            Default 0.002 ms -> a 1-core host caps at 500 events/ms,
+            matching the order of magnitude of the paper's per-node
+            throughput.
+        recv_overhead_ms: CPU time to deserialize/dispatch one incoming
+            *remote* message (amortized across a batch if the message
+            carries several events).
+        send_overhead_ms: CPU time to serialize/enqueue one outgoing
+            remote message; charged to the sender after its handler.
+        local_latency_ms: delivery delay between actors on one host.
+        remote_latency_ms: one-way network delay between hosts
+            (calibrated to same-AZ AWS, ~0.2 ms; the paper's m6g
+            instances all sit in us-east-2).
+        state_transfer_ms_per_unit: extra cost for messages carrying
+            state (joins/forks), per unit of state size.
+        bytes_per_event: accounting constant for network-load metrics.
+        bytes_per_state_unit: accounting constant for state transfers.
+    """
+
+    cpu_per_event_ms: float = 0.002
+    recv_overhead_ms: float = 0.001
+    send_overhead_ms: float = 0.001
+    local_latency_ms: float = 0.005
+    remote_latency_ms: float = 0.2
+    state_transfer_ms_per_unit: float = 0.0002
+    bytes_per_event: int = 64
+    bytes_per_state_unit: int = 16
+
+    def with_(self, **kwargs) -> "SimParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PARAMS = SimParams()

@@ -1,0 +1,117 @@
+"""Differential output testing for DGS programs.
+
+Inspired by the authors' companion work (DiffStream, OOPSLA 2020,
+cited in §5): the strongest practical check for a parallel streaming
+implementation is *differential* — run the same input through multiple
+implementations/plans and compare outputs under the right equivalence
+(here: multiset equality, per Theorem 2.4's "determinism up to output
+reordering").
+
+Used by the test suite to cross-check the simulated runtime, the
+threaded runtime, and arbitrary plan choices against the sequential
+specification and each other.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .core.events import ImplTag
+from .core.program import DGSProgram
+from .core.semantics import output_multiset
+from .plans.generation import random_valid_plan
+from .plans.plan import SyncPlan
+from .runtime.runtime import FluminaRuntime, InputStream, run_sequential_reference
+
+
+@dataclass
+class Mismatch:
+    """One differential-testing discrepancy."""
+
+    implementation: str
+    missing: Counter
+    extra: Counter
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.implementation}: missing={dict(self.missing)} "
+            f"extra={dict(self.extra)}"
+        )
+
+
+@dataclass
+class DiffReport:
+    reference: Counter
+    mismatches: List[Mismatch] = field(default_factory=list)
+    implementations_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def compare_outputs(
+    reference: Sequence[Any], candidate: Sequence[Any], name: str = "candidate"
+) -> Optional[Mismatch]:
+    """Multiset-compare two output sequences; None means equivalent."""
+    want = output_multiset(reference)
+    got = output_multiset(candidate)
+    if want == got:
+        return None
+    return Mismatch(name, missing=want - got, extra=got - want)
+
+
+def diff_against_spec(
+    program: DGSProgram,
+    streams: Sequence[InputStream],
+    implementations: Dict[str, Callable[[], Sequence[Any]]],
+) -> DiffReport:
+    """Run each implementation thunk and compare against the sequential
+    specification."""
+    reference = run_sequential_reference(program, streams)
+    report = DiffReport(reference=output_multiset(reference))
+    for name, thunk in implementations.items():
+        report.implementations_checked += 1
+        mismatch = compare_outputs(reference, thunk(), name)
+        if mismatch is not None:
+            report.mismatches.append(mismatch)
+    return report
+
+
+def diff_plans(
+    program: DGSProgram,
+    streams: Sequence[InputStream],
+    plans: Dict[str, SyncPlan],
+) -> DiffReport:
+    """Differentially test several synchronization plans on the
+    simulated runtime against the sequential spec — the practical form
+    of Theorem 3.5's "correct for any P-valid plan"."""
+    return diff_against_spec(
+        program,
+        streams,
+        {
+            name: (lambda p=plan: FluminaRuntime(program, p).run(streams).output_values())
+            for name, plan in plans.items()
+        },
+    )
+
+
+def fuzz_plans(
+    program: DGSProgram,
+    streams: Sequence[InputStream],
+    *,
+    n_plans: int = 5,
+    seed: int = 0,
+) -> DiffReport:
+    """Generate ``n_plans`` random P-valid plans for the streams' itags
+    and differentially test them all."""
+    itags: List[ImplTag] = [s.itag for s in streams]
+    rng = random.Random(seed)
+    plans = {
+        f"random-plan-{i}": random_valid_plan(program, itags, rng)
+        for i in range(n_plans)
+    }
+    return diff_plans(program, streams, plans)

@@ -1,0 +1,254 @@
+"""Tests for the application DGS programs (§4.1, Appendix A): semantics
+of each update function, consistency, and runtime-vs-spec equality."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import Event, ImplTag, check_consistency
+from repro.runtime import FluminaRuntime, run_sequential_reference
+from repro.apps import fraud, outlier, pageview, smarthome, value_barrier as vb
+
+
+class TestValueBarrierProgram:
+    def test_update_semantics(self):
+        prog = vb.make_program()
+        events = [
+            Event(vb.VALUE_TAG, "v0", 1.0, 5),
+            Event(vb.VALUE_TAG, "v1", 2.0, 7),
+            Event(vb.BARRIER_TAG, "b", 3.0, 0),
+            Event(vb.VALUE_TAG, "v0", 4.0, 1),
+            Event(vb.BARRIER_TAG, "b", 5.0, 1),
+        ]
+        assert prog.spec(events) == [
+            ("window_sum", 3.0, 12),
+            ("window_sum", 5.0, 1),
+        ]
+
+    def test_dependence(self):
+        prog = vb.make_program()
+        assert prog.depends.depends(vb.BARRIER_TAG, vb.BARRIER_TAG)
+        assert prog.depends.depends(vb.VALUE_TAG, vb.BARRIER_TAG)
+        assert prog.depends.indep(vb.VALUE_TAG, vb.VALUE_TAG)
+
+    def test_consistency(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=2, values_per_barrier=10, n_barriers=3)
+        events = [e for _, evs in wl.all_streams() for e in evs][:30]
+        assert check_consistency(prog, events).ok
+
+    def test_runtime_matches_spec(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=3, values_per_barrier=40, n_barriers=4)
+        streams = vb.make_streams(wl)
+        res = FluminaRuntime(prog, vb.make_plan(prog, wl)).run(streams)
+        assert Counter(map(repr, res.output_values())) == Counter(
+            map(repr, run_sequential_reference(prog, streams))
+        )
+
+    def test_optimized_plan_is_valid_and_correct(self):
+        from repro.plans import is_p_valid
+
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=4, values_per_barrier=30, n_barriers=3)
+        hosts = [f"node{i}" for i in range(4)]
+        plan = vb.optimized_plan(prog, wl, hosts=hosts)
+        assert is_p_valid(plan, prog)
+        owner = plan.owner_of(wl.barrier_itag)
+        assert not owner.is_leaf
+
+
+class TestFraudProgram:
+    def test_model_carries_across_windows(self):
+        prog = fraud.make_program()
+        events = [
+            Event(fraud.TXN_TAG, "t0", 1.0, 500),
+            Event(fraud.RULE_TAG, "b", 2.0, 100),  # model = (500+100)%1000 = 600
+            Event(fraud.TXN_TAG, "t0", 3.0, 1600),  # 1600%1000=600 -> fraud
+            Event(fraud.TXN_TAG, "t0", 4.0, 601),  # not fraud
+            Event(fraud.RULE_TAG, "b", 5.0, 1),
+        ]
+        out = prog.spec(events)
+        assert ("window_sum", 2.0, 500) in out
+        assert ("fraud", 3.0, 1600) in out
+        assert ("window_sum", 5.0, 2201) in out
+        assert not any(v[0] == "fraud" and v[1] == 4.0 for v in out)
+
+    def test_fork_duplicates_model(self):
+        prog = fraud.make_program()
+        f = prog.forks[0]
+        from repro.core import pred_of
+
+        uni = prog.tags
+        p_txn = pred_of(uni, [fraud.TXN_TAG])
+        s1, s2 = f((42, 7), p_txn, p_txn)
+        assert s1[1] == 7 and s2[1] == 7
+        assert s1[0] + s2[0] == 42
+
+    def test_consistency(self):
+        prog = fraud.make_program()
+        wl = fraud.make_workload(n_txn_streams=2, txns_per_rule=10, n_rules=3)
+        events = [e for _, evs in wl.all_streams() for e in evs][:30]
+        assert check_consistency(prog, events, state_eq=fraud.state_eq).ok
+
+    def test_runtime_matches_spec(self):
+        prog = fraud.make_program()
+        wl = fraud.make_workload(n_txn_streams=4, txns_per_rule=50, n_rules=4)
+        streams = fraud.make_streams(wl)
+        res = FluminaRuntime(prog, fraud.make_plan(prog, wl)).run(streams)
+        assert Counter(map(repr, res.output_values())) == Counter(
+            map(repr, run_sequential_reference(prog, streams))
+        )
+
+
+class TestPageViewProgram:
+    def test_update_outputs_old_metadata(self):
+        prog = pageview.make_program(2)
+        events = [
+            Event(pageview.update_tag(0), "u0", 1.0, 11111),
+            Event(pageview.view_tag(0), "v0", 2.0, None),
+            Event(pageview.update_tag(0), "u0", 3.0, 22222),
+        ]
+        out = prog.spec(events)
+        assert out == [
+            ("old_info", 1.0, 0, pageview.DEFAULT_ZIP),
+            ("old_info", 3.0, 0, 11111),
+        ]
+
+    def test_views_same_page_independent(self):
+        prog = pageview.make_program(2)
+        assert prog.depends.indep(pageview.view_tag(0), pageview.view_tag(0))
+        assert prog.depends.depends(pageview.view_tag(0), pageview.update_tag(0))
+        assert prog.depends.indep(pageview.view_tag(0), pageview.update_tag(1))
+
+    def test_fork_replicates_metadata_for_views(self):
+        prog = pageview.make_program(1)
+        from repro.core import pred_of
+
+        uni = prog.tags
+        p_views = pred_of(uni, [pageview.view_tag(0)])
+        s1, s2 = prog.forks[0]({0: 99}, p_views, p_views)
+        # Both sides read page 0 -> both get its metadata.
+        assert s1 == {0: 99} and s2 == {0: 99}
+        assert prog.joins[0](s1, s2) == {0: 99}
+
+    def test_consistency(self):
+        prog = pageview.make_program(2)
+        wl = pageview.make_workload(
+            n_pages=2, n_view_streams=2, views_per_update=10, n_updates_per_page=2
+        )
+        events = [e for _, evs in wl.all_streams() for e in evs][:30]
+        assert check_consistency(prog, events, state_eq=pageview.state_eq).ok
+
+    def test_forest_plan_runtime_matches_spec(self):
+        prog = pageview.make_program(2)
+        wl = pageview.make_workload(
+            n_pages=2, n_view_streams=4, views_per_update=40, n_updates_per_page=3
+        )
+        streams = pageview.make_streams(wl)
+        res = FluminaRuntime(prog, pageview.make_plan(prog, wl)).run(streams)
+        assert Counter(map(repr, res.output_values())) == Counter(
+            map(repr, run_sequential_reference(prog, streams))
+        )
+
+
+class TestOutlierProgram:
+    def test_flags_injected_outliers(self):
+        prog = outlier.make_program()
+        conns, queries, qit = outlier.synthetic_connections(
+            n_streams=2, conns_per_query=150, n_queries=2, rate_per_ms=10.0,
+            outlier_fraction=0.05, seed=3,
+        )
+        streams = outlier.make_streams(conns, queries, qit)
+        out = run_sequential_reference(prog, streams)
+        assert any(v[0] == "outlier" for v in out)
+        assert all(v[2] > outlier.ZSCORE_THRESHOLD for v in out if v[0] == "outlier")
+
+    def test_moments_merge_exactly(self):
+        prog = outlier.make_program()
+        j = prog.joins[0]
+        s1 = (2, (1.0, 2.0, 3.0), (1.0, 4.0, 9.0), {"tcp": 2}, {1: (0.5, (9.0,) * 3)})
+        s2 = (1, (0.5, 0.5, 0.5), (0.25, 0.25, 0.25), {"udp": 1}, {})
+        c, sums, sq, cats, cands = j(s1, s2)
+        assert c == 3
+        assert sums == (1.5, 2.5, 3.5)
+        assert cats == {"tcp": 2, "udp": 1}
+        assert 1 in cands
+
+    def test_consistency(self):
+        prog = outlier.make_program()
+        conns, queries, qit = outlier.synthetic_connections(
+            n_streams=2, conns_per_query=15, n_queries=2, rate_per_ms=10.0
+        )
+        events = [e for evs in conns.values() for e in evs][:20] + list(queries)
+        assert check_consistency(prog, events, state_eq=outlier.state_eq).ok
+
+    def test_runtime_matches_spec(self):
+        prog = outlier.make_program()
+        conns, queries, qit = outlier.synthetic_connections(
+            n_streams=3, conns_per_query=60, n_queries=3, rate_per_ms=10.0
+        )
+        streams = outlier.make_streams(conns, queries, qit)
+        plan = outlier.make_plan(prog, conns, qit)
+        res = FluminaRuntime(prog, plan).run(streams)
+        assert Counter(map(repr, res.output_values())) == Counter(
+            map(repr, run_sequential_reference(prog, streams))
+        )
+
+
+class TestSmartHomeProgram:
+    def test_prediction_blends_current_and_historic(self):
+        prog = smarthome.make_program(1)
+        tag = smarthome.house_tag(0)
+        events = [
+            Event(tag, "h0", 1.0, (0, 0, 100.0)),
+            Event(smarthome.TICK_TAG, "t", 2.0, 0),  # slice 0: no history
+            Event(tag, "h0", 3.0, (0, 0, 50.0)),
+            Event(smarthome.TICK_TAG, "t", 4.0, 0),  # history avg=100, cur=50
+        ]
+        out = prog.spec(events)
+        preds = {v[1]: v[2] for v in out if v[0] == "prediction"}
+        # Second tick: (50 + 100)/2 = 75 at every granularity of the key.
+        assert preds[("house", 0)] == 75.0 or any(
+            abs(v[2] - 75.0) < 1e-9 for v in out[3:] if v[0] == "prediction"
+        )
+
+    def test_all_granularities_predicted(self):
+        prog = smarthome.make_program(2)
+        houses, ticks, tit = smarthome.synthetic_plug_load(
+            n_houses=2, measurements_per_slice=20, n_slices=2
+        )
+        out = run_sequential_reference(
+            prog, smarthome.make_streams(houses, ticks, tit)
+        )
+        kinds = {v[1][0] for v in out if v[0] == "prediction"}
+        assert kinds == {"house", "household", "plug"}
+
+    def test_consistency(self):
+        prog = smarthome.make_program(2)
+        houses, ticks, tit = smarthome.synthetic_plug_load(
+            n_houses=2, measurements_per_slice=8, n_slices=2
+        )
+        events = [e for evs in houses.values() for e in evs][:16] + list(ticks)
+        assert check_consistency(prog, events, state_eq=smarthome.state_eq).ok
+
+    def test_runtime_matches_spec(self):
+        prog = smarthome.make_program(3)
+        houses, ticks, tit = smarthome.synthetic_plug_load(
+            n_houses=3, measurements_per_slice=30, n_slices=3
+        )
+        streams = smarthome.make_streams(houses, ticks, tit)
+        plan = smarthome.make_plan(prog, houses, tit)
+        res = FluminaRuntime(prog, plan).run(streams)
+        assert Counter(map(repr, res.output_values())) == Counter(
+            map(repr, run_sequential_reference(prog, streams))
+        )
+
+    def test_house_measurements_self_dependent(self):
+        prog = smarthome.make_program(2)
+        t0 = smarthome.house_tag(0)
+        t1 = smarthome.house_tag(1)
+        assert prog.depends.depends(t0, t0)
+        assert prog.depends.indep(t0, t1)
+        assert prog.depends.depends(t0, smarthome.TICK_TAG)

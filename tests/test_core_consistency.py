@@ -1,0 +1,137 @@
+"""Tests for the consistency checker (Definition 2.3, C1-C3)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DependenceRelation,
+    Event,
+    check_consistency,
+    co_reachable_pairs,
+    independent_pred_pairs,
+    reachable_states,
+    single_state_program,
+)
+from repro.apps import keycounter as kc
+
+
+def _events(prog, seed=0, n=30):
+    rng = random.Random(seed)
+    tags = sorted(prog.tags, key=repr)
+    return [Event(tags[rng.randrange(len(tags))], 0, ts) for ts in range(n)]
+
+
+class TestConsistentPrograms:
+    def test_keycounter_is_consistent(self):
+        prog = kc.make_program(3)
+        report = check_consistency(
+            prog, _events(prog), state_eq=kc.state_eq, rng=random.Random(7)
+        )
+        assert report.ok, report.violations[:5]
+        assert report.checks > 100
+
+    def test_pure_counting_is_consistent(self):
+        uni = ["v"]
+        prog = single_state_program(
+            name="sum",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            init=lambda: 0,
+            update=lambda s, e: (s + e.payload, []),
+            fork=lambda s, p, q: (s, 0),
+            join=lambda a, b: a + b,
+        )
+        events = [Event("v", 0, t, payload=t) for t in range(10)]
+        assert check_consistency(prog, events).ok
+
+
+class TestInconsistentPrograms:
+    def test_noncommutative_update_flagged_by_c3(self):
+        # Appending to a list does not commute, yet all events are
+        # declared independent: C3 must fire.
+        uni = ["a", "b"]
+        prog = single_state_program(
+            name="bad-c3",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            init=tuple,
+            update=lambda s, e: (s + (e.tag,), []),
+            fork=lambda s, p, q: (s, ()),
+            join=lambda a, b: a + b,
+        )
+        events = [Event("a", 0, 1), Event("b", 0, 2)]
+        report = check_consistency(prog, events)
+        assert any(v.condition == "C3" for v in report.violations)
+
+    def test_lossy_fork_flagged_by_c2(self):
+        uni = ["v"]
+        prog = single_state_program(
+            name="bad-c2",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            init=lambda: 0,
+            update=lambda s, e: (s + 1, []),
+            fork=lambda s, p, q: (0, 0),  # drops the count
+            join=lambda a, b: a + b,
+        )
+        events = [Event("v", 0, t) for t in range(5)]
+        report = check_consistency(prog, events)
+        assert any(v.condition == "C2" for v in report.violations)
+
+    def test_bad_join_flagged_by_c1(self):
+        # max() as join is wrong for counters being updated in parallel.
+        uni = ["v"]
+        prog = single_state_program(
+            name="bad-c1",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            init=lambda: 0,
+            update=lambda s, e: (s + 1, []),
+            fork=lambda s, p, q: (s, 0),
+            join=max,
+        )
+        events = [Event("v", 0, t) for t in range(6)]
+        report = check_consistency(prog, events, rng=random.Random(3))
+        assert any(v.condition in ("C1", "C2") for v in report.violations)
+
+
+class TestSamplers:
+    def test_reachable_states_are_reachable(self):
+        prog = kc.make_program(2)
+        events = _events(prog, seed=5)
+        states = reachable_states(prog, events, random.Random(0), n=5)
+        assert len(states) == 5
+        assert {} in [dict(s) for s in states]  # init is included
+        for s in states:
+            assert all(isinstance(v, int) for v in s.values())
+
+    def test_independent_pred_pairs_are_independent(self):
+        prog = kc.make_program(3)
+        pairs = independent_pred_pairs(prog, random.Random(1), n=10)
+        assert pairs
+        for p1, p2 in pairs:
+            assert p1.independent_of(p2, prog.depends)
+
+    def test_co_reachable_pairs_carry_predicates(self):
+        prog = kc.make_program(2)
+        events = _events(prog, seed=9)
+        triples = co_reachable_pairs(prog, events, random.Random(2), n=6)
+        assert triples
+        for s1, s2, p1 in triples:
+            assert isinstance(s1, dict) and isinstance(s2, dict)
+            assert p1 is not None
+
+    def test_co_reachable_pairs_empty_without_self_forkjoin(self):
+        uni = ["a"]
+        dep = DependenceRelation.all_independent(uni)
+        from repro.core import DGSProgram, StateType, true_pred
+
+        prog = DGSProgram(
+            name="noforks",
+            tags=uni,
+            depends=dep,
+            state_types=[StateType("State0", true_pred(uni), lambda s, e: (s, []))],
+            init=lambda: 0,
+        )
+        assert co_reachable_pairs(prog, [], random.Random(0)) == []

@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.events (tags, events, heartbeats, sortO)."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    Heartbeat,
+    ImplTag,
+    check_valid_input_instance,
+    sort_streams,
+    stream_is_monotone,
+)
+
+
+class TestEventBasics:
+    def test_itag_pairs_tag_and_stream(self):
+        e = Event(tag="a", stream=3, ts=7, payload=42)
+        assert e.itag == ImplTag("a", 3)
+        assert e.itag.tag == "a"
+        assert e.itag.stream == 3
+
+    def test_events_are_immutable(self):
+        e = Event("a", 0, 1)
+        with pytest.raises(AttributeError):
+            e.ts = 2  # type: ignore[misc]
+
+    def test_heartbeat_is_heartbeat(self):
+        assert Heartbeat("a", 0, 5).is_heartbeat()
+        assert not Event("a", 0, 5).is_heartbeat()
+
+    def test_order_key_orders_by_timestamp_first(self):
+        early = Event("z", 9, 1)
+        late = Event("a", 0, 2)
+        assert early.order_key < late.order_key
+
+    def test_order_key_breaks_ties_deterministically(self):
+        a = Event("a", 0, 1)
+        b = Event("b", 0, 1)
+        assert (a.order_key < b.order_key) != (b.order_key < a.order_key)
+
+    def test_order_key_handles_heterogeneous_tags(self):
+        # int vs str tags must still be comparable.
+        a = Event(1, 0, 1)
+        b = Event("x", 0, 1)
+        assert (a.order_key < b.order_key) or (b.order_key < a.order_key)
+
+    def test_tuple_tags_order(self):
+        a = Event(("i", 1), 0, 1)
+        b = Event(("r", 1), 0, 1)
+        assert a.order_key < b.order_key
+
+
+class TestSortStreams:
+    def test_merges_by_timestamp(self):
+        s1 = [Event("a", 0, 1), Event("a", 0, 5)]
+        s2 = [Event("b", 1, 2), Event("b", 1, 4)]
+        merged = sort_streams([s1, s2])
+        assert [e.ts for e in merged] == [1, 2, 4, 5]
+
+    def test_drops_heartbeats(self):
+        s1 = [Event("a", 0, 1), Heartbeat("a", 0, 2), Event("a", 0, 3)]
+        merged = sort_streams([s1])
+        assert [e.ts for e in merged] == [1, 3]
+        assert all(not e.is_heartbeat() for e in merged)
+
+    def test_empty(self):
+        assert sort_streams([]) == []
+        assert sort_streams([[], []]) == []
+
+
+class TestMonotonicity:
+    def test_monotone_stream(self):
+        assert stream_is_monotone([Event("a", 0, 1), Event("a", 0, 2)])
+
+    def test_non_monotone_stream(self):
+        assert not stream_is_monotone([Event("a", 0, 2), Event("a", 0, 1)])
+
+    def test_equal_timestamps_same_tag_not_monotone(self):
+        assert not stream_is_monotone([Event("a", 0, 1), Event("a", 0, 1)])
+
+    def test_heartbeats_participate_in_order(self):
+        assert stream_is_monotone([Event("a", 0, 1), Heartbeat("a", 0, 2)])
+
+
+class TestValidInputInstance:
+    def test_valid_instance(self):
+        s1 = [Event("a", 0, 1), Event("a", 0, 3), Heartbeat("a", 0, 10)]
+        s2 = [Event("b", 1, 2), Heartbeat("b", 1, 11)]
+        assert check_valid_input_instance([s1, s2]) == []
+
+    def test_progress_violation_detected(self):
+        # Stream 1's last record never passes stream 0's last event.
+        s1 = [Event("a", 0, 100)]
+        s2 = [Event("b", 1, 1)]
+        problems = check_valid_input_instance([s1, s2])
+        assert any("progress" in p for p in problems)
+
+    def test_monotonicity_violation_detected(self):
+        s1 = [Event("a", 0, 5), Event("a", 0, 1), Heartbeat("a", 0, 10)]
+        problems = check_valid_input_instance([s1])
+        assert any("increasing" in p for p in problems)
+
+    def test_heartbeats_satisfy_progress(self):
+        s1 = [Event("a", 0, 1), Heartbeat("a", 0, 50)]
+        s2 = [Event("b", 1, 2), Heartbeat("b", 1, 50)]
+        assert check_valid_input_instance([s1, s2]) == []

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.predicates (tag-set predicates)."""
+
+import pytest
+
+from repro.core import (
+    DependenceRelation,
+    Event,
+    PredicateError,
+    false_pred,
+    pred_of,
+    pred_where,
+    true_pred,
+)
+
+UNI = ["a", "b", "c", "d"]
+
+
+class TestConstruction:
+    def test_true_pred_contains_all(self):
+        p = true_pred(UNI)
+        assert all(t in p for t in UNI)
+        assert len(p) == 4
+
+    def test_false_pred_is_empty(self):
+        p = false_pred(UNI)
+        assert not p
+        assert len(p) == 0
+
+    def test_pred_of_subset(self):
+        p = pred_of(UNI, ["a", "c"])
+        assert "a" in p and "c" in p and "b" not in p
+
+    def test_pred_where_materializes_function(self):
+        p = pred_where(UNI, lambda t: t in ("a", "b"))
+        assert set(p) == {"a", "b"}
+
+    def test_rejects_tags_outside_universe(self):
+        with pytest.raises(PredicateError):
+            pred_of(UNI, ["z"])
+
+
+class TestEvaluation:
+    def test_call_and_contains_agree(self):
+        p = pred_of(UNI, ["a"])
+        assert p("a") and not p("b")
+        assert ("a" in p) and ("b" not in p)
+
+    def test_matches_event(self):
+        p = pred_of(UNI, ["a"])
+        assert p.matches_event(Event("a", 0, 1))
+        assert not p.matches_event(Event("b", 0, 1))
+
+
+class TestCombinators:
+    def test_union_intersect_difference(self):
+        p = pred_of(UNI, ["a", "b"])
+        q = pred_of(UNI, ["b", "c"])
+        assert set(p.union(q)) == {"a", "b", "c"}
+        assert set(p.intersect(q)) == {"b"}
+        assert set(p.difference(q)) == {"a"}
+
+    def test_complement(self):
+        p = pred_of(UNI, ["a"])
+        assert set(p.complement()) == {"b", "c", "d"}
+
+    def test_restrict(self):
+        p = pred_of(UNI, ["a", "b", "c"])
+        assert set(p.restrict(["b", "c", "d"])) == {"b", "c"}
+
+    def test_implies_is_subset(self):
+        small = pred_of(UNI, ["a"])
+        big = pred_of(UNI, ["a", "b"])
+        assert small.implies(big)
+        assert not big.implies(small)
+
+    def test_disjoint(self):
+        assert pred_of(UNI, ["a"]).is_disjoint(pred_of(UNI, ["b"]))
+        assert not pred_of(UNI, ["a"]).is_disjoint(pred_of(UNI, ["a"]))
+
+    def test_mixed_universe_rejected(self):
+        p = pred_of(UNI, ["a"])
+        q = pred_of(["a", "x"], ["a"])
+        with pytest.raises(PredicateError):
+            p.union(q)
+
+
+class TestIndependence:
+    def test_independent_of_uses_dependence_relation(self):
+        dep = DependenceRelation.from_function(
+            UNI, lambda x, y: {x, y} == {"a", "b"}
+        )
+        pa = pred_of(UNI, ["a"])
+        pb = pred_of(UNI, ["b"])
+        pc = pred_of(UNI, ["c"])
+        assert not pa.independent_of(pb, dep)
+        assert pa.independent_of(pc, dep)
+
+    def test_empty_pred_independent_of_everything(self):
+        dep = DependenceRelation.all_dependent(UNI)
+        assert false_pred(UNI).independent_of(true_pred(UNI), dep)

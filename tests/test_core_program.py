@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.program (DGS program definitions)."""
+
+import pytest
+
+from repro.core import (
+    DGSProgram,
+    DependenceRelation,
+    Event,
+    ForkFn,
+    Heartbeat,
+    JoinFn,
+    ProgramError,
+    StateType,
+    pred_of,
+    single_state_program,
+    true_pred,
+)
+from repro.apps import keycounter as kc
+
+
+def _counter_program():
+    return kc.make_program(2)
+
+
+class TestProgramValidation:
+    def test_keycounter_constructs(self):
+        prog = _counter_program()
+        assert prog.initial_type in prog.state_types
+        assert len(prog.forks) == 1 and len(prog.joins) == 1
+
+    def test_initial_pred_must_be_true(self):
+        uni = ["a", "b"]
+        dep = DependenceRelation.all_independent(uni)
+        st = StateType("State0", pred_of(uni, ["a"]), lambda s, e: (s, []))
+        with pytest.raises(ProgramError, match="pred_0"):
+            DGSProgram(
+                name="bad", tags=uni, depends=dep, state_types=[st], init=lambda: 0
+            )
+
+    def test_unknown_initial_type(self):
+        uni = ["a"]
+        dep = DependenceRelation.all_independent(uni)
+        st = StateType("State0", true_pred(uni), lambda s, e: (s, []))
+        with pytest.raises(ProgramError, match="initial"):
+            DGSProgram(
+                name="bad",
+                tags=uni,
+                depends=dep,
+                state_types=[st],
+                init=lambda: 0,
+                initial_type="Nope",
+            )
+
+    def test_duplicate_state_type_rejected(self):
+        uni = ["a"]
+        dep = DependenceRelation.all_independent(uni)
+        st = StateType("State0", true_pred(uni), lambda s, e: (s, []))
+        with pytest.raises(ProgramError, match="duplicate"):
+            DGSProgram(
+                name="bad",
+                tags=uni,
+                depends=dep,
+                state_types=[st, st],
+                init=lambda: 0,
+            )
+
+    def test_fork_referencing_unknown_type_rejected(self):
+        uni = ["a"]
+        dep = DependenceRelation.all_independent(uni)
+        st = StateType("State0", true_pred(uni), lambda s, e: (s, []))
+        bad_fork = ForkFn("State0", "Missing", "State0", lambda s, p, q: (s, s))
+        with pytest.raises(ProgramError, match="unknown state type"):
+            DGSProgram(
+                name="bad",
+                tags=uni,
+                depends=dep,
+                state_types=[st],
+                init=lambda: 0,
+                forks=[bad_fork],
+            )
+
+    def test_universe_mismatch_rejected(self):
+        uni = ["a"]
+        dep = DependenceRelation.all_independent(["a", "b"])
+        st = StateType("State0", true_pred(uni), lambda s, e: (s, []))
+        with pytest.raises(ProgramError, match="universe"):
+            DGSProgram(
+                name="bad", tags=uni, depends=dep, state_types=[st], init=lambda: 0
+            )
+
+
+class TestLookups:
+    def test_fork_join_lookup(self):
+        prog = _counter_program()
+        f = prog.fork_for("State0", "State0", "State0")
+        j = prog.join_for("State0", "State0", "State0")
+        assert f is prog.forks[0]
+        assert j is prog.joins[0]
+        assert prog.has_fork_join("State0", "State0", "State0")
+
+    def test_missing_fork_raises(self):
+        prog = _counter_program()
+        with pytest.raises(ProgramError):
+            prog.fork_for("State0", "State0", "Nope")
+
+    def test_unknown_state_type_raises(self):
+        prog = _counter_program()
+        with pytest.raises(ProgramError):
+            prog.state_type("Nope")
+
+
+class TestSequentialSpec:
+    def test_paper_example_sequence(self):
+        # Input: i(1), i(2), r(1), i(2), r(1)  ->  outputs 1 then 0 for key 1.
+        prog = kc.make_program(3)
+        events = [
+            Event(kc.inc_tag(1), 0, 1),
+            Event(kc.inc_tag(2), 0, 2),
+            Event(kc.reset_tag(1), 0, 3),
+            Event(kc.inc_tag(2), 0, 4),
+            Event(kc.reset_tag(1), 0, 5),
+        ]
+        assert prog.spec(events) == [(1, 1), (1, 0)]
+
+    def test_spec_of_streams_merges_and_drops_heartbeats(self):
+        prog = kc.make_program(2)
+        s1 = [Event(kc.inc_tag(0), 0, 1), Event(kc.inc_tag(0), 0, 2)]
+        s2 = [Heartbeat(kc.reset_tag(0), 1, 1), Event(kc.reset_tag(0), 1, 3)]
+        assert prog.spec_of_streams([s1, s2]) == [(0, 2)]
+
+    def test_spec_rejects_foreign_tags(self):
+        prog = kc.make_program(1)
+        with pytest.raises(ProgramError):
+            prog.spec([Event(("x", 9), 0, 1)])
+
+    def test_empty_input(self):
+        prog = _counter_program()
+        assert prog.spec([]) == []
+
+
+class TestSingleStateConstructor:
+    def test_single_state_program_shape(self):
+        uni = ["a"]
+        prog = single_state_program(
+            name="trivial",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            init=lambda: 0,
+            update=lambda s, e: (s + 1, []),
+            fork=lambda s, p, q: (s, 0),
+            join=lambda a, b: a + b,
+        )
+        assert list(prog.state_types) == ["State0"]
+        assert prog.spec([Event("a", 0, t) for t in range(3)]) == []

@@ -1,0 +1,148 @@
+"""Tests for the wire-diagram reference semantics (Definition 2.2) and
+the determinism theorem (Theorem 2.4) via random legal diagrams."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Event,
+    Parallel,
+    ProgramError,
+    Update,
+    evaluate,
+    output_multiset,
+    pred_of,
+    random_diagram,
+    seq,
+    updates,
+)
+from repro.apps import keycounter as kc
+
+
+def _events(prog, seed=0, n=40, streams=2):
+    rng = random.Random(seed)
+    tags = sorted(prog.tags, key=repr)
+    return [
+        Event(tags[rng.randrange(len(tags))], rng.randrange(streams), ts)
+        for ts in range(n)
+    ]
+
+
+class TestSequentialDiagrams:
+    def test_updates_equal_spec(self):
+        prog = kc.make_program(2)
+        events = _events(prog, seed=1)
+        res = evaluate(prog, updates(events))
+        assert res.outputs == prog.spec(events)
+
+    def test_nested_sequence_associativity(self):
+        prog = kc.make_program(2)
+        events = _events(prog, seed=2, n=12)
+        flat = evaluate(prog, updates(events))
+        nested = evaluate(
+            prog,
+            seq(updates(events[:4]), seq(updates(events[4:8]), updates(events[8:]))),
+        )
+        assert flat.outputs == nested.outputs
+        assert kc.state_eq(flat.state, nested.state)
+
+    def test_empty_diagram(self):
+        prog = kc.make_program(1)
+        res = evaluate(prog, updates([]))
+        assert res.outputs == [] and res.state == {}
+
+
+class TestParallelDiagrams:
+    def test_explicit_parallel_by_key(self):
+        prog = kc.make_program(2)
+        uni = prog.tags
+        p0 = pred_of(uni, [kc.inc_tag(0), kc.reset_tag(0)])
+        p1 = pred_of(uni, [kc.inc_tag(1), kc.reset_tag(1)])
+        ev0 = [Event(kc.inc_tag(0), 0, 1), Event(kc.reset_tag(0), 0, 2)]
+        ev1 = [Event(kc.inc_tag(1), 1, 1), Event(kc.inc_tag(1), 1, 2)]
+        d = Parallel("State0", "State0", p0, p1, updates(ev0), updates(ev1))
+        res = evaluate(prog, d)
+        assert output_multiset(res.outputs) == output_multiset([(0, 1)])
+        assert res.state.get(1, 0) == 2
+
+    def test_parallel_increments_same_key(self):
+        # The non-disjoint-predicate case from §2.1: both branches
+        # process i(k); neither may process r(k).
+        prog = kc.make_program(1)
+        uni = prog.tags
+        pi = pred_of(uni, [kc.inc_tag(0)])
+        left = updates([Event(kc.inc_tag(0), 0, t) for t in (1, 3)])
+        right = updates([Event(kc.inc_tag(0), 1, t) for t in (2, 4)])
+        d = Parallel("State0", "State0", pi, pi, left, right)
+        res = evaluate(prog, d)
+        assert res.state[0] == 4
+
+    def test_dependent_predicates_rejected(self):
+        prog = kc.make_program(1)
+        uni = prog.tags
+        pi = pred_of(uni, [kc.inc_tag(0)])
+        pr = pred_of(uni, [kc.reset_tag(0)])
+        d = Parallel("State0", "State0", pi, pr, updates([]), updates([]))
+        with pytest.raises(ProgramError, match="independent"):
+            evaluate(prog, d)
+
+    def test_event_outside_wire_predicate_rejected(self):
+        prog = kc.make_program(1)
+        uni = prog.tags
+        pi = pred_of(uni, [kc.inc_tag(0)])
+        d = Parallel(
+            "State0",
+            "State0",
+            pi,
+            pi,
+            updates([Event(kc.reset_tag(0), 0, 1)]),
+            updates([]),
+        )
+        with pytest.raises(ProgramError, match="predicate"):
+            evaluate(prog, d)
+
+    def test_forked_pred_must_imply_wire_pred(self):
+        prog = kc.make_program(2)
+        uni = prog.tags
+        outer = pred_of(uni, [kc.inc_tag(0)])
+        inner = pred_of(uni, [kc.inc_tag(1)])
+        d = Parallel("State0", "State0", inner, inner, updates([]), updates([]))
+        with pytest.raises(ProgramError, match="imply"):
+            evaluate(prog, d, pred=outer)
+
+
+class TestTheorem24:
+    """Consistency implies determinism up to output reordering: every
+    random legal diagram's output multiset matches the sequential spec
+    of the diagram's event order."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_diagrams_match_spec(self, seed):
+        prog = kc.make_program(3)
+        events = _events(prog, seed=seed, n=50, streams=3)
+        rng = random.Random(seed + 1000)
+        d = random_diagram(prog, events, rng)
+        res = evaluate(prog, d)
+        assert output_multiset(res.outputs) == output_multiset(
+            prog.spec(d.events())
+        )
+
+    def test_random_diagrams_do_fork(self):
+        # Sanity: the generator actually produces parallelism.
+        prog = kc.make_program(3)
+        events = _events(prog, seed=7, n=60, streams=3)
+        total_forks = 0
+        for seed in range(10):
+            d = random_diagram(prog, events, random.Random(seed))
+            total_forks += d.n_forks()
+        assert total_forks > 0
+
+    def test_final_state_matches_spec_state(self):
+        prog = kc.make_program(2)
+        events = _events(prog, seed=3, n=40)
+        for seed in range(8):
+            d = random_diagram(prog, events, random.Random(seed))
+            res = evaluate(prog, d)
+            seq_res = evaluate(prog, updates(d.events()))
+            assert kc.state_eq(res.state, seq_res.state)

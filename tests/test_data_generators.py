@@ -1,0 +1,129 @@
+"""Tests for the synthetic workload generators (§4.1): timestamp
+uniqueness/monotonicity (the total order O), ratio preservation, and
+the valid-input-instance properties of Definition 3.3."""
+
+import itertools
+
+import pytest
+
+from repro.apps import fraud, pageview as pv, value_barrier as vb
+from repro.core import check_valid_input_instance, stream_is_monotone
+from repro.data.generators import uniform_stream
+from repro.core.events import ImplTag
+
+
+class TestUniformStream:
+    def test_rate_and_count(self):
+        evs = uniform_stream(ImplTag("t", 0), rate_per_ms=10.0, n_events=50)
+        assert len(evs) == 50
+        gaps = [b.ts - a.ts for a, b in zip(evs, evs[1:])]
+        assert all(abs(g - 0.1) < 1e-12 for g in gaps)
+
+    def test_offset_and_payload(self):
+        evs = uniform_stream(
+            ImplTag("t", 0),
+            rate_per_ms=1.0,
+            n_events=3,
+            offset=0.25,
+            payload_fn=lambda i: i * i,
+        )
+        assert evs[0].ts == pytest.approx(1.25)
+        assert [e.payload for e in evs] == [0, 1, 4]
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_stream(ImplTag("t", 0), rate_per_ms=0.0, n_events=1)
+
+
+def _all_ts(workload):
+    return [e.ts for _, evs in workload.all_streams() for e in evs]
+
+
+class TestValueBarrierWorkload:
+    @pytest.mark.parametrize("rate", [10.0, 50.0, 200.0, 333.0])
+    def test_no_timestamp_collisions_at_any_rate(self, rate):
+        wl = vb.make_workload(
+            n_value_streams=8, values_per_barrier=50, n_barriers=3,
+            value_rate_per_ms=rate,
+        )
+        ts = _all_ts(wl)
+        assert len(ts) == len(set(ts)), "timestamp collision breaks the total order O"
+
+    def test_ratio_preserved(self):
+        wl = vb.make_workload(
+            n_value_streams=3, values_per_barrier=70, n_barriers=4
+        )
+        for evs in wl.value_streams.values():
+            assert len(evs) == 70 * 4
+        assert len(wl.barrier_stream) == 4
+
+    def test_values_per_window(self):
+        # Exactly values_per_barrier values per stream land in each
+        # inter-barrier window.
+        wl = vb.make_workload(
+            n_value_streams=2, values_per_barrier=25, n_barriers=3,
+            value_rate_per_ms=10.0,
+        )
+        barriers = [b.ts for b in wl.barrier_stream]
+        for evs in wl.value_streams.values():
+            prev = 0.0
+            for bts in barriers:
+                n = sum(1 for e in evs if prev < e.ts <= bts)
+                assert n == 25
+                prev = bts
+
+    def test_streams_monotone(self):
+        wl = vb.make_workload(n_value_streams=4, values_per_barrier=20, n_barriers=2)
+        for _, evs in wl.all_streams():
+            assert stream_is_monotone(evs)
+
+    def test_valid_input_instance_with_heartbeats(self):
+        wl = vb.make_workload(n_value_streams=2, values_per_barrier=20, n_barriers=2)
+        streams = vb.make_streams(wl)
+        # The runtime appends closing heartbeats; emulate Definition 3.3
+        # by appending one per stream here.
+        from repro.core import Heartbeat
+
+        record_streams = []
+        end = max(_all_ts(wl)) + 1.0
+        for s in streams:
+            record_streams.append(
+                list(s.events) + [Heartbeat(s.itag.tag, s.itag.stream, end)]
+            )
+        assert check_valid_input_instance(record_streams) == []
+
+    def test_total_events(self):
+        wl = vb.make_workload(n_value_streams=3, values_per_barrier=10, n_barriers=2)
+        assert wl.total_events == 3 * 20 + 2
+
+
+class TestPageViewWorkload:
+    @pytest.mark.parametrize("rate", [10.0, 100.0, 250.0])
+    def test_no_timestamp_collisions(self, rate):
+        wl = pv.make_workload(
+            n_pages=2, n_view_streams=6, views_per_update=30,
+            n_updates_per_page=3, view_rate_per_ms=rate,
+        )
+        ts = _all_ts(wl)
+        assert len(ts) == len(set(ts))
+
+    def test_views_skewed_to_pages_round_robin(self):
+        wl = pv.make_workload(
+            n_pages=2, n_view_streams=6, views_per_update=10, n_updates_per_page=2
+        )
+        pages = [itag.tag[1] for itag in wl.view_streams]
+        assert pages == [0, 1, 0, 1, 0, 1]
+
+    def test_update_streams_one_per_page(self):
+        wl = pv.make_workload(
+            n_pages=3, n_view_streams=3, views_per_update=10, n_updates_per_page=2
+        )
+        assert len(wl.update_streams) == 3
+        assert {itag.tag[1] for itag in wl.update_streams} == {0, 1, 2}
+
+    def test_fraud_workload_payloads(self):
+        wl = fraud.make_workload(n_txn_streams=2, txns_per_rule=10, n_rules=2)
+        vals = [e.payload for evs in wl.value_streams.values() for e in evs]
+        assert all(isinstance(v, int) and 0 <= v < 5000 for v in vals)
+        rules = [e.payload for e in wl.barrier_stream]
+        assert rules == [29, 58]

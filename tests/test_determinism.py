@@ -1,0 +1,62 @@
+"""Determinism of the simulator and runtime: identical inputs must give
+bit-identical results (the property that makes every benchmark in this
+repository reproducible)."""
+
+import random
+
+from repro.apps import value_barrier as vb
+from repro.bench import experiments as ex
+from repro.runtime import FluminaRuntime
+from repro.sim import Simulator, Topology
+
+
+def _run_once():
+    prog = vb.make_program()
+    wl = vb.make_workload(n_value_streams=3, values_per_barrier=40, n_barriers=3)
+    plan = vb.make_plan(prog, wl)
+    topo = Topology.cluster(3)
+    rt = FluminaRuntime(prog, plan, topology=topo)
+    return rt.run(vb.make_streams(wl))
+
+
+class TestSimulatorDeterminism:
+    def test_kernel_tiebreak_stable_across_runs(self):
+        logs = []
+        for _ in range(2):
+            sim = Simulator()
+            log = []
+            rng = random.Random(42)
+            for i in range(200):
+                sim.schedule_at(rng.choice([1.0, 2.0, 3.0]), lambda i=i: log.append(i))
+            sim.run()
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_runtime_bitwise_reproducible(self):
+        r1 = _run_once()
+        r2 = _run_once()
+        assert r1.outputs == r2.outputs
+        assert r1.duration_ms == r2.duration_ms
+        assert r1.joins == r2.joins
+        assert r1.network.remote_messages == r2.network.remote_messages
+
+    def test_flink_engine_reproducible(self):
+        wl = vb.make_workload(n_value_streams=3, values_per_barrier=30, n_barriers=3)
+        a = ex.flink_event_window(3)(50.0)
+        b = ex.flink_event_window(3)(50.0)
+        assert a.outputs == b.outputs
+        assert a.duration_ms == b.duration_ms
+
+    def test_timely_engine_reproducible(self):
+        a = ex.timely_event_window(3)(50.0)
+        b = ex.timely_event_window(3)(50.0)
+        assert a.outputs == b.outputs
+        assert a.duration_ms == b.duration_ms
+
+    def test_workload_generation_deterministic(self):
+        w1 = vb.make_workload(n_value_streams=2, values_per_barrier=10, n_barriers=2)
+        w2 = vb.make_workload(n_value_streams=2, values_per_barrier=10, n_barriers=2)
+        assert w1.barrier_stream == w2.barrier_stream
+        assert list(w1.value_streams) == list(w2.value_streams)
+        for itag in w1.value_streams:
+            assert w1.value_streams[itag] == w2.value_streams[itag]

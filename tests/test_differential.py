@@ -1,0 +1,96 @@
+"""Tests for the differential-testing utility (repro.testing) and its
+use across the simulated runtime, the threaded runtime, and the
+baseline engines."""
+
+import random
+
+import pytest
+
+from repro.apps import keycounter as kc, value_barrier as vb
+from repro.core import Event, ImplTag
+from repro.plans import sequential_plan
+from repro.runtime import InputStream
+from repro.runtime.threaded import ThreadedRuntime
+from repro.testing import compare_outputs, diff_plans, diff_against_spec, fuzz_plans
+
+
+def kc_streams(nkeys=2, n=80, seed=0):
+    rng = random.Random(seed)
+    prog = kc.make_program(nkeys)
+    itags = []
+    for k in range(nkeys):
+        itags.append(ImplTag(kc.inc_tag(k), f"i{k}"))
+        itags.append(ImplTag(kc.reset_tag(k), f"r{k}"))
+    events = {it: [] for it in itags}
+    for t in range(1, n):
+        it = itags[rng.randrange(len(itags))]
+        events[it].append(Event(it.tag, it.stream, float(t)))
+    streams = [
+        InputStream(it, tuple(events[it]), heartbeat_interval=5.0) for it in itags
+    ]
+    return prog, streams
+
+
+class TestCompareOutputs:
+    def test_equivalent_up_to_reordering(self):
+        assert compare_outputs([1, 2, 3], [3, 1, 2]) is None
+
+    def test_detects_missing_and_extra(self):
+        m = compare_outputs([1, 2], [2, 9], "x")
+        assert m is not None
+        assert m.missing == {1: 1}
+        assert m.extra == {9: 1}
+        assert m.implementation == "x"
+
+    def test_multiset_not_set(self):
+        assert compare_outputs([1, 1], [1]) is not None
+
+    def test_unhashable_outputs_normalized(self):
+        assert compare_outputs([{"a": 1}], [{"a": 1}]) is None
+
+
+class TestDiffPlans:
+    def test_fuzz_plans_all_match(self):
+        prog, streams = kc_streams(seed=3)
+        report = fuzz_plans(prog, streams, n_plans=4, seed=1)
+        assert report.ok, [str(m) for m in report.mismatches]
+        assert report.implementations_checked == 4
+
+    def test_sequential_and_tree_agree(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=3, values_per_barrier=30, n_barriers=3)
+        streams = vb.make_streams(wl)
+        plans = {
+            "sequential": sequential_plan(prog, [s.itag for s in streams]),
+            "tree": vb.make_plan(prog, wl),
+        }
+        report = diff_plans(prog, streams, plans)
+        assert report.ok
+
+    def test_broken_implementation_flagged(self):
+        prog, streams = kc_streams(seed=5)
+        report = diff_against_spec(
+            prog,
+            streams,
+            {"liar": lambda: [("nonsense", 0)]},
+        )
+        assert not report.ok
+        assert report.mismatches[0].implementation == "liar"
+
+
+class TestCrossRuntimeDifferential:
+    def test_simulated_threaded_and_spec_agree(self):
+        prog, streams = kc_streams(nkeys=2, seed=11)
+        from repro.plans import random_valid_plan
+
+        plan = random_valid_plan(
+            prog, [s.itag for s in streams], random.Random(2)
+        )
+        report = diff_against_spec(
+            prog,
+            streams,
+            {
+                "threaded": lambda: ThreadedRuntime(prog, plan).run(streams).outputs,
+            },
+        )
+        assert report.ok, [str(m) for m in report.mismatches]

@@ -1,0 +1,162 @@
+"""Tests for the Appendix-B communication optimizer and the cost model."""
+
+import pytest
+
+from repro.core import ImplTag
+from repro.plans import (
+    StreamInfo,
+    compare_plans,
+    estimate_cost,
+    is_p_valid,
+    optimize,
+    root_and_leaves_plan,
+    chain_plan,
+    sequential_plan,
+)
+from repro.apps import keycounter as kc
+
+
+def example_b1_streams():
+    """The exact scenario of the paper's Example B.1 (key 0 = "key 1")."""
+    return [
+        StreamInfo(ImplTag(kc.reset_tag(0), "E1"), 15, "E1"),
+        StreamInfo(ImplTag(kc.inc_tag(0), "E1"), 100, "E1"),
+        StreamInfo(ImplTag(kc.reset_tag(1), "E0"), 10, "E0"),
+        StreamInfo(ImplTag(kc.inc_tag(1), "E2"), 200, "E2"),
+        StreamInfo(ImplTag(kc.inc_tag(1), "E3"), 300, "E3"),
+    ]
+
+
+class TestOptimizer:
+    def test_example_b1_structure(self):
+        """Reproduces Figure 3/9: two key subtrees; key-1's r at an
+        internal node over one leaf per increment stream."""
+        prog = kc.make_program(2)
+        plan = optimize(prog, example_b1_streams())
+        assert is_p_valid(plan, prog)
+        assert plan.size() == 5
+        # Root is neutral (keys are independent).
+        assert plan.root.itags == frozenset()
+        # One subtree is the single-worker key-0 leaf.
+        leaf_tag_sets = [n.itags for n in plan.leaves()]
+        key0 = frozenset(
+            {ImplTag(kc.reset_tag(0), "E1"), ImplTag(kc.inc_tag(0), "E1")}
+        )
+        assert key0 in leaf_tag_sets
+        # The r(1) tag sits at an internal node above the two i(1) leaves.
+        r1_owner = plan.owner_of(ImplTag(kc.reset_tag(1), "E0"))
+        assert not r1_owner.is_leaf
+        child_tags = {t for c in r1_owner.children for t in c.itags}
+        assert child_tags == {
+            ImplTag(kc.inc_tag(1), "E2"),
+            ImplTag(kc.inc_tag(1), "E3"),
+        }
+
+    def test_placement_near_sources(self):
+        prog = kc.make_program(2)
+        plan = optimize(prog, example_b1_streams())
+        for info in example_b1_streams():
+            owner = plan.owner_of(info.itag)
+            if owner.is_leaf:
+                assert owner.host == info.host
+
+    def test_all_itags_covered_once(self):
+        prog = kc.make_program(2)
+        plan = optimize(prog, example_b1_streams())
+        seen = sorted(
+            (t for n in plan.workers() for t in n.itags), key=repr
+        )
+        expected = sorted((s.itag for s in example_b1_streams()), key=repr)
+        assert seen == expected
+
+    def test_single_stream(self):
+        prog = kc.make_program(1)
+        plan = optimize(
+            prog, [StreamInfo(ImplTag(kc.inc_tag(0), 0), 10, "h0")]
+        )
+        assert plan.size() == 1
+        assert plan.root.host == "h0"
+
+    def test_fully_dependent_tags_sequentialize(self):
+        # Only read-resets: every pair is dependent -> one worker.
+        prog = kc.make_program(1)
+        streams = [
+            StreamInfo(ImplTag(kc.reset_tag(0), s), 5 + s, f"h{s}") for s in range(3)
+        ]
+        plan = optimize(prog, streams)
+        assert plan.size() == 1
+
+    def test_value_barrier_shape(self):
+        # Barrier tag at the root, one leaf per value stream.
+        from repro.apps import keycounter  # reuse counter as value/barrier proxy
+
+        prog = kc.make_program(1)
+        streams = [
+            StreamInfo(ImplTag(kc.inc_tag(0), f"v{s}"), 100, f"h{s}")
+            for s in range(4)
+        ]
+        streams.append(StreamInfo(ImplTag(kc.reset_tag(0), "b"), 1, "hb"))
+        plan = optimize(prog, streams)
+        assert is_p_valid(plan, prog)
+        owner = plan.owner_of(ImplTag(kc.reset_tag(0), "b"))
+        assert not owner.is_leaf  # barrier is at an internal node
+        assert len(plan.leaves()) == 4
+
+    def test_duplicate_stream_rejected(self):
+        prog = kc.make_program(1)
+        s = StreamInfo(ImplTag(kc.inc_tag(0), 0), 1, "h")
+        from repro.core import PlanError
+
+        with pytest.raises(PlanError):
+            optimize(prog, [s, s])
+
+    def test_empty_streams_rejected(self):
+        from repro.core import PlanError
+
+        with pytest.raises(PlanError):
+            optimize(kc.make_program(1), [])
+
+
+class TestCostModel:
+    def _vb(self, n_leaves, shape="balanced"):
+        prog = kc.make_program(1)
+        root_tags = [ImplTag(kc.reset_tag(0), "b")]
+        groups = [[ImplTag(kc.inc_tag(0), f"v{s}")] for s in range(n_leaves)]
+        fn = root_and_leaves_plan if shape == "balanced" else chain_plan
+        plan = fn(prog, root_tags, groups)
+        from repro.plans import assign_hosts_round_robin
+
+        plan = assign_hosts_round_robin(plan, [f"h{i}" for i in range(n_leaves)])
+        rates = {ImplTag(kc.inc_tag(0), f"v{s}"): 100.0 for s in range(n_leaves)}
+        rates[ImplTag(kc.reset_tag(0), "b")] = 0.01
+        return prog, plan, rates
+
+    def test_sync_cost_grows_with_tree_size(self):
+        _, small, rates_small = self._vb(2)
+        _, large, rates_large = self._vb(8)
+        c_small = estimate_cost(small, rates_small)
+        c_large = estimate_cost(large, rates_large)
+        assert c_large.sync_messages_per_ms > c_small.sync_messages_per_ms
+
+    def test_chain_stalls_more_than_balanced(self):
+        _, bal, rates = self._vb(8, "balanced")
+        _, chain, _ = self._vb(8, "chain")
+        cb = estimate_cost(bal, rates)
+        cc = estimate_cost(chain, rates)
+        assert cc.sync_stall_fraction >= cb.sync_stall_fraction
+
+    def test_parallel_beats_sequential_in_bound(self):
+        prog, plan, rates = self._vb(8)
+        seq = sequential_plan(prog, list(rates))
+        c_par = estimate_cost(plan, rates)
+        c_seq = estimate_cost(seq, rates)
+        assert (
+            c_par.throughput_bound_events_per_ms
+            > c_seq.throughput_bound_events_per_ms
+        )
+
+    def test_compare_plans_returns_all(self):
+        prog, plan, rates = self._vb(4)
+        seq = sequential_plan(prog, list(rates))
+        result = compare_plans({"par": plan, "seq": seq}, rates)
+        assert set(result) == {"par", "seq"}

@@ -1,0 +1,171 @@
+"""Tests for P-validity (Definition 3.2) and plan generation."""
+
+import random
+
+import pytest
+
+from repro.core import ImplTag, ValidityError
+from repro.plans import (
+    PlanNode,
+    SyncPlan,
+    assert_p_valid,
+    assign_hosts_round_robin,
+    chain_plan,
+    forest_plan,
+    is_p_valid,
+    map_hosts,
+    random_valid_plan,
+    root_and_leaves_plan,
+    sequential_plan,
+    validity_violations,
+)
+from repro.apps import keycounter as kc
+
+
+def it(tag, stream=0):
+    return ImplTag(tag, stream)
+
+
+@pytest.fixture
+def prog():
+    return kc.make_program(2)
+
+
+class TestValidity:
+    def test_sequential_plan_is_valid(self, prog):
+        itags = [it(t, 0) for t in prog.tags]
+        plan = sequential_plan(prog, itags)
+        assert is_p_valid(plan, prog)
+
+    def test_v2_shared_itags_flagged(self, prog):
+        shared = frozenset({it(kc.inc_tag(0), 0)})
+        a = PlanNode("a", "State0", shared)
+        b = PlanNode("b", "State0", shared)
+        plan = SyncPlan(PlanNode("r", "State0", frozenset(), (a, b)))
+        vs = validity_violations(plan, prog)
+        assert any(v.rule == "V2" and "share" in v.detail for v in vs)
+
+    def test_v2_dependent_siblings_flagged(self, prog):
+        a = PlanNode("a", "State0", frozenset({it(kc.inc_tag(0), 0)}))
+        b = PlanNode("b", "State0", frozenset({it(kc.reset_tag(0), 1)}))
+        plan = SyncPlan(PlanNode("r", "State0", frozenset(), (a, b)))
+        vs = validity_violations(plan, prog)
+        assert any(v.rule == "V2" and "dependent" in v.detail for v in vs)
+
+    def test_v2_parent_child_dependence_allowed(self, prog):
+        # The Figure 3 pattern: r(k) at the parent, i(k) at children.
+        a = PlanNode("a", "State0", frozenset({it(kc.inc_tag(0), 0)}))
+        b = PlanNode("b", "State0", frozenset({it(kc.inc_tag(0), 1)}))
+        root = PlanNode("r", "State0", frozenset({it(kc.reset_tag(0), 2)}), (a, b))
+        assert is_p_valid(SyncPlan(root), prog)
+
+    def test_v1_unknown_state_type_flagged(self, prog):
+        plan = SyncPlan(PlanNode("r", "Bogus", frozenset()))
+        vs = validity_violations(plan, prog)
+        assert any(v.rule == "V1" and "unknown state type" in v.detail for v in vs)
+
+    def test_v1_tag_outside_universe_flagged(self, prog):
+        plan = SyncPlan(PlanNode("r", "State0", frozenset({it(("zz", 7), 0)})))
+        vs = validity_violations(plan, prog)
+        assert any(v.rule == "V1" and "universe" in v.detail for v in vs)
+
+    def test_assert_p_valid_raises(self, prog):
+        plan = SyncPlan(PlanNode("r", "Bogus", frozenset()))
+        with pytest.raises(ValidityError):
+            assert_p_valid(plan, prog)
+
+    def test_v1_missing_fork_join_flagged(self):
+        # A program without fork/join cannot have internal workers.
+        from repro.core import DGSProgram, DependenceRelation, StateType, true_pred
+
+        uni = ["a", "b"]
+        prog2 = DGSProgram(
+            name="nofj",
+            tags=uni,
+            depends=DependenceRelation.all_independent(uni),
+            state_types=[StateType("State0", true_pred(uni), lambda s, e: (s, []))],
+            init=lambda: 0,
+        )
+        a = PlanNode("a", "State0", frozenset({it("a", 0)}))
+        b = PlanNode("b", "State0", frozenset({it("b", 0)}))
+        plan = SyncPlan(PlanNode("r", "State0", frozenset(), (a, b)))
+        vs = validity_violations(plan, prog2)
+        assert any("no fork" in v.detail for v in vs)
+        assert any("no join" in v.detail for v in vs)
+
+
+class TestGenerators:
+    def test_root_and_leaves_balanced(self, prog):
+        root_tags = [it(kc.reset_tag(0), "r")]
+        groups = [[it(kc.inc_tag(0), s)] for s in range(6)]
+        plan = root_and_leaves_plan(prog, root_tags, groups)
+        assert is_p_valid(plan, prog)
+        assert len(plan.leaves()) == 6
+        assert plan.root.itags == frozenset(root_tags)
+        # Balanced: depth is logarithmic.
+        assert plan.depth() <= 5
+
+    def test_chain_plan_is_deep(self, prog):
+        root_tags = [it(kc.reset_tag(0), "r")]
+        groups = [[it(kc.inc_tag(0), s)] for s in range(6)]
+        plan = chain_plan(prog, root_tags, groups)
+        assert is_p_valid(plan, prog)
+        assert plan.depth() == 6
+
+    def test_single_group_degenerates_to_sequential(self, prog):
+        plan = root_and_leaves_plan(
+            prog, [it(kc.reset_tag(0), "r")], [[it(kc.inc_tag(0), 0)]]
+        )
+        assert plan.size() == 1
+        assert len(plan.root.itags) == 2
+
+    def test_forest_plan_per_key(self, prog):
+        subtrees = [
+            (
+                [it(kc.reset_tag(k), "u")],
+                [[it(kc.inc_tag(k), s)] for s in range(3)],
+            )
+            for k in range(2)
+        ]
+        plan = forest_plan(prog, subtrees)
+        assert is_p_valid(plan, prog)
+        assert plan.root.itags == frozenset()
+        assert len(plan.leaves()) == 6
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_valid_plans_are_valid(self, prog, seed):
+        itags = [it(t, s) for t in sorted(prog.tags, key=repr) for s in range(2)]
+        plan = random_valid_plan(prog, itags, random.Random(seed))
+        assert is_p_valid(plan, prog), validity_violations(plan, prog)[:3]
+        # Every itag assigned exactly once.
+        seen = [t for n in plan.workers() for t in n.itags]
+        assert sorted(seen, key=repr) == sorted(itags, key=repr)
+
+
+class TestHostAssignment:
+    def test_round_robin_assigns_all(self, prog):
+        groups = [[it(kc.inc_tag(0), s)] for s in range(4)]
+        plan = root_and_leaves_plan(prog, [it(kc.reset_tag(0), "r")], groups)
+        placed = assign_hosts_round_robin(plan, ["h0", "h1"])
+        hosts = {n.id: n.host for n in placed.workers()}
+        assert all(h in ("h0", "h1") for h in hosts.values())
+        leaf_hosts = [n.host for n in placed.leaves()]
+        assert leaf_hosts.count("h0") == 2 and leaf_hosts.count("h1") == 2
+
+    def test_internal_nodes_follow_first_child(self, prog):
+        groups = [[it(kc.inc_tag(0), s)] for s in range(2)]
+        plan = root_and_leaves_plan(prog, [it(kc.reset_tag(0), "r")], groups)
+        placed = assign_hosts_round_robin(plan, ["h0", "h1"])
+        assert placed.root.host == placed.root.children[0].host
+
+    def test_map_hosts_override(self, prog):
+        plan = sequential_plan(prog, [it(kc.inc_tag(0), 0)])
+        placed = map_hosts(plan, {"w1": "big-node"})
+        assert placed.root.host == "big-node"
+
+    def test_round_robin_empty_hosts_rejected(self, prog):
+        plan = sequential_plan(prog, [it(kc.inc_tag(0), 0)])
+        from repro.core import PlanError
+
+        with pytest.raises(PlanError):
+            assign_hosts_round_robin(plan, [])

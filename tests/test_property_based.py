@@ -1,0 +1,154 @@
+"""Hypothesis property-based tests on the core invariants:
+
+* mailbox: released dependent items are globally ordered by key; every
+  item is released at most once; after full frontier advance nothing
+  stays buffered;
+* Theorem 2.4: for hypothesis-generated inputs, every random legal wire
+  diagram's output multiset equals the sequential spec's;
+* plans: generated plans are always P-valid and cover each itag once;
+* end-to-end (Theorem 3.5): hypothesis-generated workloads through the
+  simulated runtime match the spec.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import keycounter as kc
+from repro.core import (
+    DependenceRelation,
+    Event,
+    ImplTag,
+    evaluate,
+    output_multiset,
+    random_diagram,
+)
+from repro.plans import is_p_valid, random_valid_plan
+from repro.runtime import FluminaRuntime, InputStream, Mailbox, run_sequential_reference
+
+# -- strategies ---------------------------------------------------------------
+
+UNI = ["v", "b"]
+DEP = DependenceRelation(UNI, {"b": ["b", "v"]})
+V0, V1, B = ImplTag("v", 0), ImplTag("v", 1), ImplTag("b", "s")
+
+# A mailbox action: (itag index, is_heartbeat); timestamps are assigned
+# monotonically per itag afterwards.
+actions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2), st.booleans()),
+    min_size=1,
+    max_size=60,
+)
+
+
+@st.composite
+def keycounter_workload(draw):
+    nkeys = draw(st.integers(min_value=1, max_value=3))
+    n_events = draw(st.integers(min_value=5, max_value=60))
+    choices = []
+    for k in range(nkeys):
+        choices += [kc.inc_tag(k), kc.reset_tag(k)]
+    tags = draw(
+        st.lists(
+            st.sampled_from(choices), min_size=n_events, max_size=n_events
+        )
+    )
+    events = [Event(tag, f"s{tag}", float(i + 1)) for i, tag in enumerate(tags)]
+    return nkeys, events
+
+
+# -- mailbox properties --------------------------------------------------------
+
+
+@given(actions)
+@settings(max_examples=60, deadline=None)
+def test_mailbox_release_order_and_uniqueness(acts):
+    itags = [V0, V1, B]
+    mb = Mailbox(itags, DEP)
+    clock = {t: 0.0 for t in itags}
+    released = []
+    inserted = 0
+    for idx, is_hb in acts:
+        itag = itags[idx]
+        clock[itag] += 1.0
+        key = Event(itag.tag, itag.stream, clock[itag]).order_key
+        if is_hb:
+            released += mb.advance(itag, key)
+        else:
+            released += mb.insert(itag, key, ("item", itag, clock[itag]))
+            inserted += 1
+    # Flush everything.
+    for itag in itags:
+        clock[itag] += 1000.0
+        released += mb.advance(
+            itag, Event(itag.tag, itag.stream, clock[itag]).order_key
+        )
+    # (1) everything inserted is released exactly once
+    assert len(released) == inserted
+    assert len({id(b.item) for b in released}) == inserted
+    assert mb.buffered_count() == 0
+    # (2) dependent items appear in key order
+    for i, a in enumerate(released):
+        for b in released[i + 1 :]:
+            if DEP.itag_depends(a.itag, b.itag):
+                assert a.key < b.key
+
+
+# -- Theorem 2.4 ---------------------------------------------------------------
+
+
+@given(keycounter_workload(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_theorem_2_4_random_diagrams(workload, seed):
+    nkeys, events = workload
+    prog = kc.make_program(nkeys)
+    diagram = random_diagram(prog, events, random.Random(seed))
+    result = evaluate(prog, diagram)
+    assert output_multiset(result.outputs) == output_multiset(
+        prog.spec(diagram.events())
+    )
+
+
+# -- plan generation -------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_plans_always_valid(nkeys, n_streams, seed):
+    prog = kc.make_program(nkeys)
+    itags = []
+    for k in range(nkeys):
+        for s in range(n_streams):
+            itags.append(ImplTag(kc.inc_tag(k), f"i{k}.{s}"))
+        itags.append(ImplTag(kc.reset_tag(k), f"r{k}"))
+    plan = random_valid_plan(prog, itags, random.Random(seed))
+    assert is_p_valid(plan, prog)
+    assigned = sorted((t for n in plan.workers() for t in n.itags), key=repr)
+    assert assigned == sorted(itags, key=repr)
+
+
+# -- Theorem 3.5 (end to end) -----------------------------------------------------
+
+
+@given(keycounter_workload(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_theorem_3_5_runtime_matches_spec(workload, seed):
+    nkeys, events = workload
+    prog = kc.make_program(nkeys)
+    by_itag = {}
+    for e in events:
+        by_itag.setdefault(e.itag, []).append(e)
+    streams = [
+        InputStream(itag, tuple(evs), heartbeat_interval=7.0)
+        for itag, evs in by_itag.items()
+    ]
+    itags = list(by_itag)
+    plan = random_valid_plan(prog, itags, random.Random(seed))
+    res = FluminaRuntime(prog, plan).run(streams)
+    assert output_multiset(res.output_values()) == output_multiset(
+        run_sequential_reference(prog, streams)
+    )

@@ -1,0 +1,112 @@
+"""Tests for checkpointing (Appendix D.2) and crash recovery."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import Event, ImplTag
+from repro.plans import root_and_leaves_plan
+from repro.runtime import (
+    FluminaRuntime,
+    InputStream,
+    by_timestamp_interval,
+    every_nth_join,
+    every_root_join,
+    recover,
+    run_sequential_reference,
+)
+from repro.apps import keycounter as kc
+
+
+def build(checkpoint_predicate, n_values=3, n_events=40):
+    prog = kc.make_program(1)
+    streams = []
+    for s in range(n_values):
+        it = ImplTag(kc.inc_tag(0), f"v{s}")
+        evs = tuple(
+            Event(it.tag, it.stream, t * 1.0 + s * 0.13 + 0.01)
+            for t in range(1, n_events + 1)
+        )
+        streams.append(InputStream(it, evs, heartbeat_interval=2.0))
+    rit = ImplTag(kc.reset_tag(0), "b")
+    resets = tuple(Event(rit.tag, rit.stream, t * 10.0) for t in range(1, 5))
+    streams.append(InputStream(rit, resets, heartbeat_interval=2.0))
+    leaf = [[s.itag] for s in streams[:-1]]
+    plan = root_and_leaves_plan(prog, [rit], leaf)
+    rt = FluminaRuntime(prog, plan, checkpoint_predicate=checkpoint_predicate)
+    return prog, rt, streams
+
+
+class TestCheckpointPolicies:
+    def test_every_root_join_snapshots_each_barrier(self):
+        prog, rt, streams = build(every_root_join())
+        res = rt.run(streams)
+        assert len(res.checkpoints) == len(streams[-1].events)
+
+    def test_every_nth_join(self):
+        prog, rt, streams = build(every_nth_join(2))
+        res = rt.run(streams)
+        assert len(res.checkpoints) == len(streams[-1].events) // 2
+
+    def test_by_timestamp_interval(self):
+        prog, rt, streams = build(by_timestamp_interval(20.0))
+        res = rt.run(streams)
+        # Barriers at 10,20,30,40 with >=20ms spacing -> 2 snapshots.
+        assert len(res.checkpoints) == 2
+
+    def test_no_predicate_no_checkpoints(self):
+        prog, rt, streams = build(None)
+        res = rt.run(streams)
+        assert res.checkpoints == []
+
+    def test_snapshot_times_increase(self):
+        prog, rt, streams = build(every_root_join())
+        res = rt.run(streams)
+        times = [t for t, _ in res.checkpoints]
+        assert times == sorted(times)
+
+    def test_every_nth_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            every_nth_join(0)
+
+    def test_interval_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            by_timestamp_interval(0.0)
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_equals_sequential_state_at_barrier(self):
+        """The joined root state at barrier k must equal the sequential
+        state after processing everything up to that barrier."""
+        prog, rt, streams = build(every_root_join())
+        res = rt.run(streams)
+        all_events = sorted(
+            (e for s in streams for e in s.events), key=lambda e: e.order_key
+        )
+        barrier_ts = [e.ts for e in streams[-1].events]
+        st = prog.state_type(prog.initial_type)
+        for (snap_time, snap_state), bts in zip(res.checkpoints, barrier_ts):
+            state = prog.init()
+            for e in all_events:
+                if e.ts > bts:
+                    break
+                state, _ = st.update(state, e)
+            assert kc.state_eq(snap_state, state), (bts, snap_state, state)
+
+
+class TestRecovery:
+    def test_recover_replays_suffix(self):
+        prog, rt, streams = build(every_root_join())
+        res = rt.run(streams)
+        snap_time, snap_state = res.checkpoints[1]  # after barrier @20
+        suffix = [e for s in streams for e in s.events if e.ts > 20.0]
+        final_state, replay_out = recover(prog, snap_state, suffix)
+        # Full sequential run for comparison.
+        full_out = run_sequential_reference(prog, streams)
+        # Outputs after the checkpoint must match the tail of full run.
+        assert Counter(replay_out) == Counter(full_out[2:])
+
+    def test_recover_empty_suffix(self):
+        prog = kc.make_program(1)
+        state, outs = recover(prog, {0: 7}, [])
+        assert state == {0: 7} and outs == []

@@ -1,0 +1,168 @@
+"""Stress tests for deep / unusual plan shapes on the Flumina runtime:
+multi-level recursive joins, chains, forests, single-event streams, and
+extreme heartbeat settings — all must still match the sequential spec
+(Theorem 3.5 holds for *any* P-valid plan)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.apps import keycounter as kc, pageview as pv, value_barrier as vb
+from repro.core import Event, ImplTag
+from repro.plans import chain_plan, forest_plan, is_p_valid
+from repro.runtime import FluminaRuntime, InputStream, run_sequential_reference
+
+
+def outputs_match(prog, plan, streams):
+    res = FluminaRuntime(prog, plan).run(streams)
+    got = Counter(map(repr, res.output_values()))
+    want = Counter(map(repr, run_sequential_reference(prog, streams)))
+    return got == want, res
+
+
+class TestDeepChains:
+    @pytest.mark.parametrize("n_leaves", [2, 5, 9, 16])
+    def test_chain_of_any_depth(self, n_leaves):
+        prog = vb.make_program()
+        wl = vb.make_workload(
+            n_value_streams=n_leaves, values_per_barrier=15, n_barriers=3
+        )
+        plan = chain_plan(
+            prog, [wl.barrier_itag], [[t] for t in wl.value_streams]
+        )
+        assert plan.depth() == n_leaves
+        ok, res = outputs_match(prog, plan, vb.make_streams(wl))
+        assert ok
+        # Every internal node joins once per barrier (recursively).
+        assert res.joins == (n_leaves - 1) * 3
+
+
+class TestMultiLevelSyncTags:
+    def test_sync_tags_at_two_levels(self):
+        """An internal node with its own itags *below* another internal
+        node with itags: joins must nest correctly (g joins through p)."""
+        prog = kc.make_program(2)
+        # key 0: r at inner node over two i-streams; key 1 alongside;
+        # then a root holding nothing.
+        i00 = ImplTag(kc.inc_tag(0), "a")
+        i01 = ImplTag(kc.inc_tag(0), "b")
+        r0 = ImplTag(kc.reset_tag(0), "r0")
+        i1 = ImplTag(kc.inc_tag(1), "c")
+        r1 = ImplTag(kc.reset_tag(1), "r1")
+        from repro.plans import PlanNode, SyncPlan
+
+        leaf_a = PlanNode("wa", "State0", frozenset({i00}))
+        leaf_b = PlanNode("wb", "State0", frozenset({i01}))
+        inner = PlanNode("wi", "State0", frozenset({r0}), (leaf_a, leaf_b))
+        side = PlanNode("ws", "State0", frozenset({i1, r1}))
+        root = PlanNode("wr", "State0", frozenset(), (inner, side))
+        plan = SyncPlan(root)
+        assert is_p_valid(plan, prog)
+
+        rng = random.Random(4)
+        itags = [i00, i01, r0, i1, r1]
+        events = {it: [] for it in itags}
+        for t in range(1, 150):
+            it = itags[rng.randrange(len(itags))]
+            events[it].append(Event(it.tag, it.stream, float(t)))
+        streams = [
+            InputStream(it, tuple(events[it]), heartbeat_interval=3.0)
+            for it in itags
+        ]
+        ok, res = outputs_match(prog, plan, streams)
+        assert ok
+        assert res.joins > 0
+
+    def test_root_with_itags_above_inner_sync(self):
+        """Root r-tags of key 0 *and* inner r-tags of key 1 in one tree:
+        the root's join recursively absorbs an inner node that itself
+        owns synchronizing tags."""
+        prog = kc.make_program(2)
+        i1a = ImplTag(kc.inc_tag(1), "x")
+        i1b = ImplTag(kc.inc_tag(1), "y")
+        r1 = ImplTag(kc.reset_tag(1), "r1")
+        i0 = ImplTag(kc.inc_tag(0), "z")
+        r0 = ImplTag(kc.reset_tag(0), "r0")
+        from repro.plans import PlanNode, SyncPlan
+
+        la = PlanNode("la", "State0", frozenset({i1a}))
+        lb = PlanNode("lb", "State0", frozenset({i1b}))
+        inner = PlanNode("in", "State0", frozenset({r1}), (la, lb))
+        other = PlanNode("ot", "State0", frozenset({i0}))
+        root = PlanNode("rt", "State0", frozenset({r0}), (inner, other))
+        plan = SyncPlan(root)
+        assert is_p_valid(plan, prog)
+
+        rng = random.Random(9)
+        itags = [i1a, i1b, r1, i0, r0]
+        events = {it: [] for it in itags}
+        for t in range(1, 150):
+            it = itags[rng.randrange(len(itags))]
+            events[it].append(Event(it.tag, it.stream, float(t)))
+        streams = [
+            InputStream(it, tuple(events[it]), heartbeat_interval=3.0)
+            for it in itags
+        ]
+        ok, _ = outputs_match(prog, plan, streams)
+        assert ok
+
+
+class TestDegenerateInputs:
+    def test_single_event_per_stream(self):
+        prog = vb.make_program()
+        vitag = ImplTag(vb.VALUE_TAG, "v0")
+        bitag = ImplTag(vb.BARRIER_TAG, "b")
+        streams = [
+            InputStream(vitag, (Event(vb.VALUE_TAG, "v0", 1.5, 7),), heartbeat_interval=1.0),
+            InputStream(bitag, (Event(vb.BARRIER_TAG, "b", 2.0, 0),), heartbeat_interval=1.0),
+        ]
+        from repro.plans import PlanNode, SyncPlan
+
+        leafv = PlanNode("lv", "State0", frozenset({vitag}))
+        leafd = PlanNode("ld", "State0", frozenset())
+        root = PlanNode("rt", "State0", frozenset({bitag}), (leafv, leafd))
+        plan = SyncPlan(root)
+        ok, res = outputs_match(prog, plan, streams)
+        assert ok
+        assert res.output_values() == [("window_sum", 2.0, 7)]
+
+    def test_stream_with_no_events_but_heartbeats(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=2, values_per_barrier=15, n_barriers=2)
+        streams = vb.make_streams(wl)
+        # One extra value stream with no events at all.
+        extra = ImplTag(vb.VALUE_TAG, "empty")
+        streams.append(InputStream(extra, (), heartbeat_interval=5.0))
+        leaf_groups = [[t] for t in wl.value_streams] + [[extra]]
+        from repro.plans import root_and_leaves_plan
+
+        plan = root_and_leaves_plan(prog, [wl.barrier_itag], leaf_groups)
+        ok, _ = outputs_match(prog, plan, streams)
+        assert ok
+
+    def test_barriers_only(self):
+        prog = vb.make_program()
+        bitag = ImplTag(vb.BARRIER_TAG, "b")
+        events = tuple(Event(vb.BARRIER_TAG, "b", float(t), 0) for t in (1, 2, 3))
+        streams = [InputStream(bitag, events, heartbeat_interval=1.0)]
+        from repro.plans import sequential_plan
+
+        plan = sequential_plan(prog, [bitag])
+        ok, res = outputs_match(prog, plan, streams)
+        assert ok
+        assert len(res.output_values()) == 3
+
+
+class TestForestUnderLoad:
+    def test_pageview_forest_with_many_streams(self):
+        prog = pv.make_program(3)
+        wl = pv.make_workload(
+            n_pages=3, n_view_streams=9, views_per_update=25, n_updates_per_page=3
+        )
+        plan = pv.make_plan(prog, wl)
+        assert is_p_valid(plan, prog)
+        ok, res = outputs_match(prog, plan, pv.make_streams(wl))
+        assert ok
+        # Each page's subtree joins independently.
+        assert res.joins > 0

@@ -1,0 +1,126 @@
+"""Tests for the manual fork/join rendezvous service (§4.3, Figure 7)."""
+
+import pytest
+
+from repro.flinklike.splan import (
+    ForkJoinService,
+    ForkResponse,
+    JoinChild,
+    JoinParent,
+    ParentResult,
+)
+from repro.sim import ActorSystem, Simulator, Topology
+
+
+class Probe:
+    """Minimal actor capturing everything it receives."""
+
+    def __init__(self, name, host):
+        from repro.sim import Actor
+
+        class _P(Actor):
+            def __init__(inner):
+                super().__init__(name, host)
+                inner.received = []
+
+            def handle(inner, msg, sender):
+                inner.received.append(msg)
+
+        self.actor = _P()
+
+
+def make_system():
+    topo = Topology.cluster(2)
+    return ActorSystem(Simulator(), topo)
+
+
+def sum_combine(states, payload):
+    total = sum(states) + payload
+    return total, [0 for _ in states]
+
+
+class TestForkJoinService:
+    def test_completes_when_all_children_and_parent_arrive(self):
+        sys = make_system()
+        svc = ForkJoinService(
+            "svc", "node0", groups={0: 2}, combine=sum_combine
+        )
+        sys.add(svc)
+        p = Probe("parent", "node1").actor
+        c1 = Probe("child1", "node1").actor
+        c2 = Probe("child2", "node1").actor
+        for a in (p, c1, c2):
+            sys.add(a)
+        sys.inject("svc", JoinChild(0, "child1", 10), at=0.0)
+        sys.inject("svc", JoinChild(0, "child2", 20), at=0.1)
+        sys.inject("svc", JoinParent(0, "parent", 5, ts=1.0), at=0.2)
+        sys.run()
+        assert [m for m in p.received if isinstance(m, ParentResult)][0].result == 35
+        assert isinstance(c1.received[0], ForkResponse)
+        assert isinstance(c2.received[0], ForkResponse)
+
+    def test_parent_first_waits_for_children(self):
+        sys = make_system()
+        svc = ForkJoinService("svc", "node0", groups={0: 1}, combine=sum_combine)
+        sys.add(svc)
+        p = Probe("parent", "node1").actor
+        c = Probe("child", "node1").actor
+        sys.add(p)
+        sys.add(c)
+        sys.inject("svc", JoinParent(0, "parent", 1, ts=1.0), at=0.0)
+        sys.run()
+        assert p.received == []  # still waiting
+        sys.inject("svc", JoinChild(0, "child", 9), at=5.0)
+        sys.run()
+        assert p.received[0].result == 10
+
+    def test_independent_groups(self):
+        sys = make_system()
+        svc = ForkJoinService(
+            "svc", "node0", groups={0: 1, 1: 1}, combine=sum_combine
+        )
+        sys.add(svc)
+        p0 = Probe("p0", "node1").actor
+        p1 = Probe("p1", "node1").actor
+        c0 = Probe("c0", "node1").actor
+        c1 = Probe("c1", "node1").actor
+        for a in (p0, p1, c0, c1):
+            sys.add(a)
+        sys.inject("svc", JoinChild(1, "c1", 100), at=0.0)
+        sys.inject("svc", JoinParent(1, "p1", 1, ts=1.0), at=0.1)
+        sys.inject("svc", JoinChild(0, "c0", 7), at=0.2)
+        sys.inject("svc", JoinParent(0, "p0", 2, ts=1.0), at=0.3)
+        sys.run()
+        assert p1.received[0].result == 101
+        assert p0.received[0].result == 9
+
+    def test_childless_group_uses_virtual_state(self):
+        sys = make_system()
+
+        def combine(states, payload):
+            # states[0] is the service-held virtual state
+            return states[0], [payload]
+
+        svc = ForkJoinService(
+            "svc", "node0", groups={0: 0}, combine=combine,
+            virtual_init=lambda: "initial",
+        )
+        sys.add(svc)
+        p = Probe("parent", "node1").actor
+        sys.add(p)
+        sys.inject("svc", JoinParent(0, "parent", "v1", ts=1.0), at=0.0)
+        sys.run()
+        assert p.received[0].result == "initial"
+        sys.inject("svc", JoinParent(0, "parent", "v2", ts=2.0), at=5.0)
+        sys.run()
+        assert p.received[1].result == "v1"  # previous payload stored
+
+    def test_overlapping_parent_joins_rejected(self):
+        sys = make_system()
+        svc = ForkJoinService("svc", "node0", groups={0: 1}, combine=sum_combine)
+        sys.add(svc)
+        sys.add(Probe("parent", "node1").actor)
+        sys.inject("svc", JoinParent(0, "parent", 1, ts=1.0), at=0.0)
+        sys.inject("svc", JoinParent(0, "parent", 2, ts=2.0), at=0.1)
+        with pytest.raises(RuntimeError, match="overlapping"):
+            sys.run()

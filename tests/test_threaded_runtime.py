@@ -1,0 +1,85 @@
+"""Tests for the thread-based runtime: the same protocol on real
+threads must match the sequential spec for arbitrary P-valid plans."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.apps import keycounter as kc, value_barrier as vb
+from repro.core import Event, ImplTag
+from repro.plans import random_valid_plan, sequential_plan
+from repro.runtime import InputStream, run_sequential_reference
+from repro.runtime.threaded import ThreadedRuntime
+
+
+class TestThreadedValueBarrier:
+    def test_matches_spec(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=4, values_per_barrier=40, n_barriers=4)
+        streams = vb.make_streams(wl)
+        res = ThreadedRuntime(prog, vb.make_plan(prog, wl)).run(streams)
+        want = Counter(map(repr, run_sequential_reference(prog, streams)))
+        assert res.output_multiset() == want
+
+    def test_join_counting(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=4, values_per_barrier=20, n_barriers=3)
+        plan = vb.make_plan(prog, wl)
+        res = ThreadedRuntime(prog, plan).run(vb.make_streams(wl))
+        assert res.joins == len(plan.internal()) * len(wl.barrier_stream)
+
+    def test_sequential_plan(self):
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=2, values_per_barrier=20, n_barriers=3)
+        streams = vb.make_streams(wl)
+        itags = [it for it, _ in wl.all_streams()]
+        res = ThreadedRuntime(prog, sequential_plan(prog, itags)).run(streams)
+        want = Counter(map(repr, run_sequential_reference(prog, streams)))
+        assert res.output_multiset() == want
+        assert res.joins == 0
+
+
+class TestThreadedRandomPlans:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_plan_matches_spec(self, seed):
+        rng = random.Random(seed)
+        nkeys = rng.choice([1, 2])
+        prog = kc.make_program(nkeys)
+        itags = []
+        for k in range(nkeys):
+            itags.append(ImplTag(kc.inc_tag(k), f"i{k}"))
+            itags.append(ImplTag(kc.reset_tag(k), f"r{k}"))
+        events = {it: [] for it in itags}
+        for t in range(1, 90):
+            it = itags[rng.randrange(len(itags))]
+            events[it].append(Event(it.tag, it.stream, float(t)))
+        streams = [
+            InputStream(it, tuple(events[it]), heartbeat_interval=5.0)
+            for it in itags
+        ]
+        plan = random_valid_plan(prog, itags, rng)
+        res = ThreadedRuntime(prog, plan).run(streams)
+        want = Counter(map(repr, run_sequential_reference(prog, streams)))
+        assert res.output_multiset() == want, plan.pretty()
+
+
+class TestThreadedEdgeCases:
+    def test_empty_streams(self):
+        prog = kc.make_program(1)
+        it = ImplTag(kc.inc_tag(0), 0)
+        res = ThreadedRuntime(prog, sequential_plan(prog, [it])).run(
+            [InputStream(it, (), heartbeat_interval=None)]
+        )
+        assert res.outputs == [] and res.events_processed == 0
+
+    def test_invalid_plan_rejected(self):
+        from repro.core import ValidityError
+        from repro.plans import PlanNode, SyncPlan
+
+        prog = kc.make_program(1)
+        a = PlanNode("a", "State0", frozenset({ImplTag(kc.inc_tag(0), 0)}))
+        b = PlanNode("b", "State0", frozenset({ImplTag(kc.reset_tag(0), 1)}))
+        bad = SyncPlan(PlanNode("r", "State0", frozenset(), (a, b)))
+        with pytest.raises(ValidityError):
+            ThreadedRuntime(prog, bad)
