@@ -8,12 +8,10 @@ the optimizer study; these are our additions).
 3. Heartbeats disabled vs enabled: progress stalls without them.
 """
 
-import pytest
 
 from repro.apps import value_barrier as vb
 from repro.bench import experiments as ex
 from repro.bench import publish, render_table
-from repro.bench.harness import max_throughput
 from repro.plans import (
     assign_hosts_round_robin,
     chain_plan,

@@ -4,14 +4,14 @@ Paper result: DGS achieves near-linear speedup (7.3x at 8 nodes),
 comparable to the handcrafted C++ cluster implementation (7.7x).
 """
 
-import os
+from conftest import quick
 
 from repro.apps import outlier as ol
 from repro.bench import publish, render_table
 from repro.runtime import FluminaRuntime
 from repro.sim import Topology
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+QUICK = quick()
 NODES = (1, 2, 4, 8)
 # Large windows amortize the fixed ramp/drain overheads of a short
 # simulation, mirroring the paper's long executions.

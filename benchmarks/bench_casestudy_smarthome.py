@@ -11,14 +11,14 @@ their house's data source, and the network-bytes:total-bytes ratio
 staying small.
 """
 
-import os
+from conftest import quick
 
 from repro.apps import smarthome as sh
 from repro.bench import publish, render_table
 from repro.runtime import FluminaRuntime
 from repro.sim import Topology
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+QUICK = quick()
 N_HOUSES = 8 if QUICK else 20
 MEAS_PER_SLICE = 200 if QUICK else 400
 N_SLICES = 4

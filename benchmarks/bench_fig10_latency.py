@@ -8,12 +8,12 @@
     ~10-1000 heartbeats-per-barrier range.
 """
 
-import os
+from conftest import quick
 
 from repro.bench import experiments as ex
 from repro.bench import publish, render_table
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+QUICK = quick()
 
 WORKERS = (5, 10, 20) if QUICK else (5, 10, 20, 30, 40)
 RATIOS = (100, 1000)

@@ -6,7 +6,7 @@ Detection stays near 1x (sequential — sharding cannot express the
 cross-instance model update).
 """
 
-from conftest import PARALLELISM_LEVELS
+from conftest import parallelism_levels
 
 from repro.bench import experiments as ex
 from repro.bench import publish, render_table
@@ -15,7 +15,7 @@ from repro.bench.harness import speedup
 
 def test_fig4_flink(benchmark):
     data = benchmark.pedantic(
-        lambda: ex.figure4_flink(PARALLELISM_LEVELS), rounds=1, iterations=1
+        lambda: ex.figure4_flink(parallelism_levels()), rounds=1, iterations=1
     )
     xs = [pt.parallelism for pt in next(iter(data.values()))]
     series = {

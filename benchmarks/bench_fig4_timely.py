@@ -8,7 +8,7 @@ capacity while Page View (M) — broadcast + hard-coded partition filter,
 sacrificing PIP2 — keeps scaling.
 """
 
-from conftest import PARALLELISM_LEVELS
+from conftest import parallelism_levels
 
 from repro.bench import experiments as ex
 from repro.bench import publish, render_table
@@ -17,7 +17,7 @@ from repro.bench.harness import speedup
 
 def test_fig4_timely(benchmark):
     data = benchmark.pedantic(
-        lambda: ex.figure4_timely(PARALLELISM_LEVELS), rounds=1, iterations=1
+        lambda: ex.figure4_timely(parallelism_levels()), rounds=1, iterations=1
     )
     xs = [pt.parallelism for pt in next(iter(data.values()))]
     series = {

@@ -12,7 +12,6 @@ from repro.bench import publish, render_table
 
 def test_fig6_splan(benchmark):
     data = benchmark.pedantic(lambda: ex.figure6(12), rounds=1, iterations=1)
-    rates = [p.offered_per_ms for p in data["pageview/Flink"]]
     for app in ("pageview", "fraud"):
         series = {}
         for system in ("Flink", "Flink S-Plan"):

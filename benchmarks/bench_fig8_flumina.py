@@ -6,7 +6,7 @@ detection and same-key page-view parallelism, which neither baseline
 achieves automatically.
 """
 
-from conftest import PARALLELISM_LEVELS
+from conftest import parallelism_levels
 
 from repro.bench import experiments as ex
 from repro.bench import publish, render_table
@@ -15,7 +15,7 @@ from repro.bench.harness import speedup
 
 def test_fig8_flumina(benchmark):
     data = benchmark.pedantic(
-        lambda: ex.figure8_flumina(PARALLELISM_LEVELS), rounds=1, iterations=1
+        lambda: ex.figure8_flumina(parallelism_levels()), rounds=1, iterations=1
     )
     xs = [pt.parallelism for pt in next(iter(data.values()))]
     series = {

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from ..core.dependence import DependenceRelation

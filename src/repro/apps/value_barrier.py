@@ -24,9 +24,10 @@ from __future__ import annotations
 from typing import Any, List, Tuple
 
 from ..core.dependence import DependenceRelation
-from ..core.events import Event, ImplTag
+from ..core.events import Event
 from ..core.predicates import TagPredicate
 from ..core.program import DGSProgram, single_state_program
+from ._cpuwork import burn
 from ..data.generators import ValueBarrierWorkload, value_barrier_workload
 from ..plans.generation import root_and_leaves_plan
 from ..plans.optimizer import StreamInfo, optimize
@@ -70,6 +71,34 @@ def make_program() -> DGSProgram:
         depends=DependenceRelation.from_function(TAGS, depends_fn),
         init=lambda: 0,
         update=_update,
+        fork=_fork,
+        join=_join,
+    )
+
+
+def make_cpu_program(spin: int) -> DGSProgram:
+    """The same program with ``spin`` units of CPU work per value event
+    (a stand-in for real per-event feature extraction/scoring cost).
+
+    The plain program's update is a single integer add, so wall-clock
+    runs of it measure message-passing overhead, not computation; this
+    variant is the workload on which multi-core substrates can show
+    genuine parallel speedup (used by the threaded-vs-process
+    benchmarks).  Semantics delegate to the plain ``_update`` — only
+    the burned work is added.
+    """
+
+    def update(state: State, event: Event) -> Tuple[State, List[Any]]:
+        if event.tag == VALUE_TAG:
+            state = state + burn(int(event.payload), spin)
+        return _update(state, event)
+
+    return single_state_program(
+        name=f"value-barrier[spin={spin}]",
+        tags=TAGS,
+        depends=DependenceRelation.from_function(TAGS, depends_fn),
+        init=lambda: 0,
+        update=update,
         fork=_fork,
         join=_join,
     )

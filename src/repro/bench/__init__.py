@@ -5,6 +5,10 @@ from .harness import (
     RatePoint,
     ScalingPoint,
     SweepResult,
+    WallClockPoint,
+    available_cores,
+    backend_speedup,
+    compare_backends,
     latency_profile,
     max_throughput,
     scaling_curve,
@@ -16,6 +20,10 @@ __all__ = [
     "RatePoint",
     "ScalingPoint",
     "SweepResult",
+    "WallClockPoint",
+    "available_cores",
+    "backend_speedup",
+    "compare_backends",
     "latency_profile",
     "max_throughput",
     "publish",

@@ -17,7 +17,7 @@ capacity).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..apps import fraud as fraud_app
 from ..apps import pageview as pv_app
@@ -29,7 +29,6 @@ from ..flinklike import (
     build_pageview_job,
     build_pageview_splan_job,
 )
-from ..plans.generation import assign_hosts_round_robin
 from ..runtime import FluminaRuntime
 from ..sim.network import Topology
 from ..sim.params import DEFAULT_PARAMS, SimParams
@@ -41,6 +40,8 @@ from ..timelylike import (
 from .harness import (
     RatePoint,
     ScalingPoint,
+    WallClockPoint,
+    compare_backends,
     latency_profile,
     max_throughput,
     scaling_curve,
@@ -370,6 +371,70 @@ def figure10b(
             p10, p50, p90 = res.event_latency_percentiles((10, 50, 90))
             series.append((hb_per_barrier, p10, p50, p90))
         out[ratio] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Threaded-vs-process wall-clock comparison (the GIL-escape experiment)
+# ---------------------------------------------------------------------------
+
+def runtime_backend_comparison(
+    *,
+    apps: Sequence[str] = ("Event Win.", "Fraud Dec."),
+    n_workers: int = 4,
+    values_per_barrier: int = 200,
+    n_barriers: int = 3,
+    spin: int = 300,
+    batch_size: int = 64,
+    repeats: int = 1,
+    backends: Sequence[str] = ("threaded", "process"),
+    timeout_s: float = 120.0,
+) -> Dict[str, Dict[str, WallClockPoint]]:
+    """Wall-clock throughput of the threaded vs the process runtime on
+    the value-barrier and fraud apps (real elapsed time, not simulated).
+
+    ``spin`` sets per-event CPU work (see ``make_cpu_program``): with a
+    trivial update the experiment measures message passing, with
+    realistic per-event cost it measures how much of the hardware the
+    substrate can actually use.  ``batch_size`` tunes the process
+    runtime's channel batching.  Outputs are multiset-compared across
+    backends inside :func:`compare_backends`, so reported speedups are
+    for verified-equivalent executions.
+    """
+    builders = {
+        "Event Win.": (vb_app.make_cpu_program, vb_app),
+        "Fraud Dec.": (fraud_app.make_cpu_program, fraud_app),
+    }
+    out: Dict[str, Dict[str, WallClockPoint]] = {}
+    for app in apps:
+        make_cpu, module = builders[app]
+        prog = make_cpu(spin)
+        wl = module.make_workload(
+            n_value_streams=n_workers,
+            values_per_barrier=values_per_barrier,
+            n_barriers=n_barriers,
+            value_rate_per_ms=10.0,
+        ) if app == "Event Win." else module.make_workload(
+            n_txn_streams=n_workers,
+            txns_per_rule=values_per_barrier,
+            n_rules=n_barriers,
+            txn_rate_per_ms=10.0,
+        )
+        plan = module.make_plan(prog, wl)
+        # Coarse heartbeats: ~10 per synchronization window, so the
+        # wall-clock measurement is dominated by events, not heartbeats.
+        streams = module.make_streams(
+            wl, heartbeat_interval=_hb(10.0, values_per_barrier)
+        )
+        out[app] = compare_backends(
+            prog,
+            plan,
+            streams,
+            backends=backends,
+            batch_size=batch_size,
+            repeats=repeats,
+            timeout_s=timeout_s,
+        )
     return out
 
 

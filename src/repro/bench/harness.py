@@ -19,8 +19,9 @@ results in this repository do).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 
 class ResultLike(Protocol):  # pragma: no cover - structural typing only
@@ -126,6 +127,89 @@ def latency_profile(
 class ScalingPoint:
     parallelism: int
     max_throughput_per_ms: float
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock backend comparison (threaded vs process vs ...)
+# ---------------------------------------------------------------------------
+
+def available_cores() -> int:
+    """CPU cores this process may use (portable: sched_getaffinity
+    where it exists — Linux —, cpu_count elsewhere)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class WallClockPoint:
+    """One backend's wall-clock measurement on a fixed workload."""
+
+    backend: str
+    events: int
+    wall_s: float
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def compare_backends(
+    program: Any,
+    plan: Any,
+    streams: Sequence[Any],
+    *,
+    backends: Sequence[str] = ("threaded", "process"),
+    batch_size: int = 64,
+    repeats: int = 1,
+    timeout_s: float = 120.0,
+) -> Dict[str, WallClockPoint]:
+    """Run the same program/plan/streams on several runtime backends
+    and report each one's best wall-clock throughput.
+
+    Unlike the offered-rate sweeps above (which measure the *simulated*
+    clock), this measures real elapsed time — the basis for the
+    threaded-vs-process speedup claim.  ``batch_size`` tunes the
+    process runtime's channel batching; every backend's outputs are
+    cross-checked against the others (multiset equality) so a speedup
+    can never come from dropping work.
+    """
+    from ..runtime import get_backend  # runtime does not import bench; no cycle
+
+    points: Dict[str, WallClockPoint] = {}
+    reference: Optional[Any] = None
+    for name in backends:
+        backend = get_backend(name)
+        opts: Dict[str, Any] = {}
+        if name in ("threaded", "process"):
+            opts["timeout_s"] = timeout_s
+        if name == "process":
+            opts["batch_size"] = batch_size
+        best: Optional[WallClockPoint] = None
+        for _ in range(max(1, repeats)):
+            run = backend.run(program, plan, streams, **opts)
+            if reference is None:
+                reference = run.output_multiset()
+            elif run.output_multiset() != reference:
+                raise AssertionError(
+                    f"backend {name!r} produced different outputs than "
+                    f"{backends[0]!r}; refusing to report throughput"
+                )
+            point = WallClockPoint(name, run.events_in, run.wall_s)
+            if best is None or point.wall_s < best.wall_s:
+                best = point
+        points[name] = best  # type: ignore[assignment]
+    return points
+
+
+def backend_speedup(
+    points: Dict[str, WallClockPoint], *, base: str = "threaded"
+) -> Dict[str, float]:
+    """Each backend's throughput relative to ``base``'s."""
+    base_eps = points[base].events_per_s
+    if base_eps <= 0:
+        return {name: math.nan for name in points}
+    return {name: p.events_per_s / base_eps for name, p in points.items()}
 
 
 def scaling_curve(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Mapping, Sequence
 
 
 def _fmt(value: Any, width: int = 10) -> str:

@@ -18,7 +18,7 @@ the given timestamp.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator, NamedTuple
 
 Tag = Hashable
@@ -61,6 +61,13 @@ class Event:
     def is_heartbeat(self) -> bool:
         return False
 
+    def __reduce__(self) -> tuple:
+        # Explicit constructor-based pickling: frozen slots dataclasses
+        # have no working default reduce on Python 3.10, and the plain
+        # argument tuple is the compact wire form the process runtime
+        # ships across OS-process boundaries.
+        return (Event, (self.tag, self.stream, self.ts, self.payload))
+
 
 @dataclass(frozen=True, slots=True)
 class Heartbeat:
@@ -80,6 +87,9 @@ class Heartbeat:
 
     def is_heartbeat(self) -> bool:
         return True
+
+    def __reduce__(self) -> tuple:
+        return (Heartbeat, (self.tag, self.stream, self.ts))
 
 
 Record = Event | Heartbeat

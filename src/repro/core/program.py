@@ -23,8 +23,8 @@ semantics and the consistency checker will catch most such bugs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from .dependence import DependenceRelation
 from .errors import ProgramError

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence as Seq, Tuple
 
 from .dependence import DependenceRelation

@@ -21,11 +21,9 @@ timestamps never do).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ..core.events import Event, ImplTag
 

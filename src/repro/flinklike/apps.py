@@ -16,21 +16,13 @@ throughput comparisons are apples-to-apples within the simulator.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..apps import fraud as fraud_app
 from ..apps import pageview as pv_app
-from ..apps import value_barrier as vb_app
 from ..data.generators import PageViewWorkload, ValueBarrierWorkload
 from ..sim.params import DEFAULT_PARAMS, SimParams
-from .engine import (
-    FlinkJob,
-    FlinkResult,
-    JobGraph,
-    OperatorInstance,
-    Rec,
-    TimestampMerger,
-)
+from .engine import FlinkJob, JobGraph, OperatorInstance, Rec, TimestampMerger
 
 
 def _recs(events) -> List[Rec]:

@@ -104,7 +104,6 @@ def estimate_cost(
     # --- network bytes ---
     remote_bytes = 0.0
     for node in plan.workers():
-        own_rate = worker_rate[node.id]
         for t in node.itags:
             src = source_hosts.get(t)
             if src is not None and node.host is not None and src != node.host:

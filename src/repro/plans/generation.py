@@ -22,13 +22,11 @@ and produce plans over a single state type by default.
 
 from __future__ import annotations
 
-import itertools
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..core.dependence import DependenceRelation
 from ..core.errors import PlanError
 from ..core.events import ImplTag
 from ..core.program import DGSProgram

@@ -15,11 +15,11 @@ validity checker and the runtime need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..core.errors import PlanError
-from ..core.events import ImplTag, Tag
+from ..core.events import ImplTag
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,30 @@
-"""The Flumina-style DGS runtime (paper §3.4) plus checkpointing and a
-sequential reference oracle."""
+"""The Flumina-style DGS runtime (paper §3.4) plus checkpointing, a
+sequential reference oracle, and the runtime-backend registry.
 
+Three execution substrates run the same synchronization-plan protocol:
+
+* ``sim`` — the simulated cluster (:class:`FluminaRuntime`), used for
+  the paper's figures: models network cost, latency, utilization;
+* ``threaded`` — one OS thread per worker (:class:`ThreadedRuntime`):
+  real concurrency, GIL-bound throughput;
+* ``process`` — one OS process per worker with batched channels
+  (:class:`ProcessRuntime`): multi-core parallel speedup.
+
+Benchmarks, examples, and tests select them uniformly through
+:func:`get_backend` / :func:`run_on_backend`, which normalize each
+substrate's native result into a :class:`BackendRun`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.errors import RuntimeFault
+from ..core.program import DGSProgram
+from ..plans.plan import SyncPlan
+from .protocol import RunStatsMixin
 from .checkpoint import (
     by_timestamp_interval,
     every_nth_join,
@@ -15,15 +39,155 @@ from .messages import (
     JoinRequest,
     JoinResponse,
 )
+from .process import ProcessResult, ProcessRuntime
 from .runtime import (
     FluminaRuntime,
     InputStream,
     RunResult,
     run_sequential_reference,
 )
+from .threaded import ThreadedResult, ThreadedRuntime
 from .worker import RunCollector, WorkerActor, default_state_size
 
+
+# ---------------------------------------------------------------------------
+# Runtime backends: uniform selection across sim / threaded / process
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BackendRun(RunStatsMixin):
+    """One execution, normalized across substrates.
+
+    ``outputs`` is the flat list of output values (no timing tuples);
+    ``wall_s`` is real wall-clock time for the threaded and process
+    backends but *host* wall-clock of the simulation for ``sim`` — only
+    compare wall times within the same backend family.  ``raw`` keeps
+    the substrate's native result for backend-specific metrics.
+    """
+
+    backend: str
+    outputs: List[Any] = field(default_factory=list)
+    events_in: int = 0
+    events_processed: int = 0
+    joins: int = 0
+    wall_s: float = 0.0
+    raw: Any = None
+
+
+class RuntimeBackend:
+    """A named execution substrate for synchronization plans."""
+
+    name: str = "?"
+
+    def run(
+        self,
+        program: DGSProgram,
+        plan: SyncPlan,
+        streams: Sequence[InputStream],
+        **opts: Any,
+    ) -> BackendRun:
+        raise NotImplementedError
+
+
+class SimBackend(RuntimeBackend):
+    """The simulated cluster: protocol + network/latency model."""
+
+    name = "sim"
+
+    def run(self, program, plan, streams, **opts):
+        opts.pop("timeout_s", None)  # wall timeouts have no simulated analogue
+        t0 = time.perf_counter()
+        res = FluminaRuntime(program, plan, **opts).run(streams)
+        return BackendRun(
+            backend=self.name,
+            outputs=res.output_values(),
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=time.perf_counter() - t0,
+            raw=res,
+        )
+
+
+class ThreadedBackend(RuntimeBackend):
+    """One OS thread per plan worker (GIL-bound)."""
+
+    name = "threaded"
+
+    def run(self, program, plan, streams, *, timeout_s: float = 60.0, **opts):
+        res = ThreadedRuntime(program, plan, **opts).run(streams, timeout_s=timeout_s)
+        return BackendRun(
+            backend=self.name,
+            outputs=res.outputs,
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=res.wall_s,
+            raw=res,
+        )
+
+
+class ProcessBackend(RuntimeBackend):
+    """One OS process per plan worker, batched channels (multi-core)."""
+
+    name = "process"
+
+    def run(
+        self,
+        program,
+        plan,
+        streams,
+        *,
+        timeout_s: float = 120.0,
+        batch_size: int = 64,
+        **opts,
+    ):
+        rt = ProcessRuntime(program, plan, batch_size=batch_size, **opts)
+        res = rt.run(streams, timeout_s=timeout_s)
+        return BackendRun(
+            backend=self.name,
+            outputs=res.outputs,
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=res.wall_s,
+            raw=res,
+        )
+
+
+BACKENDS: Dict[str, RuntimeBackend] = {
+    b.name: b for b in (SimBackend(), ThreadedBackend(), ProcessBackend())
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(BACKENDS))
+
+
+def get_backend(name: str) -> RuntimeBackend:
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise RuntimeFault(
+            f"unknown runtime backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def run_on_backend(
+    name: str,
+    program: DGSProgram,
+    plan: SyncPlan,
+    streams: Sequence[InputStream],
+    **opts: Any,
+) -> BackendRun:
+    """Run a program + plan on the named backend (uniform entry point
+    for benchmarks, examples, and tests)."""
+    return get_backend(name).run(program, plan, streams, **opts)
+
+
 __all__ = [
+    "BACKENDS",
+    "BackendRun",
     "Buffered",
     "EventMsg",
     "FluminaRuntime",
@@ -33,13 +197,24 @@ __all__ = [
     "JoinRequest",
     "JoinResponse",
     "Mailbox",
+    "ProcessBackend",
+    "ProcessResult",
+    "ProcessRuntime",
     "RunCollector",
     "RunResult",
+    "RuntimeBackend",
+    "SimBackend",
+    "ThreadedBackend",
+    "ThreadedResult",
+    "ThreadedRuntime",
     "WorkerActor",
+    "available_backends",
     "by_timestamp_interval",
     "default_state_size",
     "every_nth_join",
     "every_root_join",
+    "get_backend",
     "recover",
+    "run_on_backend",
     "run_sequential_reference",
 ]

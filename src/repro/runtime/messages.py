@@ -12,6 +12,12 @@ Five message kinds flow between producers and workers:
   against their own events;
 * :class:`JoinResponse` — a child's state traveling up;
 * :class:`ForkStateMsg` — a forked state traveling back down.
+
+All five kinds are plain picklable dataclasses over picklable fields
+(events, order-key tuples, and application states), so they can cross
+OS-process boundaries; :mod:`repro.runtime.wire` defines the compact
+tuple encoding the process runtime actually puts on its batched
+channels.
 """
 
 from __future__ import annotations

@@ -1,0 +1,310 @@
+"""A multi-process execution of synchronization plans.
+
+The threaded runtime proves the protocol runs on a concurrent
+substrate, but the GIL serializes its update functions.  This module
+executes the same :class:`~repro.runtime.protocol.WorkerCore` state
+machine with **one OS process per plan worker**, so independent events
+on different leaves genuinely run in parallel — the paper's central
+claim (dependency-guided synchronization lets independent events
+proceed concurrently) measured on real cores rather than asserted.
+
+Two design points keep IPC from eating the speedup:
+
+* **Batched channels.**  Every queue operation carries a *list* of
+  wire-encoded messages (see :mod:`repro.runtime.wire`), so one
+  pickle + pipe write + consumer wakeup is amortized over
+  ``batch_size`` messages.  Producers batch aggressively; workers
+  buffer their outgoing messages while handling an incoming batch and
+  flush when done, which bounds the latency a batch can add to the
+  join/fork critical path.
+* **Fork start method.**  Workers are forked, so programs — which
+  contain closures and are deliberately *not* picklable — are
+  inherited by child processes instead of serialized.  Only protocol
+  messages (events, order keys, application states) cross process
+  boundaries.
+
+Termination mirrors the threaded runtime: a shared in-flight message
+counter is incremented when a batch is posted and decremented when it
+has been fully handled *and* its consequences flushed; the counter
+reaching zero after all producer input is posted means every channel
+has drained, at which point stop sentinels are delivered and each
+worker ships its locally-accumulated outputs back once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.errors import RuntimeFault
+from ..core.program import DGSProgram
+from ..plans.plan import SyncPlan
+from ..plans.validity import assert_p_valid
+from .protocol import (
+    OutputSink,
+    RunStatsMixin,
+    WorkerCore,
+    end_timestamp,
+    initial_leaf_states,
+    producer_messages,
+)
+from .runtime import InputStream
+from .wire import decode_batch, encode_msg
+
+#: Stop sentinel; a plain string so it crosses the wire untouched.
+_STOP = "__stop__"
+
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass
+class ProcessResult(RunStatsMixin):
+    """Outputs and counters aggregated from all worker processes."""
+
+    outputs: List[Any] = field(default_factory=list)
+    joins: int = 0
+    events_processed: int = 0
+    events_in: int = 0
+    wall_s: float = 0.0
+    n_workers: int = 0
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+
+class _Channels:
+    """The shared IPC fabric: one inbox queue per worker plus the
+    global in-flight accounting that detects quiescence."""
+
+    def __init__(self, ctx, worker_ids: Sequence[str]) -> None:
+        self.queues = {wid: ctx.Queue() for wid in worker_ids}
+        self.results = ctx.Queue()
+        self.errors = ctx.Queue()
+        self.inflight = ctx.Value("q", 0, lock=True)
+        self.idle = ctx.Event()
+        self.idle.set()  # vacuously idle until the first post
+
+    def stop_all(self) -> None:
+        for q in self.queues.values():
+            q.put(_STOP)
+
+
+class _Batcher:
+    """Per-sender outgoing buffers: wire-encodes and coalesces messages
+    into per-destination batches, flushed at ``batch_size`` or on
+    demand.  In-flight accounting happens at batch granularity —
+    increment on put, decrement when the receiver finishes the batch —
+    so quiescence implies empty queues *and* empty buffers."""
+
+    def __init__(self, channels: _Channels, batch_size: int) -> None:
+        self.channels = channels
+        self.batch_size = max(1, batch_size)
+        self._buffers: Dict[str, List[tuple]] = {}
+
+    def post(self, dst: str, msg: Any) -> None:
+        buf = self._buffers.setdefault(dst, [])
+        buf.append(encode_msg(msg))
+        if len(buf) >= self.batch_size:
+            self._flush_one(dst)
+
+    def _flush_one(self, dst: str) -> None:
+        batch = self._buffers.pop(dst, None)
+        if not batch:
+            return
+        with self.channels.inflight.get_lock():
+            self.channels.inflight.value += len(batch)
+            self.channels.idle.clear()
+        self.channels.queues[dst].put(batch)
+
+    def flush(self) -> None:
+        for dst in list(self._buffers):
+            self._flush_one(dst)
+
+    def mark_done(self, n: int) -> None:
+        with self.channels.inflight.get_lock():
+            self.channels.inflight.value -= n
+            if self.channels.inflight.value == 0:
+                self.channels.idle.set()
+
+
+def _worker_main(
+    node_id: str,
+    plan: SyncPlan,
+    program: DGSProgram,
+    channels: _Channels,
+    batch_size: int,
+    init_state: Optional[tuple],
+) -> None:
+    """Child-process entry point: drive a WorkerCore from the inbox.
+
+    Outputs accumulate in a process-local sink and travel back to the
+    coordinator exactly once, on shutdown — results never compete with
+    protocol traffic for the channels.
+    """
+    try:
+        batcher = _Batcher(channels, batch_size)
+        sink = OutputSink()
+        core = WorkerCore(plan.node(node_id), plan, program, batcher.post, sink)
+        if init_state is not None:
+            core.state = init_state[0]
+            core.has_state = True
+        inbox = channels.queues[node_id]
+        while True:
+            batch = inbox.get()
+            if batch == _STOP:
+                break
+            msgs = decode_batch(batch)
+            for msg in msgs:
+                core.handle(msg)
+            # Flush consequences *before* declaring the batch done, so
+            # the in-flight counter can never dip to zero while this
+            # worker still owes messages to others.
+            batcher.flush()
+            batcher.mark_done(len(msgs))
+        channels.results.put(
+            (node_id, sink.outputs, sink.events_processed, sink.joins, core.unprocessed())
+        )
+    except BaseException as exc:  # pragma: no cover - exercised via fault tests
+        channels.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
+        raise
+
+
+class ProcessRuntime:
+    """Run a DGS program on OS processes (one per plan worker).
+
+    ``batch_size`` tunes the channel batching: 1 degenerates to
+    per-message IPC (useful as a baseline), larger values amortize
+    serialization until batching latency starts delaying joins.
+    """
+
+    def __init__(
+        self,
+        program: DGSProgram,
+        plan: SyncPlan,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        validate: bool = True,
+    ) -> None:
+        self.program = program
+        if validate:
+            assert_p_valid(plan, program)
+        self.plan = plan
+        self.batch_size = max(1, batch_size)
+        # fork (not spawn): children must inherit the program's
+        # closures; only messages are ever pickled.
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeFault(
+                "the process runtime requires the 'fork' start method "
+                "(Linux/macOS); use the 'threaded' or 'sim' backend on "
+                "this platform"
+            )
+        self._ctx = mp.get_context("fork")
+
+    def run(
+        self, streams: Sequence[InputStream], *, timeout_s: float = 120.0
+    ) -> ProcessResult:
+        workers = self.plan.workers()
+        channels = _Channels(self._ctx, [n.id for n in workers])
+        leaf_states = initial_leaf_states(self.plan, self.program)
+        procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    n.id,
+                    self.plan,
+                    self.program,
+                    channels,
+                    self.batch_size,
+                    (leaf_states[n.id],) if n.id in leaf_states else None,
+                ),
+                daemon=True,
+                name=f"worker:{n.id}",
+            )
+            for n in workers
+        ]
+        for p in procs:
+            p.start()
+
+        result = ProcessResult(n_workers=len(workers), batch_size=self.batch_size)
+        try:
+            t0 = time.perf_counter()
+            batcher = _Batcher(channels, self.batch_size)
+            end_ts = end_timestamp(streams)
+            for stream in streams:
+                owner = self.plan.owner_of(stream.itag).id
+                for msg in producer_messages(stream, end_ts):
+                    batcher.post(owner, msg)
+                result.events_in += len(stream.events)
+            batcher.flush()
+            self._await_idle(channels, procs, timeout_s)
+            result.wall_s = time.perf_counter() - t0
+
+            channels.stop_all()
+            self._collect(channels, result, timeout_s)
+        finally:
+            for p in procs:
+                p.join(timeout=5.0)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - defensive cleanup
+                    p.terminate()
+                    p.join(timeout=1.0)
+        return result
+
+    # -- coordination helpers -------------------------------------------
+    @staticmethod
+    def _await_idle(channels: _Channels, procs, timeout_s: float) -> None:
+        """Wait for quiescence, surfacing worker faults promptly."""
+        deadline = time.monotonic() + timeout_s
+        while not channels.idle.wait(timeout=0.05):
+            try:
+                node_id, err = channels.errors.get_nowait()
+            except queue_mod.Empty:
+                pass
+            else:
+                raise RuntimeFault(f"worker {node_id} crashed:\n{err}")
+            if any(not p.is_alive() and p.exitcode not in (0, None) for p in procs):
+                raise RuntimeFault(
+                    "a worker process died before the run drained "
+                    f"(exitcodes: {[p.exitcode for p in procs]})"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeFault("process runtime did not drain in time")
+
+    def _collect(
+        self, channels: _Channels, result: ProcessResult, timeout_s: float
+    ) -> None:
+        deadline = time.monotonic() + timeout_s
+        for _ in range(result.n_workers):
+            # Poll results and errors together: a fault after quiescence
+            # (e.g. an unpicklable output killing the result put) must
+            # surface with its traceback, not as a bare timeout.
+            while True:
+                try:
+                    node_id, outputs, n_events, n_joins, leftover = (
+                        channels.results.get(timeout=0.05)
+                    )
+                    break
+                except queue_mod.Empty:
+                    try:
+                        err_node, err = channels.errors.get_nowait()
+                    except queue_mod.Empty:
+                        pass
+                    else:
+                        raise RuntimeFault(
+                            f"worker {err_node} crashed after drain:\n{err}"
+                        ) from None
+                    if time.monotonic() > deadline:
+                        raise RuntimeFault(
+                            "worker results missing after drain; a worker "
+                            "likely crashed or produced unpicklable outputs"
+                        ) from None
+            if leftover:
+                raise RuntimeFault(
+                    f"worker {node_id} ended with {leftover} unprocessed items; "
+                    "check heartbeats / dependence relation"
+                )
+            result.outputs.extend(outputs)
+            result.events_processed += n_events
+            result.joins += n_joins

@@ -1,0 +1,326 @@
+"""Substrate-independent synchronization-plan protocol (paper §3.4).
+
+The join/fork worker state machine — selective-reordering mailbox,
+join-request fan-out, fork-state fan-in, heartbeat relay — is the same
+whether workers are simulated actors, OS threads, or OS processes.
+This module holds the protocol once so every concrete runtime is just
+transport plumbing around :class:`WorkerCore`:
+
+* :mod:`repro.runtime.threaded` — one ``threading.Thread`` per worker,
+  in-memory FIFO queues;
+* :mod:`repro.runtime.process` — one OS process per worker, batched
+  ``multiprocessing`` queues (escaping the GIL for real parallelism).
+
+(The simulated runtime's :class:`~repro.runtime.worker.WorkerActor`
+predates this module and additionally models network cost, state sizes
+and checkpoints; it intentionally keeps its own copy of the state
+machine so simulation instrumentation does not leak in here.)
+
+A ``WorkerCore`` is driven by ``handle(msg)`` calls and talks to the
+outside world through two injected callables:
+
+* ``post(dst, msg)`` — send a protocol message to another worker;
+* ``sink`` — an :class:`OutputSink` receiving outputs and counters.
+
+Both must be safe to call from the substrate's execution context (the
+threaded runtime passes a locking sink; each process-runtime worker
+owns a private one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import RuntimeFault
+from ..core.events import Event, Heartbeat, ImplTag
+from ..core.program import DGSProgram
+from ..plans.plan import PlanNode, SyncPlan
+from .mailbox import Buffered, Mailbox
+from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+
+PostFn = Callable[[str, Any], None]
+
+
+class RunStatsMixin:
+    """Derived statistics shared by every substrate's result type
+    (expects ``outputs``, ``events_in`` and ``wall_s`` attributes).
+
+    Output multisets are the cross-backend equivalence currency
+    (Theorem 2.4: determinism up to output reordering), so the
+    normalization must be identical everywhere — keep it here only.
+    """
+
+    def output_multiset(self) -> Counter:
+        return Counter(map(repr, self.outputs))
+
+    @property
+    def throughput_events_per_s(self) -> float:
+        return self.events_in / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class OutputSink:
+    """Collects one execution's outputs and protocol counters.
+
+    The base class is a plain in-memory accumulator; substrates that
+    share a sink across concurrent workers wrap it with their own
+    synchronization.
+    """
+
+    __slots__ = ("outputs", "events_processed", "joins")
+
+    def __init__(self) -> None:
+        self.outputs: List[Any] = []
+        self.events_processed = 0
+        self.joins = 0
+
+    def emit(self, outs: Sequence[Any]) -> None:
+        if outs:
+            self.outputs.extend(outs)
+
+    def count_event(self) -> None:
+        self.events_processed += 1
+
+    def count_join(self) -> None:
+        self.joins += 1
+
+
+class WorkerCore:
+    """One plan worker's protocol state machine, substrate-free.
+
+    Mirrors the simulated :class:`WorkerActor` protocol: events and
+    join requests pass through the selective-reordering mailbox; a
+    synchronizing event at an internal node triggers a join request to
+    both children, the joined state is updated and forked back down;
+    leaves answer join requests by surrendering their state and block
+    until the fork returns it.
+    """
+
+    def __init__(
+        self,
+        node: PlanNode,
+        plan: SyncPlan,
+        program: DGSProgram,
+        post: PostFn,
+        sink: OutputSink,
+    ) -> None:
+        self.node = node
+        self.plan = plan
+        self.program = program
+        self.post = post
+        self.sink = sink
+
+        ancestors = plan.ancestors_of(node.id)
+        known = set(node.itags)
+        for anc in ancestors:
+            known |= plan.node(anc).itags
+        self.mailbox = Mailbox(known, program.depends)
+        self.is_leaf = node.is_leaf
+        st = program.state_type(node.state_type)
+        self.update = st.update
+        if not self.is_leaf:
+            left, right = node.children
+            self.join_fn = program.join_for(left.state_type, right.state_type, node.state_type)
+            self.fork_fn = program.fork_for(node.state_type, left.state_type, right.state_type)
+            tags_l = {t.tag for t in plan.subtree_itags(left.id)}
+            tags_r = {t.tag for t in plan.subtree_itags(right.id)}
+            self.pred_left = program.true_pred().restrict(tags_l)
+            self.pred_right = program.true_pred().restrict(tags_r)
+            self.children = (left.id, right.id)
+        parent = plan.parent_of(node.id)
+        self.parent_id = parent.id if parent else None
+
+        self.state: Any = None
+        self.has_state = self.is_leaf
+        self.pending: List[Buffered] = []
+        self.blocked = False
+        self._join_seq = 0
+        self._current: Optional[Tuple[Tuple[str, int], Any, Dict[str, Any]]] = None
+        self._absorb_restore: Optional[Tuple[str, int]] = None
+        self._last_relayed: Dict[ImplTag, Any] = {}
+        self._inflight_tags: Dict[ImplTag, int] = {}
+
+    # -- entry point -----------------------------------------------------
+    def handle(self, msg: Any) -> None:
+        if isinstance(msg, EventMsg):
+            self._enqueue(self.mailbox.insert(msg.event.itag, msg.event.order_key, msg))
+        elif isinstance(msg, HeartbeatMsg):
+            self._enqueue(self.mailbox.advance(msg.itag, msg.key))
+        elif isinstance(msg, JoinRequest):
+            self._enqueue(self.mailbox.insert(msg.itag, msg.key, msg))
+        elif isinstance(msg, JoinResponse):
+            self._on_join_response(msg)
+        elif isinstance(msg, ForkStateMsg):
+            self._on_fork_state(msg)
+        else:  # pragma: no cover - defensive
+            raise RuntimeFault(f"unexpected message {msg!r}")
+        self._drain()
+        self._relay_frontiers()
+
+    def unprocessed(self) -> int:
+        """Items still buffered or pending — must be 0 after a drain."""
+        return self.mailbox.buffered_count() + len(self.pending)
+
+    # -- protocol --------------------------------------------------------
+    def _enqueue(self, released: List[Buffered]) -> None:
+        for b in released:
+            self._inflight_tags[b.itag] = self._inflight_tags.get(b.itag, 0) + 1
+        self.pending.extend(released)
+
+    def _drain(self) -> None:
+        while self.pending and not self.blocked:
+            buffered = self.pending.pop(0)
+            self._inflight_tags[buffered.itag] -= 1
+            item = buffered.item
+            if isinstance(item, EventMsg):
+                self._process_event(item.event)
+            else:
+                self._process_join_request(item)
+
+    def _process_event(self, event: Event) -> None:
+        self.sink.count_event()
+        if self.is_leaf:
+            self.state, outs = self.update(self.state, event)
+            self.sink.emit(outs)
+        else:
+            self._start_join(("event", event))
+
+    def _process_join_request(self, req: JoinRequest) -> None:
+        if self.is_leaf:
+            self.post(
+                req.reply_to, JoinResponse(req.req_id, req.side, self.state, 1.0)
+            )
+            self.state = None
+            self.has_state = False
+            self.blocked = True
+        else:
+            self._start_join(("parent", req))
+
+    def _start_join(self, ctx: Tuple[str, Any]) -> None:
+        self._join_seq += 1
+        req_id = (self.node.id, self._join_seq)
+        itag = ctx[1].itag
+        key = ctx[1].order_key if ctx[0] == "event" else ctx[1].key
+        for side, child in zip(("left", "right"), self.children):
+            self.post(child, JoinRequest(req_id, itag, key, self.node.id, side))
+        self.blocked = True
+        self._current = (req_id, ctx, {})
+
+    def _on_join_response(self, msg: JoinResponse) -> None:
+        assert self._current is not None and self._current[0] == msg.req_id
+        req_id, ctx, states = self._current
+        states[msg.side] = msg.state
+        if len(states) < 2:
+            return
+        joined = self.join_fn(states["left"], states["right"])
+        self.sink.count_join()
+        self._current = None
+        if ctx[0] == "event":
+            self.sink.count_event()
+            joined, outs = self.update(joined, ctx[1])
+            self.sink.emit(outs)
+            self._fork_down(req_id, joined)
+            self.blocked = False
+        else:
+            req: JoinRequest = ctx[1]
+            self.post(req.reply_to, JoinResponse(req.req_id, req.side, joined, 1.0))
+            self._absorb_restore = req_id
+
+    def _on_fork_state(self, msg: ForkStateMsg) -> None:
+        if self.is_leaf:
+            self.state = msg.state
+            self.has_state = True
+        else:
+            sub = self._absorb_restore
+            self._absorb_restore = None
+            self._fork_down(sub, msg.state)  # type: ignore[arg-type]
+        self.blocked = False
+
+    def _fork_down(self, req_id: Tuple[str, int], state: Any) -> None:
+        s_l, s_r = self.fork_fn(state, self.pred_left, self.pred_right)
+        for child, s in zip(self.children, (s_l, s_r)):
+            self.post(child, ForkStateMsg(req_id, s, 1.0))
+
+    def _relay_frontiers(self) -> None:
+        if self.is_leaf:
+            return
+        for itag in self.mailbox.itags:
+            if self._inflight_tags.get(itag, 0) > 0:
+                continue
+            frontier = self.mailbox.frontier(itag)
+            if frontier is None or frontier[0] == float("-inf"):
+                continue
+            last = self._last_relayed.get(itag)
+            if last is not None and last >= frontier:
+                continue
+            self._last_relayed[itag] = frontier
+            for child in self.children:
+                self.post(child, HeartbeatMsg(itag, frontier))
+
+
+# ---------------------------------------------------------------------------
+# Shared setup helpers
+# ---------------------------------------------------------------------------
+
+def initial_leaf_states(plan: SyncPlan, program: DGSProgram) -> Dict[str, Any]:
+    """Fork ``init()`` down the plan tree and return each leaf's share.
+
+    C2-consistency makes the forked distribution equivalent to the
+    sequential initial state; running the forks in the coordinating
+    parent means worker substrates only ever receive ready-made states.
+    """
+    states: Dict[str, Any] = {}
+
+    def rec(node: PlanNode, state: Any) -> None:
+        if node.is_leaf:
+            states[node.id] = state
+            return
+        left, right = node.children
+        fork = program.fork_for(node.state_type, left.state_type, right.state_type)
+        pred_l = program.true_pred().restrict(
+            {t.tag for t in plan.subtree_itags(left.id)}
+        )
+        pred_r = program.true_pred().restrict(
+            {t.tag for t in plan.subtree_itags(right.id)}
+        )
+        s_l, s_r = fork(state, pred_l, pred_r)
+        rec(left, s_l)
+        rec(right, s_r)
+
+    rec(plan.root, program.init())
+    return states
+
+
+def end_timestamp(streams: Sequence[Any]) -> float:
+    """Timestamp of the closing heartbeat: one past the last event."""
+    last_ts = max((e.ts for s in streams for e in s.events), default=0.0)
+    return last_ts + 1.0
+
+
+def producer_messages(stream: Any, end_ts: float) -> List[Any]:
+    """One input stream's wire traffic, in order-key order.
+
+    Interleaves the stream's events with periodic heartbeats plus the
+    closing heartbeat at ``end_ts`` that lets every mailbox drain; this
+    is the producer behaviour shared by the threaded and process
+    runtimes (the simulated runtime injects the same schedule through
+    the simulator's clock instead).
+    """
+    items: List[Tuple[tuple, Any]] = [
+        (e.order_key, EventMsg(e)) for e in stream.events
+    ]
+    hb_times: List[float] = []
+    if stream.heartbeat_interval:
+        t = stream.heartbeat_interval
+        while t < end_ts:
+            hb_times.append(t)
+            t += stream.heartbeat_interval
+    hb_times.append(end_ts)
+    event_ts = {e.ts for e in stream.events}
+    for t in hb_times:
+        if t in event_ts:
+            continue
+        hb = Heartbeat(stream.itag.tag, stream.itag.stream, t)
+        items.append((hb.order_key, HeartbeatMsg(stream.itag, hb.order_key)))
+    items.sort(key=lambda kv: kv[0])
+    return [msg for _, msg in items]

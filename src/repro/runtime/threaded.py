@@ -7,9 +7,10 @@ queues — demonstrating that the design runs on a genuinely concurrent
 substrate, and giving the test suite a second, independent
 implementation to check against the sequential specification.
 
-Python's GIL means this is about concurrency correctness, not speedup
-(the paper's throughput claims are reproduced on the simulator; see
-DESIGN.md).
+Python's GIL means this is about concurrency correctness, not speedup;
+for multi-core parallelism see :mod:`repro.runtime.process`, which runs
+the same :class:`~repro.runtime.protocol.WorkerCore` state machine on
+OS processes.
 
 Termination: producers enqueue all events plus closing heartbeats; a
 global in-flight message counter reaches zero only when every queue has
@@ -21,30 +22,34 @@ from __future__ import annotations
 
 import queue
 import threading
-from collections import Counter
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
 from ..core.errors import RuntimeFault
-from ..core.events import Event, ImplTag
 from ..core.program import DGSProgram
-from ..plans.plan import PlanNode, SyncPlan
+from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
-from .mailbox import Buffered, Mailbox
-from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+from .protocol import (
+    OutputSink,
+    RunStatsMixin,
+    WorkerCore,
+    end_timestamp,
+    initial_leaf_states,
+    producer_messages,
+)
 from .runtime import InputStream
 
 _STOP = object()
 
 
 @dataclass
-class ThreadedResult:
+class ThreadedResult(RunStatsMixin):
     outputs: List[Any] = field(default_factory=list)
     joins: int = 0
     events_processed: int = 0
-
-    def output_multiset(self) -> Counter:
-        return Counter(map(repr, self.outputs))
+    events_in: int = 0
+    wall_s: float = 0.0
 
 
 class _Router:
@@ -79,188 +84,52 @@ class _Router:
             q.put(_STOP)
 
 
+class _SharedSink(OutputSink):
+    """Sink multiplexing every worker's outputs into one ThreadedResult."""
+
+    __slots__ = ("result", "lock")
+
+    def __init__(self, result: ThreadedResult, lock: threading.Lock) -> None:
+        self.result = result
+        self.lock = lock
+
+    def emit(self, outs: Sequence[Any]) -> None:
+        if outs:
+            with self.lock:
+                self.result.outputs.extend(outs)
+
+    def count_event(self) -> None:
+        with self.lock:
+            self.result.events_processed += 1
+
+    def count_join(self) -> None:
+        with self.lock:
+            self.result.joins += 1
+
+
 class _ThreadedWorker(threading.Thread):
-    """One plan worker on its own thread — the WorkerActor state
-    machine without the simulator."""
+    """One plan worker on its own thread — the WorkerCore state machine
+    plus a blocking inbox loop."""
 
     def __init__(
         self,
-        node: PlanNode,
-        plan: SyncPlan,
-        program: DGSProgram,
+        core: WorkerCore,
         router: _Router,
-        result: ThreadedResult,
-        result_lock: threading.Lock,
     ) -> None:
-        super().__init__(name=f"worker:{node.id}", daemon=True)
-        self.node = node
-        self.plan = plan
-        self.program = program
+        super().__init__(name=f"worker:{core.node.id}", daemon=True)
+        self.core = core
         self.router = router
-        self.result = result
-        self.result_lock = result_lock
-        self.inbox = router.register(node.id)
+        self.inbox = router.register(core.node.id)
 
-        ancestors = plan.ancestors_of(node.id)
-        known = set(node.itags)
-        for anc in ancestors:
-            known |= plan.node(anc).itags
-        self.mailbox = Mailbox(known, program.depends)
-        self.is_leaf = node.is_leaf
-        st = program.state_type(node.state_type)
-        self.update = st.update
-        if not self.is_leaf:
-            left, right = node.children
-            self.join_fn = program.join_for(left.state_type, right.state_type, node.state_type)
-            self.fork_fn = program.fork_for(node.state_type, left.state_type, right.state_type)
-            tags_l = {t.tag for t in plan.subtree_itags(left.id)}
-            tags_r = {t.tag for t in plan.subtree_itags(right.id)}
-            self.pred_left = program.true_pred().restrict(tags_l)
-            self.pred_right = program.true_pred().restrict(tags_r)
-            self.children = (left.id, right.id)
-        parent = plan.parent_of(node.id)
-        self.parent_id = parent.id if parent else None
-
-        self.state: Any = None
-        self.has_state = self.is_leaf
-        self.pending: List[Buffered] = []
-        self.blocked = False
-        self._join_seq = 0
-        self._current: Optional[Tuple[Tuple[str, int], Any, Dict[str, Any]]] = None
-        self._absorb_restore: Optional[Tuple[str, int]] = None
-        self._last_relayed: Dict[ImplTag, Any] = {}
-        self._inflight_tags: Dict[ImplTag, int] = {}
-
-    # -- thread loop -----------------------------------------------------
     def run(self) -> None:
         while True:
             msg = self.inbox.get()
             if msg is _STOP:
                 return
             try:
-                self._handle(msg)
+                self.core.handle(msg)
             finally:
                 self.router.done()
-
-    def _handle(self, msg: Any) -> None:
-        if isinstance(msg, EventMsg):
-            self._enqueue(self.mailbox.insert(msg.event.itag, msg.event.order_key, msg))
-        elif isinstance(msg, HeartbeatMsg):
-            self._enqueue(self.mailbox.advance(msg.itag, msg.key))
-        elif isinstance(msg, JoinRequest):
-            self._enqueue(self.mailbox.insert(msg.itag, msg.key, msg))
-        elif isinstance(msg, JoinResponse):
-            self._on_join_response(msg)
-        elif isinstance(msg, ForkStateMsg):
-            self._on_fork_state(msg)
-        else:  # pragma: no cover - defensive
-            raise RuntimeFault(f"unexpected message {msg!r}")
-        self._drain()
-        self._relay_frontiers()
-
-    # -- protocol (mirrors WorkerActor) ------------------------------------
-    def _enqueue(self, released: List[Buffered]) -> None:
-        for b in released:
-            self._inflight_tags[b.itag] = self._inflight_tags.get(b.itag, 0) + 1
-        self.pending.extend(released)
-
-    def _drain(self) -> None:
-        while self.pending and not self.blocked:
-            buffered = self.pending.pop(0)
-            self._inflight_tags[buffered.itag] -= 1
-            item = buffered.item
-            if isinstance(item, EventMsg):
-                self._process_event(item.event)
-            else:
-                self._process_join_request(item)
-
-    def _emit(self, outs: Sequence[Any]) -> None:
-        if outs:
-            with self.result_lock:
-                self.result.outputs.extend(outs)
-
-    def _process_event(self, event: Event) -> None:
-        with self.result_lock:
-            self.result.events_processed += 1
-        if self.is_leaf:
-            self.state, outs = self.update(self.state, event)
-            self._emit(outs)
-        else:
-            self._start_join(("event", event))
-
-    def _process_join_request(self, req: JoinRequest) -> None:
-        if self.is_leaf:
-            self.router.post(
-                req.reply_to, JoinResponse(req.req_id, req.side, self.state, 1.0)
-            )
-            self.state = None
-            self.has_state = False
-            self.blocked = True
-        else:
-            self._start_join(("parent", req))
-
-    def _start_join(self, ctx: Tuple[str, Any]) -> None:
-        self._join_seq += 1
-        req_id = (self.node.id, self._join_seq)
-        itag = ctx[1].itag
-        key = ctx[1].order_key if ctx[0] == "event" else ctx[1].key
-        for side, child in zip(("left", "right"), self.children):
-            self.router.post(child, JoinRequest(req_id, itag, key, self.node.id, side))
-        self.blocked = True
-        self._current = (req_id, ctx, {})
-
-    def _on_join_response(self, msg: JoinResponse) -> None:
-        assert self._current is not None and self._current[0] == msg.req_id
-        req_id, ctx, states = self._current
-        states[msg.side] = msg.state
-        if len(states) < 2:
-            return
-        joined = self.join_fn(states["left"], states["right"])
-        with self.result_lock:
-            self.result.joins += 1
-        self._current = None
-        if ctx[0] == "event":
-            with self.result_lock:
-                self.result.events_processed += 1
-            joined, outs = self.update(joined, ctx[1])
-            self._emit(outs)
-            self._fork_down(req_id, joined)
-            self.blocked = False
-        else:
-            req: JoinRequest = ctx[1]
-            self.router.post(req.reply_to, JoinResponse(req.req_id, req.side, joined, 1.0))
-            self._absorb_restore = req_id
-
-    def _on_fork_state(self, msg: ForkStateMsg) -> None:
-        if self.is_leaf:
-            self.state = msg.state
-            self.has_state = True
-        else:
-            sub = self._absorb_restore
-            self._absorb_restore = None
-            self._fork_down(sub, msg.state)  # type: ignore[arg-type]
-        self.blocked = False
-
-    def _fork_down(self, req_id: Tuple[str, int], state: Any) -> None:
-        s_l, s_r = self.fork_fn(state, self.pred_left, self.pred_right)
-        for child, s in zip(self.children, (s_l, s_r)):
-            self.router.post(child, ForkStateMsg(req_id, s, 1.0))
-
-    def _relay_frontiers(self) -> None:
-        if self.is_leaf:
-            return
-        for itag in self.mailbox.itags:
-            if self._inflight_tags.get(itag, 0) > 0:
-                continue
-            frontier = self.mailbox.frontier(itag)
-            if frontier is None or frontier[0] == float("-inf"):
-                continue
-            last = self._last_relayed.get(itag)
-            if last is not None and last >= frontier:
-                continue
-            self._last_relayed[itag] = frontier
-            for child in self.children:
-                self.router.post(child, HeartbeatMsg(itag, frontier))
 
 
 class ThreadedRuntime:
@@ -276,66 +145,40 @@ class ThreadedRuntime:
         router = _Router()
         result = ThreadedResult()
         lock = threading.Lock()
+        sink = _SharedSink(result, lock)
         workers = {
-            n.id: _ThreadedWorker(n, self.plan, self.program, router, result, lock)
+            n.id: _ThreadedWorker(
+                WorkerCore(n, self.plan, self.program, router.post, sink), router
+            )
             for n in self.plan.workers()
         }
-        # Distribute the initial state down the tree (C2-consistent).
-
-        def distribute(node_id: str, state: Any) -> None:
-            w = workers[node_id]
-            if w.is_leaf:
-                w.state = state
-                w.has_state = True
-                return
-            s_l, s_r = w.fork_fn(state, w.pred_left, w.pred_right)
-            distribute(w.children[0], s_l)
-            distribute(w.children[1], s_r)
-
-        distribute(self.plan.root.id, self.program.init())
+        for leaf_id, state in initial_leaf_states(self.plan, self.program).items():
+            workers[leaf_id].core.state = state
+            workers[leaf_id].core.has_state = True
         for w in workers.values():
             w.start()
 
         # Producers: enqueue events and heartbeats in timestamp order
         # per stream (one virtual producer thread each is unnecessary —
         # per-itag FIFO into the owner's queue is what matters).
-        last_ts = max(
-            (e.ts for s in streams for e in s.events), default=0.0
-        )
-        end_ts = last_ts + 1.0
+        t0 = time.perf_counter()
+        end_ts = end_timestamp(streams)
         for stream in streams:
             owner = self.plan.owner_of(stream.itag).id
-            items: List[Tuple[tuple, Any]] = []
-            for e in stream.events:
-                items.append((e.order_key, EventMsg(e)))
-            hb_times: List[float] = []
-            if stream.heartbeat_interval:
-                t = stream.heartbeat_interval
-                while t < end_ts:
-                    hb_times.append(t)
-                    t += stream.heartbeat_interval
-            hb_times.append(end_ts)
-            event_ts = {e.ts for e in stream.events}
-            from ..core.events import Heartbeat
-
-            for t in hb_times:
-                if t in event_ts:
-                    continue
-                hb = Heartbeat(stream.itag.tag, stream.itag.stream, t)
-                items.append((hb.order_key, HeartbeatMsg(stream.itag, hb.order_key)))
-            items.sort(key=lambda kv: kv[0])
-            for _, msg in items:
+            for msg in producer_messages(stream, end_ts):
                 router.post(owner, msg)
+            result.events_in += len(stream.events)
 
         if not router.idle.wait(timeout=timeout_s):
             router.stop_all()
             raise RuntimeFault("threaded runtime did not drain in time")
+        result.wall_s = time.perf_counter() - t0
         router.stop_all()
         for w in workers.values():
             w.join(timeout=5.0)
         for w in workers.values():
-            if w.mailbox.buffered_count() or w.pending:
+            if w.core.unprocessed():
                 raise RuntimeFault(
-                    f"worker {w.node.id} ended with unprocessed items"
+                    f"worker {w.core.node.id} ended with unprocessed items"
                 )
         return result

@@ -1,0 +1,85 @@
+"""Compact wire encoding for runtime messages.
+
+The process runtime ships protocol messages across OS-process
+boundaries through ``multiprocessing`` queues, which pickle every
+payload.  Pickling the message dataclasses directly works but spends
+most of the bytes on class metadata; encoding each message as a small
+tuple headed by an integer type code roughly halves the serialized
+size and sidesteps dataclass-pickling quirks across Python versions.
+
+Messages travel in *batches* (lists of encoded tuples) so producers
+and workers amortize one queue operation — one pickle, one pipe write,
+one wakeup — over many messages; see
+:class:`repro.runtime.process.ProcessRuntime` for the batching policy.
+
+Event payloads and join/fork states are application data and pass
+through unencoded: they must be picklable (every app in
+:mod:`repro.apps` uses ints, tuples, and dicts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..core.errors import RuntimeFault
+from ..core.events import Event, ImplTag
+from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+
+# Type codes: one small int per message kind.
+_EVENT = 0
+_HEARTBEAT = 1
+_JOIN_REQ = 2
+_JOIN_RESP = 3
+_FORK = 4
+
+WireMsg = Tuple[Any, ...]
+
+
+def encode_msg(msg: Any) -> WireMsg:
+    """Encode one protocol message as a compact tuple."""
+    if isinstance(msg, EventMsg):
+        e = msg.event
+        return (_EVENT, e.tag, e.stream, e.ts, e.payload)
+    if isinstance(msg, HeartbeatMsg):
+        return (_HEARTBEAT, msg.itag.tag, msg.itag.stream, msg.key)
+    if isinstance(msg, JoinRequest):
+        return (
+            _JOIN_REQ,
+            msg.req_id,
+            msg.itag.tag,
+            msg.itag.stream,
+            msg.key,
+            msg.reply_to,
+            msg.side,
+        )
+    if isinstance(msg, JoinResponse):
+        return (_JOIN_RESP, msg.req_id, msg.side, msg.state, msg.state_size)
+    if isinstance(msg, ForkStateMsg):
+        return (_FORK, msg.req_id, msg.state, msg.state_size)
+    raise RuntimeFault(f"cannot wire-encode {msg!r}")
+
+
+def decode_msg(wire: WireMsg) -> Any:
+    """Inverse of :func:`encode_msg`."""
+    code = wire[0]
+    if code == _EVENT:
+        return EventMsg(Event(wire[1], wire[2], wire[3], wire[4]))
+    if code == _HEARTBEAT:
+        return HeartbeatMsg(ImplTag(wire[1], wire[2]), tuple(wire[3]))
+    if code == _JOIN_REQ:
+        return JoinRequest(
+            tuple(wire[1]), ImplTag(wire[2], wire[3]), tuple(wire[4]), wire[5], wire[6]
+        )
+    if code == _JOIN_RESP:
+        return JoinResponse(tuple(wire[1]), wire[2], wire[3], wire[4])
+    if code == _FORK:
+        return ForkStateMsg(tuple(wire[1]), wire[2], wire[3])
+    raise RuntimeFault(f"unknown wire type code {code!r}")
+
+
+def encode_batch(msgs: Sequence[Any]) -> List[WireMsg]:
+    return [encode_msg(m) for m in msgs]
+
+
+def decode_batch(batch: Sequence[WireMsg]) -> List[Any]:
+    return [decode_msg(w) for w in batch]

@@ -20,7 +20,7 @@ schedule, same statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .core import Simulator
 from .network import Host, Topology

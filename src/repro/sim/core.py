@@ -14,7 +14,7 @@ is the hot path of every benchmark in this repository.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
 

@@ -10,7 +10,7 @@ case-study benchmarks report as "network load" (the NS3 substitute).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .params import DEFAULT_PARAMS, SimParams

@@ -18,7 +18,7 @@ paper's data generators which batch events by logical timestamp.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..apps import fraud as fraud_app
 from ..apps import pageview as pv_app

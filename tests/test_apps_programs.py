@@ -1,12 +1,10 @@
 """Tests for the application DGS programs (§4.1, Appendix A): semantics
 of each update function, consistency, and runtime-vs-spec equality."""
 
-import random
 from collections import Counter
 
-import pytest
 
-from repro.core import Event, ImplTag, check_consistency
+from repro.core import Event, check_consistency
 from repro.runtime import FluminaRuntime, run_sequential_reference
 from repro.apps import fraud, outlier, pageview, smarthome, value_barrier as vb
 

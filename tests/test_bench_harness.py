@@ -16,7 +16,7 @@ from repro.bench import (
     scaling_curve,
     speedup,
 )
-from repro.bench.harness import ScalingPoint, SweepResult
+from repro.bench.harness import ScalingPoint
 
 
 @dataclass
@@ -136,6 +136,6 @@ class TestRenderers:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         from repro.bench import publish
 
-        path = publish("unit_test_artifact", "hello table")
+        publish("unit_test_artifact", "hello table")
         assert (tmp_path / "unit_test_artifact.txt").read_text() == "hello table\n"
         assert "hello table" in capsys.readouterr().out

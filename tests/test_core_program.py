@@ -8,7 +8,6 @@ from repro.core import (
     Event,
     ForkFn,
     Heartbeat,
-    JoinFn,
     ProgramError,
     StateType,
     pred_of,

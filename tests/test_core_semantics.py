@@ -9,7 +9,6 @@ from repro.core import (
     Event,
     Parallel,
     ProgramError,
-    Update,
     evaluate,
     output_multiset,
     pred_of,

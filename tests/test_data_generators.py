@@ -2,7 +2,6 @@
 uniqueness/monotonicity (the total order O), ratio preservation, and
 the valid-input-instance properties of Definition 3.3."""
 
-import itertools
 
 import pytest
 

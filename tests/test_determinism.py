@@ -41,7 +41,6 @@ class TestSimulatorDeterminism:
         assert r1.network.remote_messages == r2.network.remote_messages
 
     def test_flink_engine_reproducible(self):
-        wl = vb.make_workload(n_value_streams=3, values_per_barrier=30, n_barriers=3)
         a = ex.flink_event_window(3)(50.0)
         b = ex.flink_event_window(3)(50.0)
         assert a.outputs == b.outputs

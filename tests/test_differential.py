@@ -1,15 +1,22 @@
 """Tests for the differential-testing utility (repro.testing) and its
-use across the simulated runtime, the threaded runtime, and the
-baseline engines."""
+use across the simulated runtime, the threaded runtime, the process
+runtime, and the baseline engines."""
 
 import random
 
 import pytest
 
-from repro.apps import keycounter as kc, value_barrier as vb
+from repro.apps import (
+    fraud,
+    keycounter as kc,
+    outlier,
+    pageview,
+    smarthome,
+    value_barrier as vb,
+)
 from repro.core import Event, ImplTag
 from repro.plans import sequential_plan
-from repro.runtime import InputStream
+from repro.runtime import InputStream, run_on_backend
 from repro.runtime.threaded import ThreadedRuntime
 from repro.testing import compare_outputs, diff_plans, diff_against_spec, fuzz_plans
 
@@ -78,6 +85,55 @@ class TestDiffPlans:
         assert report.mismatches[0].implementation == "liar"
 
 
+def _app_case(name):
+    """(program, streams, plan) for a small instance of each app in
+    repro.apps — the fixture matrix for cross-runtime equivalence."""
+    if name == "value_barrier":
+        prog = vb.make_program()
+        wl = vb.make_workload(n_value_streams=3, values_per_barrier=25, n_barriers=3)
+        return prog, vb.make_streams(wl), vb.make_plan(prog, wl)
+    if name == "fraud":
+        prog = fraud.make_program()
+        wl = fraud.make_workload(n_txn_streams=3, txns_per_rule=25, n_rules=3)
+        return prog, fraud.make_streams(wl), fraud.make_plan(prog, wl)
+    if name == "pageview":
+        prog = pageview.make_program(2)
+        wl = pageview.make_workload(
+            n_pages=2, n_view_streams=2, views_per_update=20, n_updates_per_page=3
+        )
+        return prog, pageview.make_streams(wl), pageview.make_plan(prog, wl)
+    if name == "keycounter":
+        prog, streams = kc_streams(nkeys=2, n=60, seed=17)
+        from repro.plans import random_valid_plan
+
+        plan = random_valid_plan(prog, [s.itag for s in streams], random.Random(4))
+        return prog, streams, plan
+    if name == "outlier":
+        prog = outlier.make_program()
+        conns, queries, qit = outlier.synthetic_connections(
+            n_streams=2, conns_per_query=15, n_queries=2, rate_per_ms=5.0
+        )
+        return (
+            prog,
+            outlier.make_streams(conns, queries, qit),
+            outlier.make_plan(prog, conns, qit),
+        )
+    if name == "smarthome":
+        prog = smarthome.make_program(2)
+        houses, ticks, tit = smarthome.synthetic_plug_load(
+            n_houses=2, measurements_per_slice=20, n_slices=2
+        )
+        return (
+            prog,
+            smarthome.make_streams(houses, ticks, tit),
+            smarthome.make_plan(prog, houses, tit),
+        )
+    raise AssertionError(name)
+
+
+ALL_APPS = ("value_barrier", "fraud", "pageview", "keycounter", "outlier", "smarthome")
+
+
 class TestCrossRuntimeDifferential:
     def test_simulated_threaded_and_spec_agree(self):
         prog, streams = kc_streams(nkeys=2, seed=11)
@@ -91,6 +147,27 @@ class TestCrossRuntimeDifferential:
             streams,
             {
                 "threaded": lambda: ThreadedRuntime(prog, plan).run(streams).outputs,
+            },
+        )
+        assert report.ok, [str(m) for m in report.mismatches]
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_all_apps_all_runtimes_agree(self, app):
+        """Sequential spec, threaded, and process runtimes produce
+        identical output multisets on every application in repro.apps
+        (Theorem 2.4's determinism up to reordering, checked on every
+        real substrate)."""
+        prog, streams, plan = _app_case(app)
+        report = diff_against_spec(
+            prog,
+            streams,
+            {
+                backend: (
+                    lambda b=backend: run_on_backend(
+                        b, prog, plan, streams
+                    ).outputs
+                )
+                for backend in ("threaded", "process")
             },
         )
         assert report.ok, [str(m) for m in report.mismatches]

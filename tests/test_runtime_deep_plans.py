@@ -10,7 +10,7 @@ import pytest
 
 from repro.apps import keycounter as kc, pageview as pv, value_barrier as vb
 from repro.core import Event, ImplTag
-from repro.plans import chain_plan, forest_plan, is_p_valid
+from repro.plans import chain_plan, is_p_valid
 from repro.runtime import FluminaRuntime, InputStream, run_sequential_reference
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DependenceRelation, Event, Heartbeat, ImplTag, InputError
+from repro.core import DependenceRelation, Event, ImplTag, InputError
 from repro.runtime import Mailbox
 
 

@@ -85,7 +85,7 @@ class TestActorDelivery:
     def test_request_response_roundtrip(self):
         sys = make_system(2)
         a = sys.add(Echo("a", "node0"))
-        b = sys.add(Echo("b", "node1"))
+        sys.add(Echo("b", "node1"))
 
         class Caller(Echo):
             def handle(self, msg, sender):

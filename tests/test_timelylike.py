@@ -122,9 +122,10 @@ class TestApps:
         assert got == _spec_projected(pv, wl)
 
     def test_fraud_scales_via_feedback(self):
-        mk = lambda p: fraud.make_workload(
-            n_txn_streams=p, txns_per_rule=400, n_rules=3, txn_rate_per_ms=800.0
-        )
+        def mk(p):
+            return fraud.make_workload(
+                n_txn_streams=p, txns_per_rule=400, n_rules=3, txn_rate_per_ms=800.0
+            )
         r1 = build_fraud_job(mk(1), n_workers=1).run()
         r8 = build_fraud_job(mk(8), n_workers=8).run()
         assert r8.throughput_events_per_ms > 3.0 * r1.throughput_events_per_ms
