@@ -1,0 +1,83 @@
+"""Recovery overhead: the wall-clock cost of surviving a worker crash
+via Appendix-D.2 checkpoints (restore the last root-join snapshot,
+replay the input suffix) on the real substrates.
+
+Not a paper artifact — the paper argues the snapshots are free but
+never measures recovery; this table quantifies restore+replay cost so
+regressions in the fault path show up as numbers, not just test
+failures.  Outputs of the faulty run are multiset-verified against the
+clean run, so the overhead ratio can never be bought by dropping work.
+"""
+
+from conftest import quick
+
+from repro.apps import value_barrier as vb
+from repro.bench import measure_recovery_overhead, publish, render_table
+from repro.runtime import CrashFault, FaultPlan
+
+
+def _case(n_value_streams: int, values_per_barrier: int, n_barriers: int):
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=n_value_streams,
+        values_per_barrier=values_per_barrier,
+        n_barriers=n_barriers,
+    )
+    streams = vb.make_streams(wl)
+    plan = vb.make_plan(prog, wl)
+    return prog, streams, plan
+
+
+def test_recovery_overhead_by_backend(benchmark):
+    QUICK = quick()
+    prog, streams, plan = _case(
+        n_value_streams=2 if QUICK else 4,
+        values_per_barrier=40 if QUICK else 200,
+        n_barriers=3 if QUICK else 6,
+    )
+    # Crash one leaf right after the second barrier: one checkpoint to
+    # restore, most of the input left to replay — the expensive case.
+    barrier2 = streams[-1].events[1].ts + 0.01
+    crashed_leaf = plan.leaves()[0].id
+
+    def fault_plan_factory():
+        return FaultPlan(CrashFault(crashed_leaf, at_ts=barrier2))
+
+    def run():
+        return {
+            backend: measure_recovery_overhead(
+                prog,
+                plan,
+                streams,
+                backend=backend,
+                fault_plan_factory=fault_plan_factory,
+                repeats=1 if QUICK else 2,
+            )
+            for backend in ("threaded", "process")
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    backends = list(points)
+    text = render_table(
+        "Crash-recovery overhead (checkpoint restore + suffix replay)",
+        "backend",
+        backends,
+        {
+            "clean s": [points[b].clean_wall_s for b in backends],
+            "faulty s": [points[b].faulty_wall_s for b in backends],
+            "overhead x": [points[b].overhead_ratio for b in backends],
+            "attempts": [points[b].attempts for b in backends],
+            "replayed ev": [points[b].replayed_events for b in backends],
+        },
+        note=(
+            f"1 leaf crash after barrier 2; checkpoints at every root join; "
+            f"outputs verified equal: "
+            f"{all(points[b].outputs_equal for b in backends)}"
+        ),
+    )
+    publish("recovery_overhead", text)
+
+    for b in backends:
+        assert points[b].outputs_equal, f"{b}: faulty run diverged from clean run"
+        assert points[b].attempts == 2
+        assert points[b].crashes == 1

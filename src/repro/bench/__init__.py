@@ -3,6 +3,7 @@ experiment drivers for every paper figure/table, and ASCII renderers."""
 
 from .harness import (
     RatePoint,
+    RecoveryOverheadPoint,
     ScalingPoint,
     SweepResult,
     WallClockPoint,
@@ -11,6 +12,7 @@ from .harness import (
     compare_backends,
     latency_profile,
     max_throughput,
+    measure_recovery_overhead,
     scaling_curve,
     speedup,
 )
@@ -18,6 +20,7 @@ from .tables import publish, render_matrix, render_table, results_dir
 
 __all__ = [
     "RatePoint",
+    "RecoveryOverheadPoint",
     "ScalingPoint",
     "SweepResult",
     "WallClockPoint",
@@ -26,6 +29,7 @@ __all__ = [
     "compare_backends",
     "latency_profile",
     "max_throughput",
+    "measure_recovery_overhead",
     "publish",
     "render_matrix",
     "render_table",

@@ -212,6 +212,108 @@ def backend_speedup(
     return {name: p.events_per_s / base_eps for name, p in points.items()}
 
 
+# ---------------------------------------------------------------------------
+# Recovery overhead (fault injection + checkpoint restore + replay)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryOverheadPoint:
+    """Wall-clock cost of surviving injected crashes on one backend.
+
+    ``overhead_ratio`` is faulty/clean wall time: 1.0 means recovery
+    was free, 2.0 means the crashes doubled the run.  ``outputs_equal``
+    records the differential check — an overhead number for a run that
+    dropped or duplicated outputs would be meaningless."""
+
+    backend: str
+    clean_wall_s: float
+    faulty_wall_s: float
+    attempts: int
+    crashes: int
+    replayed_events: int
+    checkpoints_taken: int
+    outputs_equal: bool
+
+    @property
+    def overhead_ratio(self) -> float:
+        return (
+            self.faulty_wall_s / self.clean_wall_s
+            if self.clean_wall_s > 0
+            else math.nan
+        )
+
+
+def measure_recovery_overhead(
+    program: Any,
+    plan: Any,
+    streams: Sequence[Any],
+    *,
+    backend: str = "threaded",
+    fault_plan_factory: Callable[[], Any],
+    checkpoint_predicate_factory: Optional[Callable[[], Any]] = None,
+    repeats: int = 1,
+    timeout_s: float = 120.0,
+    **opts: Any,
+) -> RecoveryOverheadPoint:
+    """Measure the wall-clock cost of checkpoint-based crash recovery.
+
+    Runs the workload fault-free and with the injected fault plan on
+    the same backend, best-of-``repeats`` each, and reports the ratio.
+    The clean baseline runs with the *same* checkpoint predicate armed,
+    so the ratio isolates the crash + restore + replay cost rather than
+    folding the snapshotting itself into "overhead" (the paper's claim
+    is precisely that the snapshots are free).
+    ``fault_plan_factory`` (rather than a plan instance) because fault
+    plans record which crashes fired — each repeat needs a fresh one;
+    same for stateful checkpoint predicates.
+    """
+    from ..runtime import get_backend  # runtime does not import bench; no cycle
+    from ..runtime.checkpoint import every_root_join
+
+    if checkpoint_predicate_factory is None:
+        checkpoint_predicate_factory = every_root_join
+    be = get_backend(backend)
+
+    clean_best: Optional[Any] = None
+    for _ in range(max(1, repeats)):
+        run = be.run(
+            program,
+            plan,
+            streams,
+            checkpoint_predicate=checkpoint_predicate_factory(),
+            timeout_s=timeout_s,
+            **opts,
+        )
+        if clean_best is None or run.wall_s < clean_best.wall_s:
+            clean_best = run
+
+    faulty_best: Optional[Any] = None
+    for _ in range(max(1, repeats)):
+        run = be.run(
+            program,
+            plan,
+            streams,
+            fault_plan=fault_plan_factory(),
+            checkpoint_predicate=checkpoint_predicate_factory(),
+            timeout_s=timeout_s,
+            **opts,
+        )
+        if faulty_best is None or run.wall_s < faulty_best.wall_s:
+            faulty_best = run
+
+    rec = faulty_best.recovery
+    return RecoveryOverheadPoint(
+        backend=backend,
+        clean_wall_s=clean_best.wall_s,
+        faulty_wall_s=faulty_best.wall_s,
+        attempts=rec.attempts,
+        crashes=len(rec.crashes),
+        replayed_events=rec.replayed_events,
+        checkpoints_taken=rec.checkpoints_taken,
+        outputs_equal=faulty_best.output_multiset() == clean_best.output_multiset(),
+    )
+
+
 def scaling_curve(
     run_factory: Callable[[int], Callable[[float], Any]],
     parallelism_levels: Sequence[int],

@@ -1,0 +1,368 @@
+"""Deterministic chaos-testing harness: seeded fault-injection sweeps
+differentially verified against the sequential specification.
+
+The DiffStream methodology (the authors' companion work, already used
+by :mod:`repro.testing`) says the strongest practical check for a
+parallel streaming system is *differential multiset equality*.  This
+module extends that check to executions with injected faults: each
+:class:`ChaosCase` is derived **entirely from one integer seed** — the
+application, the workload, the synchronization plan, and the fault
+schedule (worker crashes keyed by event count or timestamp, heartbeat
+drops) — so every failure reproduces exactly from its case id.
+
+A case passes when the faulty execution, after checkpoint-based crash
+recovery (:mod:`repro.runtime.recovery`), produces an output multiset
+equal to ``run_sequential_reference`` on the same input.  Cases are
+generated so that crash triggers sit *after* the first synchronizing
+event: by then the root has snapshotted at least once (with
+``every_root_join``), so every generated crash is recoverable — a
+crash that would fire earlier is a different, negative scenario and is
+tested separately (``NoCheckpointError``).
+
+Run it three ways:
+
+* ``pytest tests/test_chaos.py`` — the tier-1 sweep (>= 50 cases);
+* ``python -m repro.chaos --cases 50 --seed 0`` — standalone CLI;
+* ``python -m repro.chaos --smoke`` — the CI-sized sweep.
+
+Reproduce one failure with ``python -m repro.chaos --only <case_id>``
+(the case id encodes app, backend, and seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from .apps import keycounter as kc
+from .apps import value_barrier as vb
+from .core.dependence import DependenceRelation
+from .core.events import Event, ImplTag
+from .core.program import DGSProgram, single_state_program
+from .plans.generation import root_and_leaves_plan
+from .plans.plan import SyncPlan
+from .runtime import (
+    CrashFault,
+    DropHeartbeats,
+    FaultPlan,
+    InputStream,
+    every_root_join,
+    run_on_backend,
+    run_sequential_reference,
+)
+from .testing import Mismatch, compare_outputs
+
+APPS = ("value-barrier", "keycounter", "value-barrier-echo")
+
+
+def make_echo_program() -> DGSProgram:
+    """Value-barrier variant whose *values also emit* — every leaf
+    produces outputs, so the commit-prefix/discard-suffix logic of the
+    recovery driver is exercised on leaf-emitted outputs, not only on
+    the root's window aggregates."""
+
+    def update(state, event):
+        if event.tag == vb.VALUE_TAG:
+            return state + int(event.payload), [("v", event.ts, int(event.payload))]
+        return 0, [("window_sum", event.ts, state)]
+
+    def fork(state, pred1, pred2):
+        if vb.BARRIER_TAG in pred2 and vb.BARRIER_TAG not in pred1:
+            return 0, state
+        return state, 0
+
+    return single_state_program(
+        name="value-barrier-echo",
+        tags=vb.TAGS,
+        depends=DependenceRelation.from_function(vb.TAGS, vb.depends_fn),
+        init=lambda: 0,
+        update=update,
+        fork=fork,
+        join=lambda a, b: a + b,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One seeded scenario; everything else derives from ``seed``."""
+
+    app: str
+    backend: str
+    seed: int
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.app}-{self.backend}-s{self.seed}"
+
+
+@dataclass
+class ChaosOutcome:
+    case: ChaosCase
+    ok: bool
+    mismatch: Optional[Mismatch]
+    attempts: int
+    crashes: int
+    drops_scheduled: int
+    checkpoints_taken: int
+    replayed_events: int
+
+    @property
+    def recovered(self) -> bool:
+        return self.crashes > 0
+
+
+# ---------------------------------------------------------------------------
+# Seeded workload + plan + fault-schedule derivation
+# ---------------------------------------------------------------------------
+
+def _monotone_ts(rng: random.Random, n: int, start: float, mean_gap: float) -> List[float]:
+    ts: List[float] = []
+    t = start
+    for _ in range(n):
+        t += rng.uniform(0.4, 1.6) * mean_gap
+        ts.append(round(t, 3))
+    return ts
+
+
+def build_workload(case: ChaosCase):
+    """(program, streams, plan, sync_ts) for a case — the plan has the
+    globally-synchronizing tag at the root (the Appendix D.2 shape
+    checkpoint recovery requires) and one leaf per parallel stream."""
+    rng = random.Random(case.seed * 2654435761 % (2**31))
+    n_streams = rng.randint(2, 4)
+    events_per_stream = rng.randint(8, 30)
+    n_sync = rng.randint(3, 5)
+    shape = rng.choice(("balanced", "chain"))
+
+    if case.app in ("value-barrier", "value-barrier-echo"):
+        prog = vb.make_program() if case.app == "value-barrier" else make_echo_program()
+        leaf_itags = [ImplTag(vb.VALUE_TAG, f"v{s}") for s in range(n_streams)]
+        sync_itag = ImplTag(vb.BARRIER_TAG, "b")
+        payload = lambda: rng.randint(1, 9)  # noqa: E731
+    elif case.app == "keycounter":
+        # One key: the read-reset depends on every tag, so the rooted
+        # plan is recovery-sound.
+        prog = kc.make_program(1)
+        leaf_itags = [ImplTag(kc.inc_tag(0), f"i{s}") for s in range(n_streams)]
+        sync_itag = ImplTag(kc.reset_tag(0), "r")
+        payload = lambda: rng.randint(1, 3)  # noqa: E731
+    else:  # pragma: no cover - guarded by APPS
+        raise ValueError(f"unknown chaos app {case.app!r}")
+
+    span = events_per_stream * 1.0
+    streams = []
+    for itag in leaf_itags:
+        ts = _monotone_ts(rng, events_per_stream, rng.uniform(0.0, 0.5), 1.0)
+        events = tuple(Event(itag.tag, itag.stream, t, payload()) for t in ts)
+        streams.append(
+            InputStream(itag, events, heartbeat_interval=rng.choice((1.0, 2.0, 5.0)))
+        )
+    sync_gap = span / (n_sync + 1)
+    sync_ts = _monotone_ts(rng, n_sync, sync_gap * 0.5, sync_gap)
+    sync_events = tuple(Event(sync_itag.tag, sync_itag.stream, t) for t in sync_ts)
+    streams.append(InputStream(sync_itag, sync_events, heartbeat_interval=2.0))
+
+    plan = root_and_leaves_plan(
+        prog, [sync_itag], [[t] for t in leaf_itags], shape=shape
+    )
+    return prog, streams, plan, sync_ts
+
+
+def build_fault_schedule(
+    case: ChaosCase, streams: Sequence[InputStream], plan: SyncPlan, sync_ts: List[float]
+) -> FaultPlan:
+    """Derive the case's fault schedule from its seed.
+
+    Crash triggers are placed strictly after the first synchronizing
+    event, which guarantees (see module docstring) a checkpoint exists
+    whenever the crash fires; drop windows stay below the last event
+    timestamp so the closing heartbeat always gets through.
+    """
+    rng = random.Random(case.seed * 1103515245 % (2**31) + 12345)
+    first_sync = sync_ts[0]
+    last_ts = max(e.ts for s in streams for e in s.events)
+    owners = {s.itag: plan.owner_of(s.itag).id for s in streams}
+    leaf_streams = [s for s in streams[:-1]]
+    faults: List[Any] = []
+
+    n_crashes = rng.choice((1, 1, 1, 2))
+    for _ in range(n_crashes):
+        kind = rng.random()
+        if kind < 0.4:
+            # Timestamp-keyed crash at a random leaf.
+            s = rng.choice(leaf_streams)
+            t = rng.uniform(first_sync + 0.05, last_ts)
+            faults.append(CrashFault(owners[s.itag], at_ts=round(t, 3)))
+        elif kind < 0.7:
+            # Count-keyed crash at a leaf: fire on one of its events
+            # that lies after the first synchronizing event.
+            s = rng.choice(leaf_streams)
+            late = [i for i, e in enumerate(s.events) if e.ts > first_sync]
+            if not late:
+                continue
+            nth = rng.choice(late) + 1
+            faults.append(CrashFault(owners[s.itag], after_events=nth))
+        else:
+            # Root crash on a synchronizing event after the first.
+            nth = rng.randint(2, len(sync_ts))
+            faults.append(CrashFault(plan.root.id, after_events=nth))
+
+    n_drops = rng.choice((0, 1, 1, 2))
+    workers = [n.id for n in plan.workers()]
+    for _ in range(n_drops):
+        faults.append(
+            DropHeartbeats(
+                rng.choice(workers),
+                before_ts=round(rng.uniform(0.3, 0.95) * last_ts, 3),
+                count=rng.choice((None, 1, 3, 8)),
+            )
+        )
+    return FaultPlan(*faults)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def run_chaos_case(case: ChaosCase, *, timeout_s: float = 60.0) -> ChaosOutcome:
+    prog, streams, plan, sync_ts = build_workload(case)
+    fault_plan = build_fault_schedule(case, streams, plan, sync_ts)
+    n_drops = sum(1 for f in fault_plan.faults if isinstance(f, DropHeartbeats))
+    run = run_on_backend(
+        case.backend,
+        prog,
+        plan,
+        streams,
+        fault_plan=fault_plan,
+        checkpoint_predicate=every_root_join(),
+        timeout_s=timeout_s,
+    )
+    reference = run_sequential_reference(prog, streams)
+    mismatch = compare_outputs(reference, run.outputs, case.case_id)
+    rec = run.recovery
+    return ChaosOutcome(
+        case=case,
+        ok=mismatch is None,
+        mismatch=mismatch,
+        attempts=rec.attempts,
+        crashes=len(rec.crashes),
+        drops_scheduled=n_drops,
+        checkpoints_taken=rec.checkpoints_taken,
+        replayed_events=rec.replayed_events,
+    )
+
+
+def generate_cases(
+    *,
+    seed: int = 0,
+    n_cases: int = 50,
+    backends: Sequence[str] = ("threaded", "process"),
+    apps: Sequence[str] = APPS,
+) -> List[ChaosCase]:
+    """``n_cases`` seeded scenarios, spread round-robin over backends
+    and apps; the per-case seed stream is itself derived from ``seed``
+    so the whole sweep reproduces from one integer."""
+    rng = random.Random(seed)
+    cases = []
+    for i in range(n_cases):
+        cases.append(
+            ChaosCase(
+                app=apps[i % len(apps)],
+                backend=backends[(i // len(apps)) % len(backends)],
+                seed=rng.randrange(10**6),
+            )
+        )
+    return cases
+
+
+@dataclass
+class ChaosSummary:
+    outcomes: List[ChaosOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[ChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def describe(self) -> str:
+        n = len(self.outcomes)
+        recovered = sum(1 for o in self.outcomes if o.recovered)
+        crashes = sum(o.crashes for o in self.outcomes)
+        replayed = sum(o.replayed_events for o in self.outcomes)
+        by_backend: Dict[str, int] = {}
+        for o in self.outcomes:
+            by_backend[o.case.backend] = by_backend.get(o.case.backend, 0) + 1
+        lines = [
+            f"chaos sweep: {n} cases "
+            f"({', '.join(f'{b}: {c}' for b, c in sorted(by_backend.items()))})",
+            f"  crashed+recovered: {recovered} cases, {crashes} injected crashes, "
+            f"{replayed} events replayed",
+            f"  checkpoints taken: {sum(o.checkpoints_taken for o in self.outcomes)}",
+            f"  result: {'OK' if self.ok else f'{len(self.failures)} FAILURES'}",
+        ]
+        for o in self.failures:
+            lines.append(f"  FAIL {o.case.case_id}: {o.mismatch}")
+        return "\n".join(lines)
+
+
+def run_chaos_suite(
+    *,
+    seed: int = 0,
+    n_cases: int = 50,
+    backends: Sequence[str] = ("threaded", "process"),
+    only: Optional[str] = None,
+    timeout_s: float = 60.0,
+) -> ChaosSummary:
+    cases = generate_cases(seed=seed, n_cases=n_cases, backends=backends)
+    if only is not None:
+        cases = [c for c in cases if c.case_id == only]
+        if not cases:
+            raise SystemExit(f"no case {only!r} in this sweep (seed={seed})")
+    return ChaosSummary([run_chaos_case(c, timeout_s=timeout_s) for c in cases])
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="seeded fault-injection sweep, verified against the sequential spec",
+    )
+    ap.add_argument("--seed", type=int, default=0, help="sweep seed (default 0)")
+    ap.add_argument(
+        "--cases", type=int, default=None,
+        help="number of cases (default 50, or 12 under --smoke)",
+    )
+    ap.add_argument(
+        "--backends",
+        default="threaded,process",
+        help="comma-separated runtime backends (default threaded,process)",
+    )
+    ap.add_argument(
+        "--only", default=None, metavar="CASE_ID",
+        help="re-run a single case id from the sweep (reproduces a failure)",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (12 cases) unless --cases is given explicitly",
+    )
+    args = ap.parse_args(argv)
+    n_cases = args.cases
+    if n_cases is None:
+        n_cases = 12 if args.smoke else 50
+    summary = run_chaos_suite(
+        seed=args.seed,
+        n_cases=n_cases,
+        backends=tuple(args.backends.split(",")),
+        only=args.only,
+    )
+    print(summary.describe())
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(_main())

@@ -42,5 +42,21 @@ class RuntimeFault(ReproError):
     """The runtime reached an impossible or unsupported configuration."""
 
 
+class NoCheckpointError(RuntimeFault):
+    """A worker crashed but no checkpoint exists to recover from.
+
+    Raised by the recovery driver instead of hanging or silently
+    restarting: either no ``checkpoint_predicate`` was configured, or
+    the crash fired before the first root join snapshotted anything.
+    """
+
+
+class RecoveryUnsoundError(RuntimeFault):
+    """Checkpoint-based recovery was requested for a plan whose root
+    snapshots are not timestamp-prefix states (a root tag does not
+    depend on every tag in the universe), so restore-and-replay could
+    double- or under-apply independent events."""
+
+
 class InputError(ReproError):
     """An input stream violates the valid-input-instance assumptions."""

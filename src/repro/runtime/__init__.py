@@ -17,19 +17,39 @@ substrate's native result into a :class:`BackendRun`.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
-from ..core.errors import RuntimeFault
+from ..core.errors import NoCheckpointError, RecoveryUnsoundError, RuntimeFault
 from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
 from .protocol import RunStatsMixin
 from .checkpoint import (
+    ByTimestampInterval,
+    Checkpoint,
+    EveryNthJoin,
+    EveryRootJoin,
     by_timestamp_interval,
     every_nth_join,
     every_root_join,
     recover,
+)
+from .faults import (
+    CrashFault,
+    CrashRecord,
+    DropHeartbeats,
+    FaultPlan,
+    WorkerCrash,
+)
+from .recovery import (
+    AttemptOutcome,
+    RecoveredRun,
+    RecoveryStep,
+    assert_recovery_sound,
+    run_with_recovery,
+    suffix_streams,
 )
 from .mailbox import Buffered, Mailbox
 from .messages import (
@@ -72,10 +92,20 @@ class BackendRun(RunStatsMixin):
     joins: int = 0
     wall_s: float = 0.0
     raw: Any = None
+    #: The RecoveredRun when the execution ran with fault_plan= (attempt
+    #: count, crash records, recovery steps); None for plain runs.
+    recovery: Any = None
 
 
 class RuntimeBackend:
-    """A named execution substrate for synchronization plans."""
+    """A named execution substrate for synchronization plans.
+
+    Every backend takes two orthogonal fault-tolerance options:
+    ``checkpoint_predicate=`` arms Appendix-D.2 snapshots at root
+    joins, and ``fault_plan=`` injects crashes/drops and drives the
+    restore-and-replay recovery loop (see
+    :mod:`repro.runtime.recovery`).
+    """
 
     name: str = "?"
 
@@ -84,8 +114,50 @@ class RuntimeBackend:
         program: DGSProgram,
         plan: SyncPlan,
         streams: Sequence[InputStream],
+        *,
+        fault_plan: Any = None,
+        checkpoint_predicate: Any = None,
         **opts: Any,
     ) -> BackendRun:
+        if fault_plan is None:
+            return self._run_plain(
+                program, plan, streams, checkpoint_predicate=checkpoint_predicate, **opts
+            )
+
+        def attempt(attempt_streams, initial_state):
+            # Stateful predicates (EveryNthJoin's counter, ...) restart
+            # per attempt on every substrate: the process backend forks
+            # a pristine copy anyway, so give threaded/sim the same
+            # semantics by deep-copying here.
+            return self._attempt(
+                program,
+                plan,
+                attempt_streams,
+                initial_state,
+                fault_plan,
+                copy.deepcopy(checkpoint_predicate),
+                **opts,
+            )
+
+        rec = run_with_recovery(attempt, program, plan, streams, fault_plan)
+        return BackendRun(
+            backend=self.name,
+            outputs=rec.outputs,
+            events_in=rec.events_in,
+            events_processed=rec.events_processed,
+            joins=rec.joins,
+            wall_s=rec.wall_s,
+            raw=rec,
+            recovery=rec,
+        )
+
+    # -- substrate hooks -------------------------------------------------
+    def _run_plain(self, program, plan, streams, *, checkpoint_predicate, **opts):
+        raise NotImplementedError
+
+    def _attempt(
+        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate, **opts
+    ) -> AttemptOutcome:
         raise NotImplementedError
 
 
@@ -94,10 +166,12 @@ class SimBackend(RuntimeBackend):
 
     name = "sim"
 
-    def run(self, program, plan, streams, **opts):
+    def _run_plain(self, program, plan, streams, *, checkpoint_predicate=None, **opts):
         opts.pop("timeout_s", None)  # wall timeouts have no simulated analogue
         t0 = time.perf_counter()
-        res = FluminaRuntime(program, plan, **opts).run(streams)
+        res = FluminaRuntime(
+            program, plan, checkpoint_predicate=checkpoint_predicate, **opts
+        ).run(streams)
         return BackendRun(
             backend=self.name,
             outputs=res.output_values(),
@@ -108,14 +182,43 @@ class SimBackend(RuntimeBackend):
             raw=res,
         )
 
+    def _attempt(
+        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate, **opts
+    ):
+        opts.pop("timeout_s", None)
+        t0 = time.perf_counter()
+        res = FluminaRuntime(
+            program,
+            plan,
+            checkpoint_predicate=checkpoint_predicate,
+            faults=fault_plan,
+            record_keys=True,
+            **opts,
+        ).run(streams, initial_state=initial_state)
+        return AttemptOutcome(
+            outputs=res.output_values(),
+            keyed_outputs=res.keyed_outputs,
+            checkpoints=res.checkpoints,
+            crashes=res.crashes,
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=time.perf_counter() - t0,
+        )
+
 
 class ThreadedBackend(RuntimeBackend):
     """One OS thread per plan worker (GIL-bound)."""
 
     name = "threaded"
 
-    def run(self, program, plan, streams, *, timeout_s: float = 60.0, **opts):
-        res = ThreadedRuntime(program, plan, **opts).run(streams, timeout_s=timeout_s)
+    def _run_plain(
+        self, program, plan, streams, *, timeout_s: float = 60.0,
+        checkpoint_predicate=None, **opts,
+    ):
+        res = ThreadedRuntime(program, plan, **opts).run(
+            streams, timeout_s=timeout_s, checkpoint_predicate=checkpoint_predicate
+        )
         return BackendRun(
             backend=self.name,
             outputs=res.outputs,
@@ -126,24 +229,43 @@ class ThreadedBackend(RuntimeBackend):
             raw=res,
         )
 
+    def _attempt(
+        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate,
+        *, timeout_s: float = 60.0, **opts,
+    ):
+        res = ThreadedRuntime(program, plan, **opts).run(
+            streams,
+            timeout_s=timeout_s,
+            initial_state=initial_state,
+            checkpoint_predicate=checkpoint_predicate,
+            faults=fault_plan,
+            record_keys=True,
+        )
+        return AttemptOutcome(
+            outputs=res.outputs,
+            keyed_outputs=res.keyed_outputs,
+            checkpoints=res.checkpoints,
+            crashes=res.crashes,
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=res.wall_s,
+        )
+
 
 class ProcessBackend(RuntimeBackend):
     """One OS process per plan worker, batched channels (multi-core)."""
 
     name = "process"
 
-    def run(
-        self,
-        program,
-        plan,
-        streams,
-        *,
-        timeout_s: float = 120.0,
-        batch_size: int = 64,
-        **opts,
+    def _run_plain(
+        self, program, plan, streams, *, timeout_s: float = 120.0,
+        batch_size: int = 64, checkpoint_predicate=None, **opts,
     ):
         rt = ProcessRuntime(program, plan, batch_size=batch_size, **opts)
-        res = rt.run(streams, timeout_s=timeout_s)
+        res = rt.run(
+            streams, timeout_s=timeout_s, checkpoint_predicate=checkpoint_predicate
+        )
         return BackendRun(
             backend=self.name,
             outputs=res.outputs,
@@ -152,6 +274,30 @@ class ProcessBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=res.wall_s,
             raw=res,
+        )
+
+    def _attempt(
+        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate,
+        *, timeout_s: float = 120.0, batch_size: int = 64, **opts,
+    ):
+        rt = ProcessRuntime(program, plan, batch_size=batch_size, **opts)
+        res = rt.run(
+            streams,
+            timeout_s=timeout_s,
+            initial_state=initial_state,
+            checkpoint_predicate=checkpoint_predicate,
+            faults=fault_plan,
+            record_keys=True,
+        )
+        return AttemptOutcome(
+            outputs=res.outputs,
+            keyed_outputs=res.keyed_outputs,
+            checkpoints=res.checkpoints,
+            crashes=res.crashes,
+            events_in=res.events_in,
+            events_processed=res.events_processed,
+            joins=res.joins,
+            wall_s=res.wall_s,
         )
 
 
@@ -187,9 +333,18 @@ def run_on_backend(
 
 __all__ = [
     "BACKENDS",
+    "AttemptOutcome",
     "BackendRun",
     "Buffered",
+    "ByTimestampInterval",
+    "Checkpoint",
+    "CrashFault",
+    "CrashRecord",
+    "DropHeartbeats",
     "EventMsg",
+    "EveryNthJoin",
+    "EveryRootJoin",
+    "FaultPlan",
     "FluminaRuntime",
     "ForkStateMsg",
     "HeartbeatMsg",
@@ -197,9 +352,13 @@ __all__ = [
     "JoinRequest",
     "JoinResponse",
     "Mailbox",
+    "NoCheckpointError",
     "ProcessBackend",
     "ProcessResult",
     "ProcessRuntime",
+    "RecoveredRun",
+    "RecoveryStep",
+    "RecoveryUnsoundError",
     "RunCollector",
     "RunResult",
     "RuntimeBackend",
@@ -208,6 +367,8 @@ __all__ = [
     "ThreadedResult",
     "ThreadedRuntime",
     "WorkerActor",
+    "WorkerCrash",
+    "assert_recovery_sound",
     "available_backends",
     "by_timestamp_interval",
     "default_state_size",
@@ -217,4 +378,6 @@ __all__ = [
     "recover",
     "run_on_backend",
     "run_sequential_reference",
+    "run_with_recovery",
+    "suffix_streams",
 ]

@@ -5,12 +5,22 @@ whenever the root has joined its descendants' states, the joined value
 *is* the global state as of the triggering event's timestamp.  The
 runtime exposes this as a ``checkpoint_predicate`` hook — called at
 every root join with the triggering event and the number of snapshots
-taken so far — and this module provides the standard policies plus a
-restore helper used by the fault-recovery tests.
+taken so far — and this module provides the standard policies plus the
+:class:`Checkpoint` record and sequential-replay helper used by the
+fault-recovery subsystem (:mod:`repro.runtime.recovery`).
+
+The policies are small callable *classes*, not closures: predicate
+state (the n-th-join counter, the last snapshot timestamp) must be
+picklable so a predicate can cross the process-runtime boundary and be
+shipped inside worker reports.  Note that stateful policies keep their
+state *per execution attempt* — a recovery attempt restarts the
+cadence, which only changes how often snapshots are taken, never their
+consistency.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, List, Sequence, Tuple
 
 from ..core.events import Event
@@ -18,39 +28,74 @@ from ..core.program import DGSProgram
 
 CheckpointPredicate = Callable[[Event, int], bool]
 
+OrderKey = Tuple
 
-def every_root_join() -> CheckpointPredicate:
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One consistent snapshot, taken at a root join.
+
+    ``key`` is the triggering event's order key (the paper's total
+    order ``O``), ``ts`` its timestamp, and ``state`` the joined root
+    state *after* applying the triggering event — i.e. the sequential
+    state of the whole computation over every event with order key
+    ``<= key``.  All fields are picklable (application states already
+    cross process boundaries as join/fork payloads).
+    """
+
+    key: OrderKey
+    ts: float
+    state: Any
+
+
+class EveryRootJoin:
     """Snapshot at every root join (the paper's default instantiation)."""
-    return lambda event, count: True
+
+    def __call__(self, event: Event, count: int) -> bool:
+        return True
 
 
-def every_nth_join(n: int) -> CheckpointPredicate:
+class EveryNthJoin:
     """Snapshot at every n-th root join."""
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    counter = {"seen": 0}
 
-    def pred(event: Event, count: int) -> bool:
-        counter["seen"] += 1
-        return counter["seen"] % n == 0
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.seen = 0
 
-    return pred
+    def __call__(self, event: Event, count: int) -> bool:
+        self.seen += 1
+        return self.seen % self.n == 0
 
 
-def by_timestamp_interval(interval: float) -> CheckpointPredicate:
+class ByTimestampInterval:
     """Snapshot when at least ``interval`` timestamp units have passed
     since the previous snapshot."""
-    if interval <= 0:
-        raise ValueError("interval must be positive")
-    last = {"ts": float("-inf")}
 
-    def pred(event: Event, count: int) -> bool:
-        if event.ts - last["ts"] >= interval:
-            last["ts"] = event.ts
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.last_ts = float("-inf")
+
+    def __call__(self, event: Event, count: int) -> bool:
+        if event.ts - self.last_ts >= self.interval:
+            self.last_ts = event.ts
             return True
         return False
 
-    return pred
+
+def every_root_join() -> CheckpointPredicate:
+    return EveryRootJoin()
+
+
+def every_nth_join(n: int) -> CheckpointPredicate:
+    return EveryNthJoin(n)
+
+
+def by_timestamp_interval(interval: float) -> CheckpointPredicate:
+    return ByTimestampInterval(interval)
 
 
 def recover(
@@ -62,8 +107,10 @@ def recover(
     to the events after the checkpoint (sorted by the order relation),
     returning the final state and the replayed outputs.
 
-    This models crash recovery: a restarted deployment loads the
-    snapshot and replays its input log suffix.
+    This is the sequential model of crash recovery; the distributed
+    form — restart the plan's workers from the snapshot and replay the
+    input suffix through the full protocol — lives in
+    :func:`repro.runtime.recovery.run_with_recovery`.
     """
     st = program.state_type(program.initial_type)
     state = checkpoint_state

@@ -44,7 +44,10 @@ from ..core.errors import RuntimeFault
 from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
+from .checkpoint import Checkpoint, CheckpointPredicate
+from .faults import CrashRecord, FaultPlan, WorkerCrash, WorkerFaultView
 from .protocol import (
+    INIT_STATE,
     OutputSink,
     RunStatsMixin,
     WorkerCore,
@@ -72,6 +75,29 @@ class ProcessResult(RunStatsMixin):
     wall_s: float = 0.0
     n_workers: int = 0
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: (order_key, value) log, populated only when record_keys is set.
+    keyed_outputs: List[Any] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+    crashes: List[CrashRecord] = field(default_factory=list)
+
+
+@dataclass
+class _WorkerReport:
+    """One worker's end-of-run shipment to the coordinator (picklable).
+
+    A crashed worker still ships its report — the fail-stop model
+    includes synchronous output/checkpoint logging, so everything the
+    worker fully processed before the crash travels back (what a real
+    deployment would have written to durable storage)."""
+
+    node_id: str
+    outputs: List[Any]
+    keyed_outputs: List[Any]
+    checkpoints: List[Checkpoint]
+    events_processed: int
+    joins: int
+    leftover: int
+    crash: Optional[CrashRecord] = None
 
 
 class _Channels:
@@ -82,6 +108,7 @@ class _Channels:
         self.queues = {wid: ctx.Queue() for wid in worker_ids}
         self.results = ctx.Queue()
         self.errors = ctx.Queue()
+        self.crashes = ctx.Queue()
         self.inflight = ctx.Value("q", 0, lock=True)
         self.idle = ctx.Event()
         self.idle.set()  # vacuously idle until the first post
@@ -89,6 +116,18 @@ class _Channels:
     def stop_all(self) -> None:
         for q in self.queues.values():
             q.put(_STOP)
+
+    def drain_inboxes(self) -> None:
+        """Discard whatever is still sitting in worker inboxes after an
+        aborted attempt, so no queue feeder thread stays blocked on a
+        full pipe when the queues are torn down."""
+        for q in self.queues.values():
+            try:
+                while True:
+                    q.get_nowait()
+            except queue_mod.Empty:
+                pass
+            q.cancel_join_thread()
 
 
 class _Batcher:
@@ -136,35 +175,73 @@ def _worker_main(
     channels: _Channels,
     batch_size: int,
     init_state: Optional[tuple],
+    checkpoint_predicate: Optional[CheckpointPredicate],
+    fault_view: Optional[WorkerFaultView],
+    record_keys: bool,
 ) -> None:
     """Child-process entry point: drive a WorkerCore from the inbox.
 
     Outputs accumulate in a process-local sink and travel back to the
     coordinator exactly once, on shutdown — results never compete with
     protocol traffic for the channels.
+
+    An injected :class:`WorkerCrash` makes the worker fail-stop: the
+    consequences of fully-processed events are flushed (they already
+    left the failure domain in the model), the crash is announced on
+    the dedicated queue, and from then on incoming batches are absorbed
+    unprocessed until the stop sentinel, when the report ships.
     """
     try:
         batcher = _Batcher(channels, batch_size)
-        sink = OutputSink()
-        core = WorkerCore(plan.node(node_id), plan, program, batcher.post, sink)
+        sink = OutputSink(record_keys=record_keys)
+        core = WorkerCore(
+            plan.node(node_id),
+            plan,
+            program,
+            batcher.post,
+            sink,
+            checkpoint_predicate=checkpoint_predicate,
+            faults=fault_view,
+        )
         if init_state is not None:
             core.state = init_state[0]
             core.has_state = True
         inbox = channels.queues[node_id]
+        crash: Optional[CrashRecord] = None
         while True:
             batch = inbox.get()
             if batch == _STOP:
                 break
+            if crash is not None:
+                batcher.mark_done(len(batch))
+                continue
             msgs = decode_batch(batch)
-            for msg in msgs:
-                core.handle(msg)
+            try:
+                for msg in msgs:
+                    core.handle(msg)
+            except WorkerCrash as wc:
+                crash = wc.record
+                # Ship consequences of the events processed *before*
+                # the crash, then announce it; the triggering event and
+                # the rest of the batch die with the worker.
+                batcher.flush()
+                channels.crashes.put(crash)
             # Flush consequences *before* declaring the batch done, so
             # the in-flight counter can never dip to zero while this
             # worker still owes messages to others.
             batcher.flush()
             batcher.mark_done(len(msgs))
         channels.results.put(
-            (node_id, sink.outputs, sink.events_processed, sink.joins, core.unprocessed())
+            _WorkerReport(
+                node_id,
+                sink.outputs,
+                sink.keyed_outputs,
+                sink.checkpoints,
+                sink.events_processed,
+                sink.joins,
+                core.unprocessed(),
+                crash,
+            )
         )
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
         channels.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
@@ -203,11 +280,21 @@ class ProcessRuntime:
         self._ctx = mp.get_context("fork")
 
     def run(
-        self, streams: Sequence[InputStream], *, timeout_s: float = 120.0
+        self,
+        streams: Sequence[InputStream],
+        *,
+        timeout_s: float = 120.0,
+        initial_state: Any = INIT_STATE,
+        checkpoint_predicate: Optional[CheckpointPredicate] = None,
+        faults: Optional[FaultPlan] = None,
+        record_keys: bool = False,
     ) -> ProcessResult:
+        """Execute one attempt (see :meth:`ThreadedRuntime.run` for the
+        fault-injection parameter contract: a crashed attempt returns
+        with ``crashes`` non-empty instead of raising)."""
         workers = self.plan.workers()
         channels = _Channels(self._ctx, [n.id for n in workers])
-        leaf_states = initial_leaf_states(self.plan, self.program)
+        leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
         procs = [
             self._ctx.Process(
                 target=_worker_main,
@@ -218,6 +305,9 @@ class ProcessRuntime:
                     channels,
                     self.batch_size,
                     (leaf_states[n.id],) if n.id in leaf_states else None,
+                    checkpoint_predicate,
+                    faults.view_for(n.id) if faults is not None else None,
+                    record_keys,
                 ),
                 daemon=True,
                 name=f"worker:{n.id}",
@@ -238,11 +328,13 @@ class ProcessRuntime:
                     batcher.post(owner, msg)
                 result.events_in += len(stream.events)
             batcher.flush()
-            self._await_idle(channels, procs, timeout_s)
+            crashed = self._await_idle(channels, procs, timeout_s)
             result.wall_s = time.perf_counter() - t0
 
             channels.stop_all()
             self._collect(channels, result, timeout_s)
+            if crashed:
+                channels.drain_inboxes()
         finally:
             for p in procs:
                 p.join(timeout=5.0)
@@ -254,10 +346,26 @@ class ProcessRuntime:
 
     # -- coordination helpers -------------------------------------------
     @staticmethod
-    def _await_idle(channels: _Channels, procs, timeout_s: float) -> None:
-        """Wait for quiescence, surfacing worker faults promptly."""
+    def _await_idle(channels: _Channels, procs, timeout_s: float) -> bool:
+        """Wait for quiescence or an injected crash (returns True for a
+        crashed attempt), surfacing worker faults promptly."""
         deadline = time.monotonic() + timeout_s
-        while not channels.idle.wait(timeout=0.05):
+        while True:
+            try:
+                channels.crashes.get_nowait()
+            except queue_mod.Empty:
+                pass
+            else:
+                return True
+            if channels.idle.wait(timeout=0.05):
+                # Quiescence and a crash can race: a crashed worker
+                # absorbs its backlog, so the counter may reach zero
+                # right as the announcement lands.  Crash wins.
+                try:
+                    channels.crashes.get_nowait()
+                except queue_mod.Empty:
+                    return False
+                return True
             try:
                 node_id, err = channels.errors.get_nowait()
             except queue_mod.Empty:
@@ -276,15 +384,14 @@ class ProcessRuntime:
         self, channels: _Channels, result: ProcessResult, timeout_s: float
     ) -> None:
         deadline = time.monotonic() + timeout_s
+        reports: List[_WorkerReport] = []
         for _ in range(result.n_workers):
             # Poll results and errors together: a fault after quiescence
             # (e.g. an unpicklable output killing the result put) must
             # surface with its traceback, not as a bare timeout.
             while True:
                 try:
-                    node_id, outputs, n_events, n_joins, leftover = (
-                        channels.results.get(timeout=0.05)
-                    )
+                    reports.append(channels.results.get(timeout=0.05))
                     break
                 except queue_mod.Empty:
                     try:
@@ -300,11 +407,16 @@ class ProcessRuntime:
                             "worker results missing after drain; a worker "
                             "likely crashed or produced unpicklable outputs"
                         ) from None
-            if leftover:
+        result.crashes = [r.crash for r in reports if r.crash is not None]
+        for report in reports:
+            if report.leftover and not result.crashes:
                 raise RuntimeFault(
-                    f"worker {node_id} ended with {leftover} unprocessed items; "
-                    "check heartbeats / dependence relation"
+                    f"worker {report.node_id} ended with {report.leftover} "
+                    "unprocessed items; check heartbeats / dependence relation"
                 )
-            result.outputs.extend(outputs)
-            result.events_processed += n_events
-            result.joins += n_joins
+            result.outputs.extend(report.outputs)
+            result.keyed_outputs.extend(report.keyed_outputs)
+            result.checkpoints.extend(report.checkpoints)
+            result.events_processed += report.events_processed
+            result.joins += report.joins
+        result.checkpoints.sort(key=lambda c: c.key)

@@ -36,10 +36,17 @@ from ..core.errors import RuntimeFault
 from ..core.events import Event, Heartbeat, ImplTag
 from ..core.program import DGSProgram
 from ..plans.plan import PlanNode, SyncPlan
+from .checkpoint import Checkpoint, CheckpointPredicate
+from .faults import WorkerFaultView
 from .mailbox import Buffered, Mailbox
 from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
 
 PostFn = Callable[[str, Any], None]
+
+#: Sentinel for "start from the program's init()"; a real initial state
+#: (a restored checkpoint) may legitimately be None-like, so restarts
+#: cannot overload None.
+INIT_STATE = object()
 
 
 class RunStatsMixin:
@@ -65,18 +72,40 @@ class OutputSink:
     The base class is a plain in-memory accumulator; substrates that
     share a sink across concurrent workers wrap it with their own
     synchronization.
+
+    With ``record_keys=True`` every output is additionally logged as a
+    ``(order_key, value)`` pair and root-join checkpoints are kept.
+    The fault-recovery driver needs both: after a crash it commits
+    exactly the outputs at or below the restored checkpoint's key and
+    replays the rest (exactly-once output delivery, with the in-memory
+    log standing in for a durable one).
     """
 
-    __slots__ = ("outputs", "events_processed", "joins")
+    __slots__ = (
+        "outputs",
+        "keyed_outputs",
+        "checkpoints",
+        "events_processed",
+        "joins",
+        "record_keys",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, record_keys: bool = False) -> None:
         self.outputs: List[Any] = []
+        self.keyed_outputs: List[Tuple[tuple, Any]] = []
+        self.checkpoints: List[Checkpoint] = []
         self.events_processed = 0
         self.joins = 0
+        self.record_keys = record_keys
 
-    def emit(self, outs: Sequence[Any]) -> None:
+    def emit(self, outs: Sequence[Any], key: Optional[tuple] = None) -> None:
         if outs:
             self.outputs.extend(outs)
+            if self.record_keys:
+                self.keyed_outputs.extend((key, o) for o in outs)
+
+    def checkpoint(self, ckpt: Checkpoint) -> None:
+        self.checkpoints.append(ckpt)
 
     def count_event(self) -> None:
         self.events_processed += 1
@@ -103,12 +132,17 @@ class WorkerCore:
         program: DGSProgram,
         post: PostFn,
         sink: OutputSink,
+        *,
+        checkpoint_predicate: Optional[CheckpointPredicate] = None,
+        faults: Optional[WorkerFaultView] = None,
     ) -> None:
         self.node = node
         self.plan = plan
         self.program = program
         self.post = post
         self.sink = sink
+        self.checkpoint_predicate = checkpoint_predicate
+        self.faults = faults
 
         ancestors = plan.ancestors_of(node.id)
         known = set(node.itags)
@@ -132,6 +166,7 @@ class WorkerCore:
 
         self.state: Any = None
         self.has_state = self.is_leaf
+        self._checkpoints_taken = 0
         self.pending: List[Buffered] = []
         self.blocked = False
         self._join_seq = 0
@@ -145,6 +180,8 @@ class WorkerCore:
         if isinstance(msg, EventMsg):
             self._enqueue(self.mailbox.insert(msg.event.itag, msg.event.order_key, msg))
         elif isinstance(msg, HeartbeatMsg):
+            if self.faults is not None and self.faults.should_drop_heartbeat(msg.key):
+                return
             self._enqueue(self.mailbox.advance(msg.itag, msg.key))
         elif isinstance(msg, JoinRequest):
             self._enqueue(self.mailbox.insert(msg.itag, msg.key, msg))
@@ -178,10 +215,14 @@ class WorkerCore:
                 self._process_join_request(item)
 
     def _process_event(self, event: Event) -> None:
+        if self.faults is not None:
+            # May raise WorkerCrash (fail-stop at the event boundary:
+            # nothing of this event has been applied yet).
+            self.faults.note_event(event.ts)
         self.sink.count_event()
         if self.is_leaf:
             self.state, outs = self.update(self.state, event)
-            self.sink.emit(outs)
+            self.sink.emit(outs, key=event.order_key)
         else:
             self._start_join(("event", event))
 
@@ -216,9 +257,21 @@ class WorkerCore:
         self.sink.count_join()
         self._current = None
         if ctx[0] == "event":
+            event: Event = ctx[1]
             self.sink.count_event()
-            joined, outs = self.update(joined, ctx[1])
-            self.sink.emit(outs)
+            joined, outs = self.update(joined, event)
+            self.sink.emit(outs, key=event.order_key)
+            if (
+                self.parent_id is None
+                and self.checkpoint_predicate is not None
+                and self.checkpoint_predicate(event, self._checkpoints_taken)
+            ):
+                # Appendix D.2: the root's joined state *is* a
+                # consistent snapshot as of the triggering event.
+                self._checkpoints_taken += 1
+                self.sink.checkpoint(
+                    Checkpoint(event.order_key, event.ts, joined)
+                )
             self._fork_down(req_id, joined)
             self.blocked = False
         else:
@@ -262,12 +315,17 @@ class WorkerCore:
 # Shared setup helpers
 # ---------------------------------------------------------------------------
 
-def initial_leaf_states(plan: SyncPlan, program: DGSProgram) -> Dict[str, Any]:
-    """Fork ``init()`` down the plan tree and return each leaf's share.
+def initial_leaf_states(
+    plan: SyncPlan, program: DGSProgram, root_state: Any = INIT_STATE
+) -> Dict[str, Any]:
+    """Fork the root state down the plan tree and return each leaf's
+    share.  ``root_state`` defaults to ``init()``; crash recovery
+    passes a restored checkpoint state instead (restarting the cluster
+    from the snapshot).
 
     C2-consistency makes the forked distribution equivalent to the
-    sequential initial state; running the forks in the coordinating
-    parent means worker substrates only ever receive ready-made states.
+    sequential state; running the forks in the coordinating parent
+    means worker substrates only ever receive ready-made states.
     """
     states: Dict[str, Any] = {}
 
@@ -287,7 +345,7 @@ def initial_leaf_states(plan: SyncPlan, program: DGSProgram) -> Dict[str, Any]:
         rec(left, s_l)
         rec(right, s_r)
 
-    rec(plan.root, program.init())
+    rec(plan.root, program.init() if root_state is INIT_STATE else root_state)
     return states
 
 

@@ -1,0 +1,208 @@
+"""Crash recovery: restore the last root-join checkpoint, replay the
+input suffix (paper Appendix D.2, made executable).
+
+The driver is substrate-independent and lives *above* the runtimes: an
+execution attempt runs on any backend with fault injection armed; if a
+worker fail-stops, the driver
+
+1. commits every logged output at or below the latest checkpoint's
+   order key (those are exactly the sequential prefix's outputs, see
+   below) and discards the rest,
+2. restores the checkpoint state by forking it down a **fresh** set of
+   workers (the same C2 fork used for ``init()``), and
+3. replays the buffered input suffix — every event strictly after the
+   checkpoint key — through the full protocol, until an attempt
+   finishes without crashing.
+
+Theorem 2.4's determinism-up-to-reordering is what makes this sound:
+the recovered execution's outputs are, as a multiset, exactly the
+fail-free execution's.  The argument needs the snapshot to be a
+*timestamp-prefix* state, which holds when every tag handled at the
+root depends on every tag in the universe (then each leaf answers the
+root's join request only after processing all its events below the
+join key, so the joined state — and the output log at or below that
+key — is the sequential prefix).  :func:`assert_recovery_sound` checks
+exactly this and rejects plans where restore-and-replay could double-
+or under-apply independent events.
+
+Crash faults fire once: the driver marks them fired so the replay does
+not re-kill the restarted worker.  A crash with no checkpoint to
+restore raises :class:`~repro.core.errors.NoCheckpointError` — a clean
+error, never a hang (attempts are wall-clock bounded by the
+substrates' own timeouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.errors import NoCheckpointError, RecoveryUnsoundError, RuntimeFault
+from ..core.program import DGSProgram
+from ..plans.plan import SyncPlan
+from .checkpoint import Checkpoint
+from .faults import CrashRecord, FaultPlan
+from .protocol import INIT_STATE, RunStatsMixin
+from .runtime import InputStream
+
+
+@dataclass
+class AttemptOutcome:
+    """One execution attempt, normalized across substrates."""
+
+    outputs: List[Any]
+    keyed_outputs: List[Tuple[tuple, Any]]
+    checkpoints: List[Checkpoint]
+    crashes: List[CrashRecord]
+    events_in: int = 0
+    events_processed: int = 0
+    joins: int = 0
+    wall_s: float = 0.0
+
+
+#: (streams, initial_state) -> AttemptOutcome; the fault plan and the
+#: checkpoint predicate are closed over by the backend adapter.
+AttemptFn = Callable[[Sequence[InputStream], Any], AttemptOutcome]
+
+
+@dataclass(frozen=True)
+class RecoveryStep:
+    """One restore-and-replay transition between attempts."""
+
+    attempt: int
+    crashed_workers: Tuple[str, ...]
+    resumed_from_ts: float
+    replayed_events: int
+
+
+@dataclass
+class RecoveredRun(RunStatsMixin):
+    """A complete (possibly multi-attempt) fault-tolerant execution."""
+
+    outputs: List[Any] = field(default_factory=list)
+    events_in: int = 0
+    events_processed: int = 0
+    joins: int = 0
+    wall_s: float = 0.0
+    attempts: int = 1
+    crashes: List[CrashRecord] = field(default_factory=list)
+    recoveries: List[RecoveryStep] = field(default_factory=list)
+    checkpoints_taken: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.recoveries)
+
+    @property
+    def replayed_events(self) -> int:
+        return sum(r.replayed_events for r in self.recoveries)
+
+
+def suffix_streams(
+    streams: Sequence[InputStream], key: tuple
+) -> List[InputStream]:
+    """The input log's suffix: every event strictly after ``key``.
+
+    Streams whose events are all committed stay present with an empty
+    event tuple — their closing heartbeat is still needed for the
+    replay to drain."""
+    return [
+        InputStream(
+            s.itag,
+            tuple(e for e in s.events if e.order_key > key),
+            s.source_host,
+            s.heartbeat_interval,
+        )
+        for s in streams
+    ]
+
+
+def assert_recovery_sound(plan: SyncPlan, program: DGSProgram) -> None:
+    """Reject plans whose root snapshots are not timestamp-prefix
+    states (see module docstring).  Vacuously sound for roots with no
+    tags — such plans never checkpoint, so a crash surfaces as
+    :class:`NoCheckpointError` instead of silent corruption."""
+    universe = program.depends.universe
+    for itag in plan.root.itags:
+        deps = program.depends.dependents_of(itag.tag)
+        missing = universe - deps
+        if missing:
+            raise RecoveryUnsoundError(
+                f"root tag {itag.tag!r} is independent of "
+                f"{sorted(map(repr, missing))}; its root-join snapshots are "
+                "not timestamp-prefix states, so checkpoint recovery would "
+                "be unsound for this plan (choose a plan whose root tags "
+                "depend on every tag)"
+            )
+
+
+def run_with_recovery(
+    attempt_fn: AttemptFn,
+    program: DGSProgram,
+    plan: SyncPlan,
+    streams: Sequence[InputStream],
+    fault_plan: FaultPlan,
+    *,
+    max_attempts: Optional[int] = None,
+) -> RecoveredRun:
+    """Drive attempts until one completes, recovering between crashes."""
+    if fault_plan.has_crash_faults():
+        assert_recovery_sound(plan, program)
+    # Each crash fault fires at most once, so the attempt count is
+    # bounded by construction; the cap is a backstop against bugs.
+    cap = max_attempts if max_attempts is not None else len(fault_plan.crash_indices()) + 2
+    run = RecoveredRun()
+    committed: List[Any] = []
+    pending: Sequence[InputStream] = list(streams)
+    initial: Any = INIT_STATE
+    last_ckpt: Optional[Checkpoint] = None
+    for attempt in range(1, cap + 1):
+        out = attempt_fn(pending, initial)
+        run.attempts = attempt
+        run.checkpoints_taken += len(out.checkpoints)
+        run.events_processed += out.events_processed
+        run.joins += out.joins
+        run.wall_s += out.wall_s
+        if attempt == 1:
+            run.events_in = out.events_in
+        if not out.crashes:
+            run.outputs = committed + list(out.outputs)
+            return run
+        run.crashes.extend(out.crashes)
+        for crash in out.crashes:
+            fault_plan.mark_fired(crash.fault_index)
+        # Aborting on crash detection cannot lose a needed snapshot: a
+        # worker's crash trigger only fires while processing an event,
+        # and (for sound plans) an event past root join k is released
+        # to a worker only after that join's fork reached it — by which
+        # time the root recorded checkpoint k in its synchronous log.
+        ckpt = max(out.checkpoints, key=lambda c: c.key, default=None)
+        if ckpt is not None:
+            # Commit this attempt's sequential prefix (everything at or
+            # below the snapshot key); all later outputs are discarded
+            # and regenerated by the replay — exactly-once delivery.
+            last_ckpt = ckpt
+            committed.extend(v for k, v in out.keyed_outputs if k <= ckpt.key)
+            pending = suffix_streams(pending, ckpt.key)
+            initial = ckpt.state
+        elif last_ckpt is None:
+            who = ", ".join(sorted({c.worker for c in out.crashes}))
+            raise NoCheckpointError(
+                f"worker(s) {who} crashed but no checkpoint exists to "
+                "recover from; configure checkpoint_predicate= (e.g. "
+                "every_root_join()) to enable crash recovery"
+            )
+        # else: crashed again before any new snapshot — retry the same
+        # suffix from the previously restored checkpoint.
+        run.recoveries.append(
+            RecoveryStep(
+                attempt=attempt,
+                crashed_workers=tuple(sorted({c.worker for c in out.crashes})),
+                resumed_from_ts=last_ckpt.ts,  # type: ignore[union-attr]
+                replayed_events=sum(len(s.events) for s in pending),
+            )
+        )
+    raise RuntimeFault(
+        f"recovery did not converge after {cap} attempts "
+        "(crash faults should each fire at most once)"
+    )

@@ -30,7 +30,10 @@ from ..sim.actors import ActorSystem
 from ..sim.core import Simulator
 from ..sim.network import NetworkStats, Topology
 from ..sim.params import DEFAULT_PARAMS, SimParams
+from .checkpoint import Checkpoint
+from .faults import CrashRecord, FaultPlan
 from .messages import EventMsg, HeartbeatMsg
+from .protocol import INIT_STATE
 from .worker import RunCollector, StateSizeFn, WorkerActor, default_state_size
 
 
@@ -65,8 +68,11 @@ class RunResult:
     joins: int
     network: NetworkStats
     host_utilization: Dict[str, float]
-    checkpoints: List[Tuple[float, Any]] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
     event_latencies: List[float] = field(default_factory=list)
+    #: (order_key, value) log (record_keys runs) + injected crashes.
+    keyed_outputs: List[Tuple[tuple, Any]] = field(default_factory=list)
+    crashes: List[CrashRecord] = field(default_factory=list)
 
     def event_latency_percentiles(
         self, qs: Sequence[float] = (10, 50, 90)
@@ -115,6 +121,8 @@ class FluminaRuntime:
         state_size: StateSizeFn = default_state_size,
         checkpoint_predicate: Optional[Callable[[Event, int], bool]] = None,
         track_event_latency: bool = False,
+        faults: Optional[FaultPlan] = None,
+        record_keys: bool = False,
         validate: bool = True,
     ) -> None:
         self.program = program
@@ -136,16 +144,23 @@ class FluminaRuntime:
         self.state_size = state_size
         self.checkpoint_predicate = checkpoint_predicate
         self.track_event_latency = track_event_latency
+        self.faults = faults
+        self.record_keys = record_keys
 
     # -- setup ----------------------------------------------------------------
     @staticmethod
     def actor_name_of(worker_id: str) -> str:
         return f"worker:{worker_id}"
 
-    def _build(self) -> Tuple[ActorSystem, RunCollector, Dict[str, WorkerActor]]:
+    def _build(
+        self, initial_state: Any = INIT_STATE
+    ) -> Tuple[ActorSystem, RunCollector, Dict[str, WorkerActor]]:
         sim = Simulator()
         system = ActorSystem(sim, self.topology)
-        collector = RunCollector(track_event_latency=self.track_event_latency)
+        collector = RunCollector(
+            track_event_latency=self.track_event_latency,
+            record_keys=self.record_keys,
+        )
         workers: Dict[str, WorkerActor] = {}
         for node in self.plan.workers():
             actor = WorkerActor(
@@ -158,15 +173,21 @@ class FluminaRuntime:
                 actor_name_of=self.actor_name_of,
                 state_size=self.state_size,
                 checkpoint_predicate=self.checkpoint_predicate,
+                faults=(
+                    self.faults.view_for(node.id) if self.faults is not None else None
+                ),
             )
             system.add(actor)
             workers[node.id] = actor
-        self._distribute_initial_state(workers)
+        self._distribute_initial_state(workers, initial_state)
         return system, collector, workers
 
-    def _distribute_initial_state(self, workers: Dict[str, WorkerActor]) -> None:
-        """Fork ``init()`` down the tree so every leaf holds its share
-        (consistent with the sequential initial state by C2)."""
+    def _distribute_initial_state(
+        self, workers: Dict[str, WorkerActor], root_state: Any = INIT_STATE
+    ) -> None:
+        """Fork the root state (``init()``, or a restored checkpoint)
+        down the tree so every leaf holds its share (consistent with
+        the sequential state by C2)."""
 
         def distribute(node_id: str, state: Any) -> None:
             worker = workers[node_id]
@@ -179,7 +200,10 @@ class FluminaRuntime:
             distribute(left.id, s_left)
             distribute(right.id, s_right)
 
-        distribute(self.plan.root.id, self.program.init())
+        distribute(
+            self.plan.root.id,
+            self.program.init() if root_state is INIT_STATE else root_state,
+        )
 
     # -- input feeding ------------------------------------------------------------
     def _feed(self, system: ActorSystem, streams: Sequence[InputStream]) -> Tuple[int, float, float]:
@@ -232,19 +256,30 @@ class FluminaRuntime:
         return events_in, first_ts, last_ts
 
     # -- execution ------------------------------------------------------------------
-    def run(self, streams: Sequence[InputStream], *, max_sim_events: int = 50_000_000) -> RunResult:
-        system, collector, workers = self._build()
+    def run(
+        self,
+        streams: Sequence[InputStream],
+        *,
+        max_sim_events: int = 50_000_000,
+        initial_state: Any = INIT_STATE,
+    ) -> RunResult:
+        system, collector, workers = self._build(initial_state)
         events_in, first_ts, last_ts = self._feed(system, streams)
         system.sim.run(max_events=max_sim_events)
         duration_clock = max(system.sim.now, system.last_completion)
-        for worker in workers.values():
-            if worker.mailbox.buffered_count() or worker.pending:
-                raise RuntimeFault(
-                    f"run ended with unprocessed items at {worker.name} "
-                    f"(buffered={worker.mailbox.buffered_count()}, "
-                    f"pending={len(worker.pending)}); "
-                    "check heartbeats / dependence relation"
-                )
+        if not collector.crashes:
+            # A crashed attempt legitimately strands buffered items
+            # (the dead worker's, and its blocked ancestors'); the
+            # recovery driver replays them, so only fail-free runs must
+            # prove they drained.
+            for worker in workers.values():
+                if worker.mailbox.buffered_count() or worker.pending:
+                    raise RuntimeFault(
+                        f"run ended with unprocessed items at {worker.name} "
+                        f"(buffered={worker.mailbox.buffered_count()}, "
+                        f"pending={len(worker.pending)}); "
+                        "check heartbeats / dependence relation"
+                    )
         duration = duration_clock
         util = {
             name: host.utilization(duration) if duration > 0 else 0.0
@@ -262,6 +297,8 @@ class FluminaRuntime:
             host_utilization=util,
             checkpoints=list(collector.checkpoints),
             event_latencies=collector.event_latencies,
+            keyed_outputs=list(collector.keyed_outputs),
+            crashes=list(collector.crashes),
         )
 
 

@@ -24,13 +24,16 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.errors import RuntimeFault
 from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
+from .checkpoint import Checkpoint, CheckpointPredicate
+from .faults import CrashRecord, FaultPlan, WorkerCrash
 from .protocol import (
+    INIT_STATE,
     OutputSink,
     RunStatsMixin,
     WorkerCore,
@@ -50,6 +53,10 @@ class ThreadedResult(RunStatsMixin):
     events_processed: int = 0
     events_in: int = 0
     wall_s: float = 0.0
+    #: (order_key, value) log, populated only when record_keys is set.
+    keyed_outputs: List[Any] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+    crashes: List[CrashRecord] = field(default_factory=list)
 
 
 class _Router:
@@ -61,6 +68,8 @@ class _Router:
         self._lock = threading.Lock()
         self.idle = threading.Event()
         self.idle.set()  # vacuously idle until the first post
+        self.crashed = threading.Event()
+        self.crashes: List[CrashRecord] = []
 
     def register(self, name: str) -> "queue.Queue[Any]":
         q: "queue.Queue[Any]" = queue.Queue()
@@ -79,6 +88,11 @@ class _Router:
             if self._inflight == 0:
                 self.idle.set()
 
+    def record_crash(self, record: CrashRecord) -> None:
+        with self._lock:
+            self.crashes.append(record)
+        self.crashed.set()
+
     def stop_all(self) -> None:
         for q in self.queues.values():
             q.put(_STOP)
@@ -89,14 +103,23 @@ class _SharedSink(OutputSink):
 
     __slots__ = ("result", "lock")
 
-    def __init__(self, result: ThreadedResult, lock: threading.Lock) -> None:
+    def __init__(
+        self, result: ThreadedResult, lock: threading.Lock, record_keys: bool = False
+    ) -> None:
         self.result = result
         self.lock = lock
+        self.record_keys = record_keys
 
-    def emit(self, outs: Sequence[Any]) -> None:
+    def emit(self, outs: Sequence[Any], key: Any = None) -> None:
         if outs:
             with self.lock:
                 self.result.outputs.extend(outs)
+                if self.record_keys:
+                    self.result.keyed_outputs.extend((key, o) for o in outs)
+
+    def checkpoint(self, ckpt: Checkpoint) -> None:
+        with self.lock:
+            self.result.checkpoints.append(ckpt)
 
     def count_event(self) -> None:
         with self.lock:
@@ -109,7 +132,13 @@ class _SharedSink(OutputSink):
 
 class _ThreadedWorker(threading.Thread):
     """One plan worker on its own thread — the WorkerCore state machine
-    plus a blocking inbox loop."""
+    plus a blocking inbox loop.
+
+    An injected :class:`WorkerCrash` turns the worker fail-stop: the
+    crash is reported to the router and every subsequent message is
+    silently absorbed (messages to a dead node are lost) until the stop
+    sentinel arrives.
+    """
 
     def __init__(
         self,
@@ -120,6 +149,7 @@ class _ThreadedWorker(threading.Thread):
         self.core = core
         self.router = router
         self.inbox = router.register(core.node.id)
+        self.crashed = False
 
     def run(self) -> None:
         while True:
@@ -127,7 +157,11 @@ class _ThreadedWorker(threading.Thread):
             if msg is _STOP:
                 return
             try:
-                self.core.handle(msg)
+                if not self.crashed:
+                    self.core.handle(msg)
+            except WorkerCrash as crash:
+                self.crashed = True
+                self.router.record_crash(crash.record)
             finally:
                 self.router.done()
 
@@ -141,18 +175,48 @@ class ThreadedRuntime:
             assert_p_valid(plan, program)
         self.plan = plan
 
-    def run(self, streams: Sequence[InputStream], *, timeout_s: float = 60.0) -> ThreadedResult:
+    def run(
+        self,
+        streams: Sequence[InputStream],
+        *,
+        timeout_s: float = 60.0,
+        initial_state: Any = INIT_STATE,
+        checkpoint_predicate: Optional[CheckpointPredicate] = None,
+        faults: Optional[FaultPlan] = None,
+        record_keys: bool = False,
+    ) -> ThreadedResult:
+        """Execute one attempt.
+
+        The fault-injection parameters (``initial_state``,
+        ``checkpoint_predicate``, ``faults``, ``record_keys``) default
+        to the plain fail-free execution; the recovery driver
+        (:mod:`repro.runtime.recovery`) sets them when replaying from a
+        checkpoint.  A crashed attempt *returns* (with ``crashes``
+        non-empty and the output log truncated at whatever had been
+        processed) rather than raising — deciding whether to recover is
+        the driver's job, not the substrate's.
+        """
         router = _Router()
         result = ThreadedResult()
         lock = threading.Lock()
-        sink = _SharedSink(result, lock)
+        sink = _SharedSink(result, lock, record_keys=record_keys)
         workers = {
             n.id: _ThreadedWorker(
-                WorkerCore(n, self.plan, self.program, router.post, sink), router
+                WorkerCore(
+                    n,
+                    self.plan,
+                    self.program,
+                    router.post,
+                    sink,
+                    checkpoint_predicate=checkpoint_predicate,
+                    faults=faults.view_for(n.id) if faults is not None else None,
+                ),
+                router,
             )
             for n in self.plan.workers()
         }
-        for leaf_id, state in initial_leaf_states(self.plan, self.program).items():
+        leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
+        for leaf_id, state in leaf_states.items():
             workers[leaf_id].core.state = state
             workers[leaf_id].core.has_state = True
         for w in workers.values():
@@ -169,16 +233,24 @@ class ThreadedRuntime:
                 router.post(owner, msg)
             result.events_in += len(stream.events)
 
-        if not router.idle.wait(timeout=timeout_s):
-            router.stop_all()
-            raise RuntimeFault("threaded runtime did not drain in time")
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if router.crashed.is_set():
+                break
+            if router.idle.wait(timeout=0.05):
+                break
+            if time.monotonic() > deadline:
+                router.stop_all()
+                raise RuntimeFault("threaded runtime did not drain in time")
         result.wall_s = time.perf_counter() - t0
         router.stop_all()
         for w in workers.values():
             w.join(timeout=5.0)
-        for w in workers.values():
-            if w.core.unprocessed():
-                raise RuntimeFault(
-                    f"worker {w.core.node.id} ended with unprocessed items"
-                )
+        result.crashes = list(router.crashes)
+        if not result.crashes:
+            for w in workers.values():
+                if w.core.unprocessed():
+                    raise RuntimeFault(
+                        f"worker {w.core.node.id} ended with unprocessed items"
+                    )
         return result

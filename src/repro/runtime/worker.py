@@ -39,6 +39,8 @@ from ..core.predicates import TagPredicate
 from ..core.program import DGSProgram
 from ..plans.plan import PlanNode, SyncPlan
 from ..sim.actors import Actor
+from .checkpoint import Checkpoint
+from .faults import CrashRecord, WorkerCrash, WorkerFaultView
 from .mailbox import Buffered, Mailbox
 from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
 
@@ -61,15 +63,24 @@ class RunCollector:
     joins: int = 0
     joins_per_worker: Dict[str, int] = field(default_factory=dict)
     events_processed: int = 0
-    checkpoints: List[Tuple[float, Any]] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
     #: per-event processing latency (process_time - event.ts) for every
     #: update, recorded only when track_event_latency is set (the
     #: heartbeat-sensitivity experiments of Appendix D.1 need it).
     track_event_latency: bool = False
     event_latencies: List[float] = field(default_factory=list)
+    #: (order_key, value) output log plus injected-crash records, for
+    #: the fault-recovery driver (see repro.runtime.recovery).
+    record_keys: bool = False
+    keyed_outputs: List[Tuple[tuple, Any]] = field(default_factory=list)
+    crashes: List[CrashRecord] = field(default_factory=list)
 
-    def record_output(self, value: Any, emit_time: float, event_ts: float) -> None:
+    def record_output(
+        self, value: Any, emit_time: float, event_ts: float, key: Any = None
+    ) -> None:
         self.outputs.append((value, emit_time, emit_time - event_ts))
+        if self.record_keys:
+            self.keyed_outputs.append((key, value))
 
     def record_join(self, worker: str) -> None:
         self.joins += 1
@@ -97,6 +108,7 @@ class WorkerActor(Actor):
         actor_name_of: Callable[[str], str],
         state_size: StateSizeFn = default_state_size,
         checkpoint_predicate: Optional[Callable[[Event, int], bool]] = None,
+        faults: Optional[WorkerFaultView] = None,
     ) -> None:
         super().__init__(name, host)
         self.node = node
@@ -105,6 +117,9 @@ class WorkerActor(Actor):
         self.collector = collector
         self.state_size = state_size
         self.checkpoint_predicate = checkpoint_predicate
+        self.faults = faults
+        #: Fail-stop flag: a crashed actor silently absorbs everything.
+        self.crashed = False
 
         ancestors = plan.ancestors_of(node.id)
         known = set(node.itags)
@@ -175,23 +190,34 @@ class WorkerActor(Actor):
 
     # -- actor entry point -----------------------------------------------------
     def handle(self, msg: Any, sender: Optional[str]) -> None:
-        if isinstance(msg, EventMsg):
-            released = self.mailbox.insert(msg.event.itag, msg.event.order_key, msg)
-            self._enqueue(released)
-        elif isinstance(msg, HeartbeatMsg):
-            released = self.mailbox.advance(msg.itag, msg.key)
-            self._enqueue(released)
-        elif isinstance(msg, JoinRequest):
-            released = self.mailbox.insert(msg.itag, msg.key, msg)
-            self._enqueue(released)
-        elif isinstance(msg, JoinResponse):
-            self._on_join_response(msg)
-        elif isinstance(msg, ForkStateMsg):
-            self._on_fork_state(msg)
-        else:
-            raise RuntimeFault(f"worker {self.name} got unknown message {msg!r}")
-        self._drain()
-        self._relay_frontiers()
+        if self.crashed:
+            return  # fail-stop: messages to a dead node are lost
+        try:
+            if isinstance(msg, EventMsg):
+                released = self.mailbox.insert(msg.event.itag, msg.event.order_key, msg)
+                self._enqueue(released)
+            elif isinstance(msg, HeartbeatMsg):
+                if self.faults is not None and self.faults.should_drop_heartbeat(msg.key):
+                    return
+                released = self.mailbox.advance(msg.itag, msg.key)
+                self._enqueue(released)
+            elif isinstance(msg, JoinRequest):
+                released = self.mailbox.insert(msg.itag, msg.key, msg)
+                self._enqueue(released)
+            elif isinstance(msg, JoinResponse):
+                self._on_join_response(msg)
+            elif isinstance(msg, ForkStateMsg):
+                self._on_fork_state(msg)
+            else:
+                raise RuntimeFault(f"worker {self.name} got unknown message {msg!r}")
+            self._drain()
+            self._relay_frontiers()
+        except WorkerCrash as crash:
+            # Events processed before the crash already queued their
+            # sends in the outbox; those still depart (they happened
+            # before the failure).  The triggering event did not.
+            self.crashed = True
+            self.collector.crashes.append(crash.record)
 
     # -- queue management ---------------------------------------------------------
     def _enqueue(self, released: List[Buffered]) -> None:
@@ -216,6 +242,9 @@ class WorkerActor(Actor):
 
     # -- event processing -----------------------------------------------------------
     def _process_event(self, event: Event) -> None:
+        if self.faults is not None:
+            # May raise WorkerCrash (fail-stop at the event boundary).
+            self.faults.note_event(event.ts)
         self.collector.events_processed += 1
         if self.collector.track_event_latency:
             self.collector.event_latencies.append(self.now - event.ts)
@@ -226,7 +255,7 @@ class WorkerActor(Actor):
                 )
             self.state, outs = self.update(self.state, event)
             for out in outs:
-                self.collector.record_output(out, self.now, event.ts)
+                self.collector.record_output(out, self.now, event.ts, key=event.order_key)
         else:
             self._start_join(("event", event))
 
@@ -280,7 +309,7 @@ class WorkerActor(Actor):
                 self.collector.event_latencies.append(self.now - event.ts)
             joined, outs = self.update(joined, event)
             for out in outs:
-                self.collector.record_output(out, self.now, event.ts)
+                self.collector.record_output(out, self.now, event.ts, key=event.order_key)
             if (
                 self.is_root
                 and self.checkpoint_predicate is not None
@@ -288,7 +317,9 @@ class WorkerActor(Actor):
             ):
                 # Appendix D.2: the root's joined state *is* a
                 # consistent snapshot of the distributed state.
-                self.collector.checkpoints.append((self.now, joined))
+                self.collector.checkpoints.append(
+                    Checkpoint(event.order_key, event.ts, joined)
+                )
             self._fork_down(req_id, joined)
             self.blocked = False
         else:

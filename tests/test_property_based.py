@@ -7,11 +7,16 @@
   diagram's output multiset equals the sequential spec's;
 * plans: generated plans are always P-valid and cover each itag once;
 * end-to-end (Theorem 3.5): hypothesis-generated workloads through the
-  simulated runtime match the spec.
+  simulated runtime match the spec;
+* the same randomized differential sweep on the *real* substrates —
+  threaded and process — with fixed seeds so failures reproduce
+  exactly (the process runtime forks per case, so its sweep is seeded
+  rather than hypothesis-driven to keep the case count bounded).
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps import keycounter as kc
@@ -24,7 +29,13 @@ from repro.core import (
     random_diagram,
 )
 from repro.plans import is_p_valid, random_valid_plan
-from repro.runtime import FluminaRuntime, InputStream, Mailbox, run_sequential_reference
+from repro.runtime import (
+    FluminaRuntime,
+    InputStream,
+    Mailbox,
+    run_on_backend,
+    run_sequential_reference,
+)
 
 # -- strategies ---------------------------------------------------------------
 
@@ -152,3 +163,43 @@ def test_theorem_3_5_runtime_matches_spec(workload, seed):
     assert output_multiset(res.output_values()) == output_multiset(
         run_sequential_reference(prog, streams)
     )
+
+
+# -- Theorem 3.5 on the real substrates -------------------------------------
+#
+# The same randomized workload/plan derivation as above, but executed on
+# the threaded and process backends.  Seeds are fixed module constants:
+# a failure names (backend, seed) and reruns with exactly the same
+# workload, plan, and input interleaving.
+
+def _seeded_keycounter_case(seed: int):
+    rng = random.Random(seed)
+    nkeys = rng.randint(1, 3)
+    n_events = rng.randint(20, 60)
+    prog = kc.make_program(nkeys)
+    choices = []
+    for k in range(nkeys):
+        choices += [kc.inc_tag(k), kc.reset_tag(k)]
+    by_itag = {}
+    for i in range(n_events):
+        tag = rng.choice(choices)
+        itag = ImplTag(tag, f"s{tag}")
+        by_itag.setdefault(itag, []).append(
+            Event(tag, itag.stream, float(i + 1))
+        )
+    streams = [
+        InputStream(itag, tuple(evs), heartbeat_interval=rng.choice((3.0, 7.0)))
+        for itag, evs in by_itag.items()
+    ]
+    plan = random_valid_plan(prog, list(by_itag), random.Random(seed + 1))
+    return prog, streams, plan
+
+
+@pytest.mark.parametrize("backend", ["threaded", "process"])
+@pytest.mark.parametrize("seed", [2, 71, 1009, 20260728])
+def test_randomized_sweep_on_real_backends(backend, seed):
+    prog, streams, plan = _seeded_keycounter_case(seed)
+    run = run_on_backend(backend, prog, plan, streams, timeout_s=60.0)
+    assert output_multiset(run.outputs) == output_multiset(
+        run_sequential_reference(prog, streams)
+    ), f"{backend} diverged from spec for seed {seed}"

@@ -1,5 +1,6 @@
 """Tests for checkpointing (Appendix D.2) and crash recovery."""
 
+import pickle
 from collections import Counter
 
 import pytest
@@ -59,11 +60,13 @@ class TestCheckpointPolicies:
         res = rt.run(streams)
         assert res.checkpoints == []
 
-    def test_snapshot_times_increase(self):
+    def test_snapshot_keys_increase(self):
         prog, rt, streams = build(every_root_join())
         res = rt.run(streams)
-        times = [t for t, _ in res.checkpoints]
-        assert times == sorted(times)
+        keys = [c.key for c in res.checkpoints]
+        assert keys == sorted(keys)
+        ts = [c.ts for c in res.checkpoints]
+        assert ts == sorted(ts)
 
     def test_every_nth_rejects_bad_n(self):
         with pytest.raises(ValueError):
@@ -85,22 +88,24 @@ class TestSnapshotConsistency:
         )
         barrier_ts = [e.ts for e in streams[-1].events]
         st = prog.state_type(prog.initial_type)
-        for (snap_time, snap_state), bts in zip(res.checkpoints, barrier_ts):
+        for ckpt, bts in zip(res.checkpoints, barrier_ts):
+            assert ckpt.ts == bts
             state = prog.init()
             for e in all_events:
                 if e.ts > bts:
                     break
                 state, _ = st.update(state, e)
-            assert kc.state_eq(snap_state, state), (bts, snap_state, state)
+            assert kc.state_eq(ckpt.state, state), (bts, ckpt.state, state)
 
 
 class TestRecovery:
     def test_recover_replays_suffix(self):
         prog, rt, streams = build(every_root_join())
         res = rt.run(streams)
-        snap_time, snap_state = res.checkpoints[1]  # after barrier @20
-        suffix = [e for s in streams for e in s.events if e.ts > 20.0]
-        final_state, replay_out = recover(prog, snap_state, suffix)
+        ckpt = res.checkpoints[1]  # after barrier @20
+        assert ckpt.ts == 20.0
+        suffix = [e for s in streams for e in s.events if e.order_key > ckpt.key]
+        final_state, replay_out = recover(prog, ckpt.state, suffix)
         # Full sequential run for comparison.
         full_out = run_sequential_reference(prog, streams)
         # Outputs after the checkpoint must match the tail of full run.
@@ -110,3 +115,34 @@ class TestRecovery:
         prog = kc.make_program(1)
         state, outs = recover(prog, {0: 7}, [])
         assert state == {0: 7} and outs == []
+
+
+class TestPredicatePicklability:
+    """The standard policies are callable classes, not closures: their
+    state must cross the process-runtime boundary via pickle."""
+
+    def test_every_root_join_picklable(self):
+        p = every_root_join()
+        q = pickle.loads(pickle.dumps(p))
+        assert q(Event("b", "s", 1.0), 0) is True
+
+    def test_every_nth_join_pickles_with_state(self):
+        p = every_nth_join(3)
+        assert [p(Event("b", "s", float(t)), 0) for t in (1, 2)] == [False, False]
+        q = pickle.loads(pickle.dumps(p))
+        # The counter survived: the third call (on the copy) fires.
+        assert q(Event("b", "s", 3.0), 0) is True
+        assert q(Event("b", "s", 4.0), 0) is False
+
+    def test_by_timestamp_interval_pickles_with_state(self):
+        p = by_timestamp_interval(10.0)
+        assert p(Event("b", "s", 5.0), 0) is True  # first snapshot
+        q = pickle.loads(pickle.dumps(p))
+        assert q(Event("b", "s", 7.0), 1) is False  # only 2 units passed
+        assert q(Event("b", "s", 15.0), 1) is True
+
+    def test_checkpoint_record_picklable(self):
+        from repro.runtime import Checkpoint
+
+        c = Checkpoint((3.0, ("str", "b"), ("str", "s")), 3.0, {0: 4})
+        assert pickle.loads(pickle.dumps(c)) == c

@@ -1,0 +1,168 @@
+"""Edge cases for the compact wire codec (repro.runtime.wire).
+
+The codec carries every protocol message of the process runtime; these
+tests pin the awkward corners — empty batches, unicode tags/streams,
+non-finite timestamps — plus a seeded random round-trip property over
+nested payloads (both via hypothesis and via plain seeded sweeps whose
+failures reproduce from the printed seed).
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Event, ImplTag
+from repro.core.errors import RuntimeFault
+from repro.runtime.messages import (
+    EventMsg,
+    ForkStateMsg,
+    HeartbeatMsg,
+    JoinRequest,
+    JoinResponse,
+)
+from repro.runtime.wire import decode_batch, decode_msg, encode_batch, encode_msg
+
+
+class TestBatchEdges:
+    def test_empty_batch_round_trips(self):
+        assert encode_batch([]) == []
+        assert decode_batch([]) == []
+
+    def test_mixed_batch_round_trips(self):
+        e = Event("v", 0, 1.5, payload={"a": [1, 2]})
+        msgs = [
+            EventMsg(e),
+            HeartbeatMsg(ImplTag("v", 0), (2.0, ("str", "v"), ("int", 0))),
+            JoinRequest(("w1", 3), ImplTag("b", "s"), (2.5,), "w1", "left"),
+            JoinResponse(("w1", 3), "left", {"k": 1}, 1.0),
+            ForkStateMsg(("w1", 3), 7, 1.0),
+        ]
+        assert decode_batch(encode_batch(msgs)) == msgs
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(RuntimeFault):
+            encode_msg(object())
+        with pytest.raises(RuntimeFault):
+            decode_msg((99, "nope"))
+
+
+class TestUnicodeKeys:
+    def test_unicode_tags_streams_and_payloads(self):
+        e = Event("ключ-☃", "流-💡", 3.25, payload="naïve\n\t\0')")
+        msg = EventMsg(e)
+        back = decode_msg(encode_msg(msg))
+        assert back == msg
+        assert back.event.itag == ImplTag("ключ-☃", "流-💡")
+
+    def test_unicode_worker_ids_in_join_request(self):
+        req = JoinRequest(("wörker-Ω", 1), ImplTag("τ", "σ"), (1.0,), "wörker-Ω", "right")
+        assert decode_msg(encode_msg(req)) == req
+
+
+class TestNonFiniteTimestamps:
+    def test_positive_and_negative_infinity(self):
+        for ts in (float("inf"), float("-inf")):
+            e = Event("v", 0, ts)
+            back = decode_msg(encode_msg(EventMsg(e)))
+            assert back.event.ts == ts
+
+    def test_nan_timestamp_survives_encoding(self):
+        # NaN != NaN, so compare structurally rather than by equality.
+        back = decode_msg(encode_msg(EventMsg(Event("v", 0, float("nan"), 7))))
+        assert math.isnan(back.event.ts)
+        assert back.event.payload == 7
+
+    def test_heartbeat_with_infinite_frontier(self):
+        hb = HeartbeatMsg(ImplTag("v", 0), (float("inf"), ("str", "v"), ("int", 0)))
+        assert decode_msg(encode_msg(hb)) == hb
+
+
+# -- seeded random round-trip properties --------------------------------------
+
+def random_payload(rng: random.Random, depth: int = 0):
+    kinds = ["int", "float", "str", "bool", "none"]
+    if depth < 3:
+        kinds += ["list", "tuple", "dict"]
+    kind = rng.choice(kinds)
+    if kind == "int":
+        return rng.randrange(-(10**9), 10**9)
+    if kind == "float":
+        return rng.uniform(-1e6, 1e6)
+    if kind == "str":
+        return "".join(chr(rng.randrange(32, 0x2FFF)) for _ in range(rng.randrange(8)))
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "none":
+        return None
+    if kind == "list":
+        return [random_payload(rng, depth + 1) for _ in range(rng.randrange(4))]
+    if kind == "tuple":
+        return tuple(random_payload(rng, depth + 1) for _ in range(rng.randrange(4)))
+    return {
+        f"k{i}": random_payload(rng, depth + 1) for i in range(rng.randrange(4))
+    }
+
+
+def random_msg(rng: random.Random):
+    kind = rng.randrange(5)
+    itag = ImplTag(rng.choice(["v", "b", ("i", 0)]), rng.choice([0, "s", "流"]))
+    key = (rng.uniform(0, 100), ("str", "v"), ("int", 0))
+    if kind == 0:
+        return EventMsg(Event(itag.tag, itag.stream, rng.uniform(0, 100), random_payload(rng)))
+    if kind == 1:
+        return HeartbeatMsg(itag, key)
+    if kind == 2:
+        return JoinRequest((f"w{rng.randrange(9)}", rng.randrange(99)), itag, key,
+                           f"w{rng.randrange(9)}", rng.choice(["left", "right"]))
+    if kind == 3:
+        return JoinResponse((f"w{rng.randrange(9)}", rng.randrange(99)),
+                            rng.choice(["left", "right"]), random_payload(rng),
+                            rng.uniform(0, 10))
+    return ForkStateMsg((f"w{rng.randrange(9)}", rng.randrange(99)),
+                        random_payload(rng), rng.uniform(0, 10))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 20260728])
+def test_seeded_random_batches_round_trip(seed):
+    rng = random.Random(seed)
+    msgs = [random_msg(rng) for _ in range(200)]
+    decoded = decode_batch(encode_batch(msgs))
+    assert decoded == msgs, f"round-trip diverged for seed {seed}"
+
+
+@pytest.mark.parametrize("seed", [11, 13])
+def test_wire_form_is_picklable_and_smaller_than_message_pickle(seed):
+    """The codec's whole point: the wire tuples must pickle (they cross
+    mp queues) and batches must beat pickling the dataclasses."""
+    rng = random.Random(seed)
+    msgs = [random_msg(rng) for _ in range(300)]
+    wire = encode_batch(msgs)
+    assert decode_batch(pickle.loads(pickle.dumps(wire))) == msgs
+    assert len(pickle.dumps(wire)) < len(pickle.dumps(msgs))
+
+
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**60), 2**60)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=12),
+    lambda inner: st.lists(inner, max_size=3)
+    | st.dictionaries(st.text(max_size=5), inner, max_size=3),
+    max_leaves=10,
+)
+
+
+@given(
+    tag=st.text(min_size=1, max_size=8),
+    stream=st.integers(0, 5) | st.text(max_size=5),
+    ts=st.floats(allow_nan=False),
+    payload=payloads,
+)
+@settings(max_examples=60, deadline=None)
+def test_event_round_trip_property(tag, stream, ts, payload):
+    msg = EventMsg(Event(tag, stream, ts, payload))
+    assert decode_msg(encode_msg(msg)) == msg
