@@ -1,0 +1,149 @@
+"""Elastic reconfiguration cost: the pause of a live plan migration and
+the throughput before/after scaling, on the real substrates.
+
+Not a paper artifact — the paper's plans are fixed for a run; this
+table quantifies what the fork/join snapshot mechanism buys beyond
+checkpointing: scaling a running stream out (and back in) without
+stopping it.  The elastic run's outputs are multiset-verified against
+the clean run's, so neither a small pause nor a throughput gain can be
+bought by dropping work.
+
+Two measurements:
+
+* ``test_reconfig_pause_by_backend`` — a narrow->wide planned scale-out
+  on the plain (cheap-update) program: bounds the migration pause and
+  the end-to-end overhead ratio;
+* ``test_scale_out_throughput`` — the same scale-out on the
+  CPU-burning program via the process backend: on a multi-core host
+  the post-scale-out phase must process events at least as fast as the
+  pre-scale phase (the whole point of scaling out).
+"""
+
+from conftest import quick
+
+from repro.apps import value_barrier as vb
+from repro.bench import (
+    available_cores,
+    measure_reconfig_pause,
+    publish,
+    render_table,
+)
+from repro.plans import repartition_plan
+from repro.runtime import ReconfigPoint, ReconfigSchedule
+
+
+def _case(n_value_streams, values_per_barrier, n_barriers, spin=0):
+    prog = vb.make_cpu_program(spin) if spin else vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=n_value_streams,
+        values_per_barrier=values_per_barrier,
+        n_barriers=n_barriers,
+    )
+    streams = vb.make_streams(wl)
+    wide = vb.make_plan(prog, wl)
+    narrow = repartition_plan(prog, wide, 2)
+    return prog, streams, narrow, n_value_streams
+
+
+def test_reconfig_pause_by_backend(benchmark):
+    QUICK = quick()
+    prog, streams, narrow, width = _case(
+        n_value_streams=4,
+        values_per_barrier=40 if QUICK else 200,
+        n_barriers=3 if QUICK else 6,
+    )
+
+    # Scale 2 -> width leaves at the second barrier: half the input is
+    # processed narrow, half wide — both phases big enough to time.
+    schedule = ReconfigSchedule(ReconfigPoint(after_joins=2, to_leaves=width))
+
+    def run():
+        return {
+            backend: measure_reconfig_pause(
+                prog,
+                narrow,
+                streams,
+                backend=backend,
+                schedule=schedule,
+                repeats=1 if QUICK else 2,
+            )
+            for backend in ("threaded", "process")
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    backends = list(points)
+    text = render_table(
+        "Elastic reconfiguration (quiesce + migrate + replay)",
+        "backend",
+        backends,
+        {
+            "clean s": [points[b].clean_wall_s for b in backends],
+            "elastic s": [points[b].elastic_wall_s for b in backends],
+            "overhead x": [points[b].overhead_ratio for b in backends],
+            "migration ms": [points[b].migration_pause_s * 1e3 for b in backends],
+            "phases": [
+                "->".join(map(str, points[b].phase_widths)) for b in backends
+            ],
+        },
+        note=(
+            f"scale-out 2->{width} leaves at barrier 2; outputs verified "
+            f"equal: {all(points[b].outputs_equal for b in backends)}"
+        ),
+    )
+    publish("reconfig_pause", text)
+
+    for b in backends:
+        assert points[b].outputs_equal, f"{b}: elastic run diverged from clean run"
+        assert points[b].reconfigs == 1
+        assert points[b].attempts == 2
+        # The driver-side stop-the-world slice is plan construction +
+        # validity checking on toy-sized plans: bound it hard so a
+        # regression (e.g. accidental stream copying) shows up.
+        assert points[b].migration_pause_s < 0.5
+
+
+def test_scale_out_throughput(benchmark):
+    """Post-scale-out throughput >= pre-scale throughput on multi-core
+    hosts (measured on CPU-bound updates via the process backend)."""
+    QUICK = quick()
+    prog, streams, narrow, width = _case(
+        n_value_streams=4,
+        values_per_barrier=30 if QUICK else 120,
+        n_barriers=4 if QUICK else 6,
+        spin=60 if QUICK else 250,
+    )
+
+    schedule = ReconfigSchedule(ReconfigPoint(after_joins=1, to_leaves=width))
+
+    def run():
+        return measure_reconfig_pause(
+            prog,
+            narrow,
+            streams,
+            backend="process",
+            schedule=schedule,
+            repeats=1 if QUICK else 2,
+        )
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Scale-out throughput (CPU-bound updates, process backend)",
+        "phase",
+        [f"{w} leaves" for w in point.phase_widths],
+        {"events/s": list(point.phase_throughputs_eps)},
+        note=(
+            f"cores={available_cores()}; scale-out at barrier 1; "
+            f"outputs verified equal: {point.outputs_equal}"
+        ),
+    )
+    publish("reconfig_scaleout", text)
+
+    assert point.outputs_equal
+    assert point.reconfigs == 1
+    if available_cores() > 1 and not QUICK:
+        pre = point.pre_scale_throughput_eps
+        post = point.post_scale_throughput_eps
+        assert post >= pre, (
+            f"scaling 2->{width} leaves did not help on "
+            f"{available_cores()} cores: {pre:.0f} -> {post:.0f} events/s"
+        )

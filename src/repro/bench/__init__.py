@@ -3,6 +3,7 @@ experiment drivers for every paper figure/table, and ASCII renderers."""
 
 from .harness import (
     RatePoint,
+    ReconfigPausePoint,
     RecoveryOverheadPoint,
     ScalingPoint,
     SweepResult,
@@ -12,6 +13,7 @@ from .harness import (
     compare_backends,
     latency_profile,
     max_throughput,
+    measure_reconfig_pause,
     measure_recovery_overhead,
     scaling_curve,
     speedup,
@@ -20,6 +22,7 @@ from .tables import publish, render_matrix, render_table, results_dir
 
 __all__ = [
     "RatePoint",
+    "ReconfigPausePoint",
     "RecoveryOverheadPoint",
     "ScalingPoint",
     "SweepResult",
@@ -29,6 +32,7 @@ __all__ = [
     "compare_backends",
     "latency_profile",
     "max_throughput",
+    "measure_reconfig_pause",
     "measure_recovery_overhead",
     "publish",
     "render_matrix",

@@ -314,6 +314,107 @@ def measure_recovery_overhead(
     )
 
 
+# ---------------------------------------------------------------------------
+# Elastic reconfiguration: pause + post-scale throughput
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReconfigPausePoint:
+    """Wall-clock cost of live re-planning on one backend.
+
+    ``migration_pause_s`` is the driver-side stop-the-world slice per
+    migration (suffix computation + target-plan construction +
+    compatibility checks); ``overhead_ratio`` (elastic/clean wall time)
+    additionally folds in worker restart and suffix replay.  The
+    per-phase throughputs are events processed over that phase's wall
+    time, so scale-out gains are measured, not asserted.
+    ``outputs_equal`` records the differential check — a pause number
+    for a run that dropped or duplicated outputs would be meaningless.
+    """
+
+    backend: str
+    clean_wall_s: float
+    elastic_wall_s: float
+    reconfigs: int
+    attempts: int
+    migration_pause_s: float
+    phase_widths: Tuple[int, ...]
+    phase_throughputs_eps: Tuple[float, ...]
+    outputs_equal: bool
+
+    @property
+    def overhead_ratio(self) -> float:
+        return (
+            self.elastic_wall_s / self.clean_wall_s
+            if self.clean_wall_s > 0
+            else math.nan
+        )
+
+    @property
+    def pre_scale_throughput_eps(self) -> float:
+        return self.phase_throughputs_eps[0] if self.phase_throughputs_eps else math.nan
+
+    @property
+    def post_scale_throughput_eps(self) -> float:
+        return self.phase_throughputs_eps[-1] if self.phase_throughputs_eps else math.nan
+
+
+def measure_reconfig_pause(
+    program: Any,
+    plan: Any,
+    streams: Sequence[Any],
+    *,
+    backend: str = "threaded",
+    schedule: Any,
+    repeats: int = 1,
+    timeout_s: float = 120.0,
+    **opts: Any,
+) -> ReconfigPausePoint:
+    """Measure the cost of elastic reconfiguration against a clean run
+    of the *initial* plan on the same backend (best-of-``repeats``
+    each).
+
+    Schedules are pure data (firing state lives in the driver), so one
+    ``schedule`` instance serves every repeat.  The elastic run's
+    outputs are multiset-verified against the clean run's, so neither
+    the pause nor a throughput gain can come from dropping work."""
+    from ..runtime import get_backend  # runtime does not import bench; no cycle
+
+    be = get_backend(backend)
+
+    clean_best: Optional[Any] = None
+    for _ in range(max(1, repeats)):
+        run = be.run(program, plan, streams, timeout_s=timeout_s, **opts)
+        if clean_best is None or run.wall_s < clean_best.wall_s:
+            clean_best = run
+
+    elastic_best: Optional[Any] = None
+    for _ in range(max(1, repeats)):
+        run = be.run(
+            program,
+            plan,
+            streams,
+            reconfig_schedule=schedule,
+            timeout_s=timeout_s,
+            **opts,
+        )
+        if elastic_best is None or run.wall_s < elastic_best.wall_s:
+            elastic_best = run
+
+    rec = elastic_best.reconfig
+    return ReconfigPausePoint(
+        backend=backend,
+        clean_wall_s=clean_best.wall_s,
+        elastic_wall_s=elastic_best.wall_s,
+        reconfigs=len(rec.reconfigurations),
+        attempts=rec.attempts,
+        migration_pause_s=sum(s.pause_s for s in rec.reconfigurations),
+        phase_widths=tuple(p.leaves for p in rec.phases),
+        phase_throughputs_eps=tuple(p.throughput_events_per_s for p in rec.phases),
+        outputs_equal=elastic_best.output_multiset() == clean_best.output_multiset(),
+    )
+
+
 def scaling_curve(
     run_factory: Callable[[int], Callable[[float], Any]],
     parallelism_levels: Sequence[int],

@@ -19,14 +19,25 @@ event: by then the root has snapshotted at least once (with
 crash that would fire earlier is a different, negative scenario and is
 tested separately (``NoCheckpointError``).
 
+Beyond fault schedules, cases come in three *modes* (:data:`MODES`):
+``faults`` (crash/drop injection, the PR-2 sweep), ``reconfig``
+(seeded elastic reconfiguration schedules: the plan widens/narrows
+mid-stream at consistent snapshots, see
+:mod:`repro.runtime.reconfigure`), and ``reconfig-crash`` (both armed
+— crashes must recover into the then-current plan shape).
+
 Run it three ways:
 
-* ``pytest tests/test_chaos.py`` — the tier-1 sweep (>= 50 cases);
-* ``python -m repro.chaos --cases 50 --seed 0`` — standalone CLI;
+* ``pytest tests/test_chaos.py`` — the tier-1 sweep (>= 50 fault cases
+  plus the reconfiguration matrix);
+* ``python -m repro.chaos --cases 50 --seed 0`` — standalone CLI
+  (``--modes reconfig,reconfig-crash`` for the elastic families);
 * ``python -m repro.chaos --smoke`` — the CI-sized sweep.
 
 Reproduce one failure with ``python -m repro.chaos --only <case_id>``
-(the case id encodes app, backend, and seed).
+(the case id encodes app, backend, seed, and — when not ``faults`` —
+the mode; pass the same ``--seed``/``--cases``/``--modes`` as the
+sweep that produced it).
 """
 
 from __future__ import annotations
@@ -41,12 +52,15 @@ from .core.dependence import DependenceRelation
 from .core.events import Event, ImplTag
 from .core.program import DGSProgram, single_state_program
 from .plans.generation import root_and_leaves_plan
+from .plans.morph import max_width, plan_width
 from .plans.plan import SyncPlan
 from .runtime import (
     CrashFault,
     DropHeartbeats,
     FaultPlan,
     InputStream,
+    ReconfigPoint,
+    ReconfigSchedule,
     every_root_join,
     run_on_backend,
     run_sequential_reference,
@@ -54,6 +68,11 @@ from .runtime import (
 from .testing import Mismatch, compare_outputs
 
 APPS = ("value-barrier", "keycounter", "value-barrier-echo")
+
+#: Scenario families: pure fault injection (the PR-2 sweep), pure
+#: elastic reconfiguration, and crash-during-reconfiguration (both
+#: schedules armed; recovery must restore into the then-current plan).
+MODES = ("faults", "reconfig", "reconfig-crash")
 
 
 def make_echo_program() -> DGSProgram:
@@ -85,15 +104,20 @@ def make_echo_program() -> DGSProgram:
 
 @dataclass(frozen=True)
 class ChaosCase:
-    """One seeded scenario; everything else derives from ``seed``."""
+    """One seeded scenario; everything else derives from ``seed``.
+
+    ``mode`` selects the scenario family (see :data:`MODES`); the
+    default keeps PR-2 case ids — and their derivations — unchanged."""
 
     app: str
     backend: str
     seed: int
+    mode: str = "faults"
 
     @property
     def case_id(self) -> str:
-        return f"{self.app}-{self.backend}-s{self.seed}"
+        base = f"{self.app}-{self.backend}-s{self.seed}"
+        return base if self.mode == "faults" else f"{base}-{self.mode}"
 
 
 @dataclass
@@ -106,10 +130,18 @@ class ChaosOutcome:
     drops_scheduled: int
     checkpoints_taken: int
     replayed_events: int
+    #: Completed plan migrations and the leaf widths the execution ran
+    #: through (reconfig modes only; () / 0 for pure-fault cases).
+    reconfigs: int = 0
+    plan_widths: tuple = ()
 
     @property
     def recovered(self) -> bool:
         return self.crashes > 0
+
+    @property
+    def reconfigured(self) -> bool:
+        return self.reconfigs > 0
 
 
 # ---------------------------------------------------------------------------
@@ -221,26 +253,81 @@ def build_fault_schedule(
     return FaultPlan(*faults)
 
 
+def build_reconfig_schedule(
+    case: ChaosCase, streams: Sequence[InputStream], plan: SyncPlan,
+    sync_ts: List[float], prog: DGSProgram,
+) -> ReconfigSchedule:
+    """Derive the case's reconfiguration schedule from its seed.
+
+    One or two planned points; triggers sit on root joins between the
+    first and last synchronizing events (timestamp- or join-count
+    keyed, mirroring the crash triggers), and each target repartitions
+    to a seeded leaf width in ``[1, max useful width]``.  A point that
+    narrows to width 1 leaves any later point inert (a single worker
+    never joins) — the sweep keeps such schedules: the execution must
+    still be spec-identical."""
+    rng = random.Random(case.seed * 69069 % (2**31) + 7)
+    n_points = rng.choice((1, 1, 2))
+    ceiling = max_width(prog, plan)
+    points = []
+    # Trigger anchors are strictly increasing so two points cannot aim
+    # at the same root join.
+    joins_used = 0
+    for p in range(n_points):
+        widths = [w for w in range(1, ceiling + 1) if w != plan_width(plan)] or [1]
+        to_leaves = rng.choice(widths)
+        shape = rng.choice(("balanced", "chain"))
+        if rng.random() < 0.5 and len(sync_ts) >= 2:
+            lo = sync_ts[0] if p == 0 else sync_ts[len(sync_ts) // 2]
+            t = rng.uniform(lo + 0.01, sync_ts[-1])
+            points.append(
+                ReconfigPoint(at_ts=round(t, 3), to_leaves=to_leaves, shape=shape)
+            )
+        else:
+            joins_used = rng.randint(joins_used + 1, joins_used + 2)
+            points.append(
+                ReconfigPoint(
+                    after_joins=joins_used, to_leaves=to_leaves, shape=shape
+                )
+            )
+    return ReconfigSchedule(*points)
+
+
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
 
 def run_chaos_case(case: ChaosCase, *, timeout_s: float = 60.0) -> ChaosOutcome:
     prog, streams, plan, sync_ts = build_workload(case)
-    fault_plan = build_fault_schedule(case, streams, plan, sync_ts)
-    n_drops = sum(1 for f in fault_plan.faults if isinstance(f, DropHeartbeats))
+    fault_plan = None
+    reconfig_schedule = None
+    if case.mode in ("faults", "reconfig-crash"):
+        fault_plan = build_fault_schedule(case, streams, plan, sync_ts)
+    if case.mode in ("reconfig", "reconfig-crash"):
+        reconfig_schedule = build_reconfig_schedule(
+            case, streams, plan, sync_ts, prog
+        )
+    n_drops = sum(
+        1
+        for f in (fault_plan.faults if fault_plan is not None else ())
+        if isinstance(f, DropHeartbeats)
+    )
     run = run_on_backend(
         case.backend,
         prog,
         plan,
         streams,
         fault_plan=fault_plan,
+        reconfig_schedule=reconfig_schedule,
         checkpoint_predicate=every_root_join(),
         timeout_s=timeout_s,
     )
     reference = run_sequential_reference(prog, streams)
     mismatch = compare_outputs(reference, run.outputs, case.case_id)
-    rec = run.recovery
+    rec = run.reconfig if run.reconfig is not None else run.recovery
+    widths = ()
+    if run.reconfig is not None:
+        widths = tuple(plan_width(p) for p in run.reconfig.plan_history)
     return ChaosOutcome(
         case=case,
         ok=mismatch is None,
@@ -250,6 +337,10 @@ def run_chaos_case(case: ChaosCase, *, timeout_s: float = 60.0) -> ChaosOutcome:
         drops_scheduled=n_drops,
         checkpoints_taken=rec.checkpoints_taken,
         replayed_events=rec.replayed_events,
+        reconfigs=(
+            len(run.reconfig.reconfigurations) if run.reconfig is not None else 0
+        ),
+        plan_widths=widths,
     )
 
 
@@ -259,18 +350,22 @@ def generate_cases(
     n_cases: int = 50,
     backends: Sequence[str] = ("threaded", "process"),
     apps: Sequence[str] = APPS,
+    modes: Sequence[str] = ("faults",),
 ) -> List[ChaosCase]:
-    """``n_cases`` seeded scenarios, spread round-robin over backends
-    and apps; the per-case seed stream is itself derived from ``seed``
-    so the whole sweep reproduces from one integer."""
+    """``n_cases`` seeded scenarios, spread round-robin over backends,
+    apps, and modes; the per-case seed stream is itself derived from
+    ``seed`` so the whole sweep reproduces from one integer.  The
+    default single-mode sweep generates exactly the PR-2 case ids."""
     rng = random.Random(seed)
     cases = []
+    stride = len(apps) * len(backends)
     for i in range(n_cases):
         cases.append(
             ChaosCase(
                 app=apps[i % len(apps)],
                 backend=backends[(i // len(apps)) % len(backends)],
                 seed=rng.randrange(10**6),
+                mode=modes[(i // stride) % len(modes)],
             )
         )
     return cases
@@ -293,6 +388,8 @@ class ChaosSummary:
         recovered = sum(1 for o in self.outcomes if o.recovered)
         crashes = sum(o.crashes for o in self.outcomes)
         replayed = sum(o.replayed_events for o in self.outcomes)
+        reconfigured = sum(1 for o in self.outcomes if o.reconfigured)
+        migrations = sum(o.reconfigs for o in self.outcomes)
         by_backend: Dict[str, int] = {}
         for o in self.outcomes:
             by_backend[o.case.backend] = by_backend.get(o.case.backend, 0) + 1
@@ -301,6 +398,7 @@ class ChaosSummary:
             f"({', '.join(f'{b}: {c}' for b, c in sorted(by_backend.items()))})",
             f"  crashed+recovered: {recovered} cases, {crashes} injected crashes, "
             f"{replayed} events replayed",
+            f"  reconfigured: {reconfigured} cases, {migrations} plan migrations",
             f"  checkpoints taken: {sum(o.checkpoints_taken for o in self.outcomes)}",
             f"  result: {'OK' if self.ok else f'{len(self.failures)} FAILURES'}",
         ]
@@ -314,10 +412,13 @@ def run_chaos_suite(
     seed: int = 0,
     n_cases: int = 50,
     backends: Sequence[str] = ("threaded", "process"),
+    modes: Sequence[str] = ("faults",),
     only: Optional[str] = None,
     timeout_s: float = 60.0,
 ) -> ChaosSummary:
-    cases = generate_cases(seed=seed, n_cases=n_cases, backends=backends)
+    cases = generate_cases(
+        seed=seed, n_cases=n_cases, backends=backends, modes=modes
+    )
     if only is not None:
         cases = [c for c in cases if c.case_id == only]
         if not cases:
@@ -343,6 +444,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated runtime backends (default threaded,process)",
     )
     ap.add_argument(
+        "--modes",
+        default="faults",
+        help=(
+            "comma-separated scenario families from "
+            f"{','.join(MODES)} (default faults)"
+        ),
+    )
+    ap.add_argument(
         "--only", default=None, metavar="CASE_ID",
         help="re-run a single case id from the sweep (reproduces a failure)",
     )
@@ -358,6 +467,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         n_cases=n_cases,
         backends=tuple(args.backends.split(",")),
+        modes=tuple(args.modes.split(",")),
         only=args.only,
     )
     print(summary.describe())

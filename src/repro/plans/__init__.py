@@ -1,5 +1,6 @@
-"""Synchronization plans: structure, P-validity, generation, and the
-communication-minimizing optimizer (paper §3.2-§3.3, Appendix B)."""
+"""Synchronization plans: structure, P-validity, generation, morphing
+for elastic reconfiguration, and the communication-minimizing
+optimizer (paper §3.2-§3.3, Appendix B)."""
 
 from .cost import CostEstimate, compare_plans, estimate_cost
 from .generation import (
@@ -11,12 +12,22 @@ from .generation import (
     root_and_leaves_plan,
     sequential_plan,
 )
+from .morph import (
+    max_width,
+    narrow_plan,
+    plan_width,
+    repartition_plan,
+    synchronizing_itags,
+    widen_plan,
+)
 from .optimizer import StreamInfo, optimize
 from .plan import PlanNode, SyncPlan
 from .validity import (
     ValidityViolation,
     assert_p_valid,
+    assert_reconfig_compatible,
     is_p_valid,
+    reconfig_violations,
     validity_violations,
 )
 
@@ -27,6 +38,7 @@ __all__ = [
     "SyncPlan",
     "ValidityViolation",
     "assert_p_valid",
+    "assert_reconfig_compatible",
     "assign_hosts_round_robin",
     "chain_plan",
     "compare_plans",
@@ -34,9 +46,16 @@ __all__ = [
     "forest_plan",
     "is_p_valid",
     "map_hosts",
+    "max_width",
+    "narrow_plan",
     "optimize",
+    "plan_width",
     "random_valid_plan",
+    "reconfig_violations",
+    "repartition_plan",
     "root_and_leaves_plan",
     "sequential_plan",
+    "synchronizing_itags",
     "validity_violations",
+    "widen_plan",
 ]

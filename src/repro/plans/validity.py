@@ -55,6 +55,71 @@ def assert_p_valid(plan: SyncPlan, program: DGSProgram) -> None:
         raise ValidityError(f"plan is not P-valid: {summary}{more}")
 
 
+# ---------------------------------------------------------------------------
+# Reconfiguration compatibility (elastic re-planning at snapshots)
+# ---------------------------------------------------------------------------
+#
+# A live reconfiguration migrates the root's joined state from one plan
+# into another (repro.runtime.reconfigure).  Beyond each plan being
+# P-valid on its own, the *pair* must satisfy:
+#
+# * **R1** (itag partition): both plans cover exactly the same
+#   implementation tags — the input streams do not change across a
+#   migration, only their assignment to workers;
+# * **R2** (root state type): the target root's state type equals the
+#   source root's, because the captured snapshot is a value of the
+#   source root's state type and is forked down the target tree as-is.
+
+
+def reconfig_violations(
+    old_plan: SyncPlan, new_plan: SyncPlan, program: DGSProgram
+) -> List[ValidityViolation]:
+    """All violations making ``new_plan`` an invalid migration target
+    for ``old_plan`` (empty list == compatible).  Includes each plan's
+    own V1/V2 violations."""
+    out: List[ValidityViolation] = []
+    out.extend(validity_violations(old_plan, program))
+    out.extend(validity_violations(new_plan, program))
+    missing = old_plan.all_itags() - new_plan.all_itags()
+    extra = new_plan.all_itags() - old_plan.all_itags()
+    if missing:
+        out.append(
+            ValidityViolation(
+                "R1",
+                f"target plan drops itags {sorted(map(repr, missing))}",
+            )
+        )
+    if extra:
+        out.append(
+            ValidityViolation(
+                "R1",
+                f"target plan adds itags {sorted(map(repr, extra))}",
+            )
+        )
+    if old_plan.root.state_type != new_plan.root.state_type:
+        out.append(
+            ValidityViolation(
+                "R2",
+                f"root state type changes {old_plan.root.state_type!r} -> "
+                f"{new_plan.root.state_type!r}; the migrated snapshot "
+                "cannot be forked down the target tree",
+            )
+        )
+    return out
+
+
+def assert_reconfig_compatible(
+    old_plan: SyncPlan, new_plan: SyncPlan, program: DGSProgram
+) -> None:
+    violations = reconfig_violations(old_plan, new_plan, program)
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ValidityError(
+            f"plans are not reconfiguration-compatible: {summary}{more}"
+        )
+
+
 def _check_v1(plan: SyncPlan, program: DGSProgram) -> List[ValidityViolation]:
     out: List[ValidityViolation] = []
     for node in plan.workers():

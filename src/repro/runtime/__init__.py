@@ -12,7 +12,10 @@ Three execution substrates run the same synchronization-plan protocol:
 
 Benchmarks, examples, and tests select them uniformly through
 :func:`get_backend` / :func:`run_on_backend`, which normalize each
-substrate's native result into a :class:`BackendRun`.
+substrate's native result into a :class:`BackendRun`.  Execution
+options — checkpointing, fault injection, and elastic reconfiguration
+(``reconfig_schedule=``, see :mod:`repro.runtime.reconfigure`) —
+travel as one :class:`RunOptions` through all three substrates.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from ..core.errors import NoCheckpointError, RecoveryUnsoundError, RuntimeFault
 from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
+from .options import RunOptions
 from .protocol import RunStatsMixin
 from .checkpoint import (
     ByTimestampInterval,
@@ -43,6 +47,7 @@ from .faults import (
     FaultPlan,
     WorkerCrash,
 )
+from .quiesce import QuiesceRecord, QuiesceSignal, RootReconfigView
 from .recovery import (
     AttemptOutcome,
     RecoveredRun,
@@ -50,6 +55,15 @@ from .recovery import (
     assert_recovery_sound,
     run_with_recovery,
     suffix_streams,
+)
+from .reconfigure import (
+    AutoScaler,
+    PhaseRecord,
+    ReconfigPoint,
+    ReconfigSchedule,
+    ReconfigStep,
+    ReconfiguredRun,
+    run_with_reconfig,
 )
 from .mailbox import Buffered, Mailbox
 from .messages import (
@@ -92,22 +106,34 @@ class BackendRun(RunStatsMixin):
     joins: int = 0
     wall_s: float = 0.0
     raw: Any = None
-    #: The RecoveredRun when the execution ran with fault_plan= (attempt
-    #: count, crash records, recovery steps); None for plain runs.
+    #: The RecoveredRun / ReconfiguredRun when the execution ran with
+    #: fault_plan= (attempt count, crash records, recovery steps);
+    #: None for plain runs.
     recovery: Any = None
+    #: The ReconfiguredRun when the execution ran with
+    #: reconfig_schedule= (migrations, phases, plan history).
+    reconfig: Any = None
 
 
 class RuntimeBackend:
     """A named execution substrate for synchronization plans.
 
-    Every backend takes two orthogonal fault-tolerance options:
-    ``checkpoint_predicate=`` arms Appendix-D.2 snapshots at root
-    joins, and ``fault_plan=`` injects crashes/drops and drives the
-    restore-and-replay recovery loop (see
-    :mod:`repro.runtime.recovery`).
+    Every backend takes the same :class:`RunOptions` (or the loose
+    keywords it collects — ``fault_plan=``, ``checkpoint_predicate=``,
+    ``reconfig_schedule=``, ``timeout_s=``, ``batch_size=``):
+
+    * ``checkpoint_predicate=`` arms Appendix-D.2 snapshots at root
+      joins;
+    * ``fault_plan=`` injects crashes/drops and drives the
+      restore-and-replay recovery loop
+      (:mod:`repro.runtime.recovery`);
+    * ``reconfig_schedule=`` arms elastic re-planning at consistent
+      snapshots (:mod:`repro.runtime.reconfigure`) — composable with
+      the other two: crashes recover into the then-current plan shape.
     """
 
     name: str = "?"
+    default_timeout_s: float = 60.0
 
     def run(
         self,
@@ -115,31 +141,35 @@ class RuntimeBackend:
         plan: SyncPlan,
         streams: Sequence[InputStream],
         *,
-        fault_plan: Any = None,
-        checkpoint_predicate: Any = None,
-        **opts: Any,
+        options: Any = None,
+        **kwargs: Any,
     ) -> BackendRun:
-        if fault_plan is None:
-            return self._run_plain(
-                program, plan, streams, checkpoint_predicate=checkpoint_predicate, **opts
-            )
+        opts = RunOptions.collect(options, **kwargs)
+        if opts.reconfig_schedule is not None:
+            return self._run_elastic(program, plan, streams, opts)
+        if opts.fault_plan is not None:
+            return self._run_recovering(program, plan, streams, opts)
+        return self._run_plain(program, plan, streams, opts)
 
+    def _attempt_options(self, opts: RunOptions) -> RunOptions:
+        # Stateful predicates (EveryNthJoin's counter, ...) restart per
+        # attempt on every substrate: the process backend forks a
+        # pristine copy anyway, so give threaded/sim the same semantics
+        # by deep-copying here.  Attempts always record output keys —
+        # the drivers commit by order-key prefix.
+        fresh = copy.copy(opts)
+        fresh.checkpoint_predicate = copy.deepcopy(opts.checkpoint_predicate)
+        fresh.record_keys = True
+        return fresh
+
+    def _run_recovering(self, program, plan, streams, opts: RunOptions) -> BackendRun:
         def attempt(attempt_streams, initial_state):
-            # Stateful predicates (EveryNthJoin's counter, ...) restart
-            # per attempt on every substrate: the process backend forks
-            # a pristine copy anyway, so give threaded/sim the same
-            # semantics by deep-copying here.
             return self._attempt(
-                program,
-                plan,
-                attempt_streams,
-                initial_state,
-                fault_plan,
-                copy.deepcopy(checkpoint_predicate),
-                **opts,
+                program, plan, attempt_streams, initial_state,
+                self._attempt_options(opts), None,
             )
 
-        rec = run_with_recovery(attempt, program, plan, streams, fault_plan)
+        rec = run_with_recovery(attempt, program, plan, streams, opts.fault_plan)
         return BackendRun(
             backend=self.name,
             outputs=rec.outputs,
@@ -151,12 +181,35 @@ class RuntimeBackend:
             recovery=rec,
         )
 
+    def _run_elastic(self, program, plan, streams, opts: RunOptions) -> BackendRun:
+        def attempt(phase_plan, attempt_streams, initial_state, reconfig_view):
+            return self._attempt(
+                program, phase_plan, attempt_streams, initial_state,
+                self._attempt_options(opts), reconfig_view,
+            )
+
+        rec = run_with_reconfig(
+            attempt, program, plan, streams, opts.reconfig_schedule,
+            fault_plan=opts.fault_plan,
+        )
+        return BackendRun(
+            backend=self.name,
+            outputs=rec.outputs,
+            events_in=rec.events_in,
+            events_processed=rec.events_processed,
+            joins=rec.joins,
+            wall_s=rec.wall_s,
+            raw=rec,
+            recovery=rec,
+            reconfig=rec,
+        )
+
     # -- substrate hooks -------------------------------------------------
-    def _run_plain(self, program, plan, streams, *, checkpoint_predicate, **opts):
+    def _run_plain(self, program, plan, streams, opts: RunOptions) -> BackendRun:
         raise NotImplementedError
 
     def _attempt(
-        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate, **opts
+        self, program, plan, streams, initial_state, opts: RunOptions, reconfig_view
     ) -> AttemptOutcome:
         raise NotImplementedError
 
@@ -166,11 +219,15 @@ class SimBackend(RuntimeBackend):
 
     name = "sim"
 
-    def _run_plain(self, program, plan, streams, *, checkpoint_predicate=None, **opts):
-        opts.pop("timeout_s", None)  # wall timeouts have no simulated analogue
+    def _run_plain(self, program, plan, streams, opts):
+        # Wall timeouts have no simulated analogue: opts.timeout_s is
+        # simply not consulted here.
         t0 = time.perf_counter()
         res = FluminaRuntime(
-            program, plan, checkpoint_predicate=checkpoint_predicate, **opts
+            program, plan,
+            checkpoint_predicate=opts.checkpoint_predicate,
+            record_keys=opts.record_keys,
+            **opts.extra,
         ).run(streams)
         return BackendRun(
             backend=self.name,
@@ -182,18 +239,16 @@ class SimBackend(RuntimeBackend):
             raw=res,
         )
 
-    def _attempt(
-        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate, **opts
-    ):
-        opts.pop("timeout_s", None)
+    def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
         t0 = time.perf_counter()
         res = FluminaRuntime(
             program,
             plan,
-            checkpoint_predicate=checkpoint_predicate,
-            faults=fault_plan,
+            checkpoint_predicate=opts.checkpoint_predicate,
+            faults=opts.fault_plan,
             record_keys=True,
-            **opts,
+            reconfig=reconfig_view,
+            **opts.extra,
         ).run(streams, initial_state=initial_state)
         return AttemptOutcome(
             outputs=res.output_values(),
@@ -204,6 +259,7 @@ class SimBackend(RuntimeBackend):
             events_processed=res.events_processed,
             joins=res.joins,
             wall_s=time.perf_counter() - t0,
+            quiesce=res.quiesce,
         )
 
 
@@ -211,13 +267,14 @@ class ThreadedBackend(RuntimeBackend):
     """One OS thread per plan worker (GIL-bound)."""
 
     name = "threaded"
+    default_timeout_s = 60.0
 
-    def _run_plain(
-        self, program, plan, streams, *, timeout_s: float = 60.0,
-        checkpoint_predicate=None, **opts,
-    ):
-        res = ThreadedRuntime(program, plan, **opts).run(
-            streams, timeout_s=timeout_s, checkpoint_predicate=checkpoint_predicate
+    def _run_plain(self, program, plan, streams, opts):
+        res = ThreadedRuntime(program, plan, **opts.extra).run(
+            streams,
+            timeout_s=opts.with_timeout_default(self.default_timeout_s),
+            checkpoint_predicate=opts.checkpoint_predicate,
+            record_keys=opts.record_keys,
         )
         return BackendRun(
             backend=self.name,
@@ -229,17 +286,15 @@ class ThreadedBackend(RuntimeBackend):
             raw=res,
         )
 
-    def _attempt(
-        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate,
-        *, timeout_s: float = 60.0, **opts,
-    ):
-        res = ThreadedRuntime(program, plan, **opts).run(
+    def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
+        res = ThreadedRuntime(program, plan, **opts.extra).run(
             streams,
-            timeout_s=timeout_s,
+            timeout_s=opts.with_timeout_default(self.default_timeout_s),
             initial_state=initial_state,
-            checkpoint_predicate=checkpoint_predicate,
-            faults=fault_plan,
+            checkpoint_predicate=opts.checkpoint_predicate,
+            faults=opts.fault_plan,
             record_keys=True,
+            reconfig=reconfig_view,
         )
         return AttemptOutcome(
             outputs=res.outputs,
@@ -250,6 +305,7 @@ class ThreadedBackend(RuntimeBackend):
             events_processed=res.events_processed,
             joins=res.joins,
             wall_s=res.wall_s,
+            quiesce=res.quiesce,
         )
 
 
@@ -257,14 +313,17 @@ class ProcessBackend(RuntimeBackend):
     """One OS process per plan worker, batched channels (multi-core)."""
 
     name = "process"
+    default_timeout_s = 120.0
 
-    def _run_plain(
-        self, program, plan, streams, *, timeout_s: float = 120.0,
-        batch_size: int = 64, checkpoint_predicate=None, **opts,
-    ):
-        rt = ProcessRuntime(program, plan, batch_size=batch_size, **opts)
+    def _run_plain(self, program, plan, streams, opts):
+        rt = ProcessRuntime(
+            program, plan, batch_size=opts.with_batch_default(64), **opts.extra
+        )
         res = rt.run(
-            streams, timeout_s=timeout_s, checkpoint_predicate=checkpoint_predicate
+            streams,
+            timeout_s=opts.with_timeout_default(self.default_timeout_s),
+            checkpoint_predicate=opts.checkpoint_predicate,
+            record_keys=opts.record_keys,
         )
         return BackendRun(
             backend=self.name,
@@ -276,18 +335,18 @@ class ProcessBackend(RuntimeBackend):
             raw=res,
         )
 
-    def _attempt(
-        self, program, plan, streams, initial_state, fault_plan, checkpoint_predicate,
-        *, timeout_s: float = 120.0, batch_size: int = 64, **opts,
-    ):
-        rt = ProcessRuntime(program, plan, batch_size=batch_size, **opts)
+    def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
+        rt = ProcessRuntime(
+            program, plan, batch_size=opts.with_batch_default(64), **opts.extra
+        )
         res = rt.run(
             streams,
-            timeout_s=timeout_s,
+            timeout_s=opts.with_timeout_default(self.default_timeout_s),
             initial_state=initial_state,
-            checkpoint_predicate=checkpoint_predicate,
-            faults=fault_plan,
+            checkpoint_predicate=opts.checkpoint_predicate,
+            faults=opts.fault_plan,
             record_keys=True,
+            reconfig=reconfig_view,
         )
         return AttemptOutcome(
             outputs=res.outputs,
@@ -298,6 +357,7 @@ class ProcessBackend(RuntimeBackend):
             events_processed=res.events_processed,
             joins=res.joins,
             wall_s=res.wall_s,
+            quiesce=res.quiesce,
         )
 
 
@@ -334,6 +394,7 @@ def run_on_backend(
 __all__ = [
     "BACKENDS",
     "AttemptOutcome",
+    "AutoScaler",
     "BackendRun",
     "Buffered",
     "ByTimestampInterval",
@@ -353,13 +414,22 @@ __all__ = [
     "JoinResponse",
     "Mailbox",
     "NoCheckpointError",
+    "PhaseRecord",
     "ProcessBackend",
     "ProcessResult",
     "ProcessRuntime",
+    "QuiesceRecord",
+    "QuiesceSignal",
+    "ReconfigPoint",
+    "ReconfigSchedule",
+    "ReconfigStep",
+    "ReconfiguredRun",
     "RecoveredRun",
     "RecoveryStep",
     "RecoveryUnsoundError",
+    "RootReconfigView",
     "RunCollector",
+    "RunOptions",
     "RunResult",
     "RuntimeBackend",
     "SimBackend",
@@ -378,6 +448,7 @@ __all__ = [
     "recover",
     "run_on_backend",
     "run_sequential_reference",
+    "run_with_reconfig",
     "run_with_recovery",
     "suffix_streams",
 ]

@@ -56,10 +56,20 @@ class JoinRequest:
 
 @dataclass(frozen=True)
 class JoinResponse:
+    """A child's state traveling up.
+
+    ``backlog`` piggybacks the subtree's queue depth — the number of
+    buffered/pending mailbox items below (and at) the answering worker
+    at the instant it surrendered its state.  Summed up the tree, the
+    root observes the cluster-wide queue depth at every join, which is
+    the load signal the elastic auto-scaler thresholds on
+    (:mod:`repro.runtime.reconfigure`)."""
+
     req_id: Tuple[str, int]
     side: str
     state: Any
     state_size: float
+    backlog: int = 0
 
 
 @dataclass(frozen=True)

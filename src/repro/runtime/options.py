@@ -1,0 +1,71 @@
+"""Uniform execution options for the runtime-backend registry.
+
+The backend registry grew one keyword at a time — ``fault_plan=``,
+``checkpoint_predicate=``, then ``reconfig_schedule=`` — each threaded
+separately through every adapter and substrate.  :class:`RunOptions`
+collapses that plumbing into one picklable value constructed once (at
+:meth:`~repro.runtime.RuntimeBackend.run`) and passed through all
+three substrates, so adding the next lifecycle feature means adding a
+field here instead of widening five signatures.
+
+Per-*attempt* values (``initial_state``, the root's
+:class:`~repro.runtime.quiesce.RootReconfigView`) are deliberately not
+fields: they change between recovery/reconfiguration attempts while a
+``RunOptions`` describes the whole execution.
+
+Fields typed ``Any`` to keep this module a leaf of the import graph
+(the registry and the substrates both import it):
+
+* ``fault_plan`` — a :class:`~repro.runtime.faults.FaultPlan`;
+* ``checkpoint_predicate`` — a callable ``(event, count) -> bool``
+  (see :mod:`repro.runtime.checkpoint`);
+* ``reconfig_schedule`` — a
+  :class:`~repro.runtime.reconfigure.ReconfigSchedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class RunOptions:
+    """One execution's cross-substrate configuration.
+
+    ``timeout_s`` / ``batch_size`` of ``None`` mean "substrate
+    default" (60 s threaded, 120 s process; batch 64).  ``extra`` holds
+    substrate-specific passthrough kwargs (e.g. the sim's
+    ``track_event_latency=``)."""
+
+    fault_plan: Any = None
+    checkpoint_predicate: Any = None
+    reconfig_schedule: Any = None
+    timeout_s: Optional[float] = None
+    batch_size: Optional[int] = None
+    record_keys: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, options: Optional["RunOptions"] = None, **kwargs: Any) -> "RunOptions":
+        """Normalize an ``options=`` object plus loose keyword
+        arguments into one ``RunOptions``.
+
+        Non-``None`` keywords override the object's fields (so call
+        sites can tweak a shared options value); a ``None`` keyword
+        means *inherit* — it cannot clear a field the base object set
+        (build a fresh ``RunOptions`` for that).  Unknown keywords land
+        in ``extra`` and are forwarded verbatim to the substrate."""
+        base = options if options is not None else cls()
+        known = {f.name for f in fields(cls)} - {"extra"}
+        overrides = {k: v for k, v in kwargs.items() if k in known and v is not None}
+        extra = {**base.extra, **{k: v for k, v in kwargs.items() if k not in known}}
+        out = replace(base, **overrides)
+        out.extra = extra
+        return out
+
+    def with_timeout_default(self, default_s: float) -> float:
+        return self.timeout_s if self.timeout_s is not None else default_s
+
+    def with_batch_default(self, default: int) -> int:
+        return self.batch_size if self.batch_size is not None else default

@@ -46,6 +46,7 @@ from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
 from .checkpoint import Checkpoint, CheckpointPredicate
 from .faults import CrashRecord, FaultPlan, WorkerCrash, WorkerFaultView
+from .quiesce import QuiesceRecord, QuiesceSignal, RootReconfigView
 from .protocol import (
     INIT_STATE,
     OutputSink,
@@ -79,6 +80,8 @@ class ProcessResult(RunStatsMixin):
     keyed_outputs: List[Any] = field(default_factory=list)
     checkpoints: List[Checkpoint] = field(default_factory=list)
     crashes: List[CrashRecord] = field(default_factory=list)
+    #: Set when the root quiesced for elastic reconfiguration.
+    quiesce: Optional[QuiesceRecord] = None
 
 
 @dataclass
@@ -98,6 +101,7 @@ class _WorkerReport:
     joins: int
     leftover: int
     crash: Optional[CrashRecord] = None
+    quiesce: Optional[QuiesceRecord] = None
 
 
 class _Channels:
@@ -109,6 +113,7 @@ class _Channels:
         self.results = ctx.Queue()
         self.errors = ctx.Queue()
         self.crashes = ctx.Queue()
+        self.quiesces = ctx.Queue()
         self.inflight = ctx.Value("q", 0, lock=True)
         self.idle = ctx.Event()
         self.idle.set()  # vacuously idle until the first post
@@ -178,6 +183,7 @@ def _worker_main(
     checkpoint_predicate: Optional[CheckpointPredicate],
     fault_view: Optional[WorkerFaultView],
     record_keys: bool,
+    reconfig_view: Optional[RootReconfigView] = None,
 ) -> None:
     """Child-process entry point: drive a WorkerCore from the inbox.
 
@@ -202,17 +208,19 @@ def _worker_main(
             sink,
             checkpoint_predicate=checkpoint_predicate,
             faults=fault_view,
+            reconfig=reconfig_view,
         )
         if init_state is not None:
             core.state = init_state[0]
             core.has_state = True
         inbox = channels.queues[node_id]
         crash: Optional[CrashRecord] = None
+        quiesce: Optional[QuiesceRecord] = None
         while True:
             batch = inbox.get()
             if batch == _STOP:
                 break
-            if crash is not None:
+            if crash is not None or quiesce is not None:
                 batcher.mark_done(len(batch))
                 continue
             msgs = decode_batch(batch)
@@ -226,6 +234,17 @@ def _worker_main(
                 # the rest of the batch die with the worker.
                 batcher.flush()
                 channels.crashes.put(crash)
+            except QuiesceSignal as sig:
+                quiesce = sig.record
+                # Planned stop at a consistent snapshot: the triggering
+                # event is fully processed, only its fork-down was
+                # withheld.  Ship consequences, announce, go silent —
+                # the reconfiguration driver restarts on a new plan.
+                # The announcement is a lightweight sentinel: the full
+                # record (carrying the snapshot state) travels once, in
+                # the end-of-run report.
+                batcher.flush()
+                channels.quiesces.put(node_id)
             # Flush consequences *before* declaring the batch done, so
             # the in-flight counter can never dip to zero while this
             # worker still owes messages to others.
@@ -241,6 +260,7 @@ def _worker_main(
                 sink.joins,
                 core.unprocessed(),
                 crash,
+                quiesce,
             )
         )
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
@@ -288,10 +308,12 @@ class ProcessRuntime:
         checkpoint_predicate: Optional[CheckpointPredicate] = None,
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
+        reconfig: Optional[RootReconfigView] = None,
     ) -> ProcessResult:
         """Execute one attempt (see :meth:`ThreadedRuntime.run` for the
-        fault-injection parameter contract: a crashed attempt returns
-        with ``crashes`` non-empty instead of raising)."""
+        fault-injection / reconfiguration parameter contract: a crashed
+        or quiesced attempt returns with ``crashes`` non-empty /
+        ``quiesce`` set instead of raising)."""
         workers = self.plan.workers()
         channels = _Channels(self._ctx, [n.id for n in workers])
         leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
@@ -308,6 +330,7 @@ class ProcessRuntime:
                     checkpoint_predicate,
                     faults.view_for(n.id) if faults is not None else None,
                     record_keys,
+                    reconfig if n.id == self.plan.root.id else None,
                 ),
                 daemon=True,
                 name=f"worker:{n.id}",
@@ -328,12 +351,12 @@ class ProcessRuntime:
                     batcher.post(owner, msg)
                 result.events_in += len(stream.events)
             batcher.flush()
-            crashed = self._await_idle(channels, procs, timeout_s)
+            aborted = self._await_idle(channels, procs, timeout_s)
             result.wall_s = time.perf_counter() - t0
 
             channels.stop_all()
             self._collect(channels, result, timeout_s)
-            if crashed:
+            if aborted:
                 channels.drain_inboxes()
         finally:
             for p in procs:
@@ -346,26 +369,31 @@ class ProcessRuntime:
 
     # -- coordination helpers -------------------------------------------
     @staticmethod
-    def _await_idle(channels: _Channels, procs, timeout_s: float) -> bool:
-        """Wait for quiescence or an injected crash (returns True for a
-        crashed attempt), surfacing worker faults promptly."""
+    def _aborted(channels: _Channels) -> bool:
+        """True when a crash or a reconfiguration quiesce was announced
+        (either one ends the attempt early)."""
+        for q in (channels.crashes, channels.quiesces):
+            try:
+                q.get_nowait()
+            except queue_mod.Empty:
+                continue
+            return True
+        return False
+
+    @classmethod
+    def _await_idle(cls, channels: _Channels, procs, timeout_s: float) -> bool:
+        """Wait for drain, an injected crash, or a reconfiguration
+        quiesce (returns True for an aborted attempt), surfacing worker
+        faults promptly."""
         deadline = time.monotonic() + timeout_s
         while True:
-            try:
-                channels.crashes.get_nowait()
-            except queue_mod.Empty:
-                pass
-            else:
+            if cls._aborted(channels):
                 return True
             if channels.idle.wait(timeout=0.05):
-                # Quiescence and a crash can race: a crashed worker
-                # absorbs its backlog, so the counter may reach zero
-                # right as the announcement lands.  Crash wins.
-                try:
-                    channels.crashes.get_nowait()
-                except queue_mod.Empty:
-                    return False
-                return True
+                # Drain and an abort can race: a crashed/quiesced
+                # worker absorbs its backlog, so the counter may reach
+                # zero right as the announcement lands.  Abort wins.
+                return cls._aborted(channels)
             try:
                 node_id, err = channels.errors.get_nowait()
             except queue_mod.Empty:
@@ -409,7 +437,10 @@ class ProcessRuntime:
                         ) from None
         result.crashes = [r.crash for r in reports if r.crash is not None]
         for report in reports:
-            if report.leftover and not result.crashes:
+            if report.quiesce is not None:
+                result.quiesce = report.quiesce
+        for report in reports:
+            if report.leftover and not result.crashes and result.quiesce is None:
                 raise RuntimeFault(
                     f"worker {report.node_id} ended with {report.leftover} "
                     "unprocessed items; check heartbeats / dependence relation"

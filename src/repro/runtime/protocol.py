@@ -135,6 +135,7 @@ class WorkerCore:
         *,
         checkpoint_predicate: Optional[CheckpointPredicate] = None,
         faults: Optional[WorkerFaultView] = None,
+        reconfig: Optional[Any] = None,
     ) -> None:
         self.node = node
         self.plan = plan
@@ -143,6 +144,10 @@ class WorkerCore:
         self.sink = sink
         self.checkpoint_predicate = checkpoint_predicate
         self.faults = faults
+        #: A RootReconfigView (repro.runtime.quiesce) when this worker
+        #: is the root of an elastically-reconfigurable run; its
+        #: maybe_quiesce hook may raise QuiesceSignal at a root join.
+        self.reconfig = reconfig
 
         ancestors = plan.ancestors_of(node.id)
         known = set(node.itags)
@@ -229,7 +234,10 @@ class WorkerCore:
     def _process_join_request(self, req: JoinRequest) -> None:
         if self.is_leaf:
             self.post(
-                req.reply_to, JoinResponse(req.req_id, req.side, self.state, 1.0)
+                req.reply_to,
+                JoinResponse(
+                    req.req_id, req.side, self.state, 1.0, self.unprocessed()
+                ),
             )
             self.state = None
             self.has_state = False
@@ -250,10 +258,11 @@ class WorkerCore:
     def _on_join_response(self, msg: JoinResponse) -> None:
         assert self._current is not None and self._current[0] == msg.req_id
         req_id, ctx, states = self._current
-        states[msg.side] = msg.state
+        states[msg.side] = msg
         if len(states) < 2:
             return
-        joined = self.join_fn(states["left"], states["right"])
+        joined = self.join_fn(states["left"].state, states["right"].state)
+        subtree_backlog = states["left"].backlog + states["right"].backlog
         self.sink.count_join()
         self._current = None
         if ctx[0] == "event":
@@ -272,11 +281,29 @@ class WorkerCore:
                 self.sink.checkpoint(
                     Checkpoint(event.order_key, event.ts, joined)
                 )
+            if self.parent_id is None and self.reconfig is not None:
+                # Elastic reconfiguration hook: the joined state is a
+                # consistent snapshot, and the summed backlogs are the
+                # cluster-wide queue depth at this instant.  May raise
+                # QuiesceSignal (the substrate stops the attempt and
+                # the driver migrates; the fork below never happens).
+                self.reconfig.maybe_quiesce(
+                    event, subtree_backlog + self.unprocessed(), joined
+                )
             self._fork_down(req_id, joined)
             self.blocked = False
         else:
             req: JoinRequest = ctx[1]
-            self.post(req.reply_to, JoinResponse(req.req_id, req.side, joined, 1.0))
+            self.post(
+                req.reply_to,
+                JoinResponse(
+                    req.req_id,
+                    req.side,
+                    joined,
+                    1.0,
+                    subtree_backlog + self.unprocessed(),
+                ),
+            )
             self._absorb_restore = req_id
 
     def _on_fork_state(self, msg: ForkStateMsg) -> None:

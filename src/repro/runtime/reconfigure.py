@@ -1,0 +1,469 @@
+"""Elastic reconfiguration: live re-planning at consistent snapshots.
+
+Crash recovery (:mod:`repro.runtime.recovery`) restores a *past* root
+snapshot into the *same* plan; this driver uses the same mechanism
+forward: quiesce the runtime at the next root join — where the joined
+state **is** a consistent snapshot of the whole computation (Appendix
+D.2) — commit the sequential prefix of the output log, migrate the
+snapshot into a **different** plan by forking it down the new tree
+with the program's own declared fork primitives, and replay the input
+suffix there.  Output across the transition is exactly-once and
+multiset-equal to the sequential specification, by the same Theorem
+2.4 argument the recovery driver leans on (the snapshot must be a
+timestamp-prefix state: :func:`assert_recovery_sound` on every plan in
+the sequence).
+
+A :class:`ReconfigSchedule` mirrors :class:`~repro.runtime.faults
+.FaultPlan`: a seeded, declarative list of :class:`ReconfigPoint`\\ s
+(trigger + target shape), honored identically by the sim, threaded,
+and process substrates because the quiesce trigger lives inside the
+worker state machines (:mod:`repro.runtime.quiesce`).  Optionally an
+:class:`AutoScaler` adds load-driven elasticity: leaves piggyback
+their queue depth on join responses, and the root quiesces when the
+cluster-wide backlog crosses a watermark; the policy then widens or
+narrows the plan by its scaling factor.
+
+Reconfiguration composes with fault injection: a crash during a
+reconfigured execution recovers *into the current plan shape* — the
+driver restores the latest checkpoint taken since the last migration
+(falling back to the migration boundary snapshot itself, which is a
+checkpoint by construction) and replays on the plan that was active
+when the crash hit.  A planned point interrupted by a crash is not
+marked fired and triggers again during the replay.
+
+Worked end-to-end by ``examples/elastic_scaling.py``; measured by
+:func:`repro.bench.harness.measure_reconfig_pause`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.errors import RuntimeFault
+from ..core.program import DGSProgram
+from ..plans.morph import max_width, plan_width, repartition_plan
+from ..plans.plan import SyncPlan
+from ..plans.validity import assert_reconfig_compatible
+from .checkpoint import Checkpoint
+from .faults import CrashRecord, FaultPlan
+from .protocol import INIT_STATE, RunStatsMixin
+from .quiesce import (
+    PointTrigger,
+    QuiesceRecord,
+    RootReconfigView,
+    SCALE_IN,
+    SCALE_OUT,
+    WatermarkTrigger,
+)
+from .recovery import (
+    AttemptOutcome,
+    RecoveryStep,
+    assert_recovery_sound,
+    restart_from_crash,
+    suffix_streams,
+)
+from .runtime import InputStream
+
+
+@dataclass(frozen=True)
+class ReconfigPoint:
+    """One planned reconfiguration: when to quiesce, what to become.
+
+    Exactly one trigger must be set — ``at_ts`` (fire at the first
+    root join whose triggering event has timestamp ``>= at_ts``; stable
+    across crash-recovery replays) or ``after_joins`` (fire at the
+    attempt's n-th root join, 1-based) — and exactly one target:
+    ``to_leaves`` (repartition to that leaf width via
+    :func:`~repro.plans.morph.repartition_plan`) or ``to_plan`` (an
+    explicit target plan, checked for compatibility at migration
+    time).
+
+    Note a plan narrowed to ``to_leaves=1`` is a single worker with no
+    root joins — it cannot quiesce again, so later points are inert.
+    """
+
+    at_ts: Optional[float] = None
+    after_joins: Optional[int] = None
+    to_leaves: Optional[int] = None
+    to_plan: Optional[SyncPlan] = None
+    shape: str = "balanced"
+
+    def __post_init__(self) -> None:
+        if (self.at_ts is None) == (self.after_joins is None):
+            raise ValueError(
+                "ReconfigPoint needs exactly one of at_ts= / after_joins="
+            )
+        if self.after_joins is not None and self.after_joins < 1:
+            raise ValueError("after_joins must be >= 1")
+        if (self.to_leaves is None) == (self.to_plan is None):
+            raise ValueError(
+                "ReconfigPoint needs exactly one of to_leaves= / to_plan="
+            )
+        if self.to_leaves is not None and self.to_leaves < 1:
+            raise ValueError("to_leaves must be >= 1")
+
+
+@dataclass(frozen=True)
+class AutoScaler:
+    """Queue-depth-threshold elasticity policy.
+
+    At every root join the root observes the cluster-wide queue depth
+    (summed leaf backlogs piggybacked on join responses, see
+    :mod:`repro.runtime.quiesce`).  Depth ``>= high_watermark`` scales
+    *out* (leaf width × ``factor``); depth ``<= low_watermark`` scales
+    *in* (width ÷ ``factor``).  Width is clamped to ``[min_leaves,
+    min(max_leaves, program's max useful width)]`` — a decision that
+    would not change the width is suppressed (no quiesce, no pause).
+
+    ``cooldown_joins`` root joins must complete after each migration
+    before the next decision, and at most ``max_reconfigs`` scaling
+    steps fire per execution (both keep a bursty workload from
+    thrashing the cluster through plan churn)."""
+
+    high_watermark: Optional[int] = None
+    low_watermark: Optional[int] = None
+    factor: int = 2
+    min_leaves: int = 1
+    max_leaves: Optional[int] = None
+    cooldown_joins: int = 1
+    max_reconfigs: int = 4
+    shape: str = "balanced"
+
+    def __post_init__(self) -> None:
+        if self.high_watermark is None and self.low_watermark is None:
+            raise ValueError("AutoScaler needs high_watermark= or low_watermark=")
+        if self.factor < 2:
+            raise ValueError("factor must be >= 2")
+        if self.min_leaves < 1:
+            raise ValueError("min_leaves must be >= 1")
+        if self.max_reconfigs < 1:
+            raise ValueError("max_reconfigs must be >= 1")
+
+    def target_width(self, reason: str, current: int, ceiling: int) -> int:
+        hi = min(self.max_leaves, ceiling) if self.max_leaves else ceiling
+        hi = max(hi, self.min_leaves)
+        if reason == SCALE_OUT:
+            return min(current * self.factor, hi)
+        if reason == SCALE_IN:
+            return max(current // self.factor, self.min_leaves)
+        raise ValueError(f"unknown scaling reason {reason!r}")
+
+
+class ReconfigSchedule:
+    """A schedule of planned reconfiguration points, optionally plus an
+    auto-scaler — the elastic analogue of a
+    :class:`~repro.runtime.faults.FaultPlan`.
+
+    Pure declarative data: which points have fired (each fires exactly
+    once per execution; the auto-scaler up to its ``max_reconfigs``)
+    is tracked by the driver, so one schedule can be reused across
+    runs and backends."""
+
+    def __init__(
+        self, *points: ReconfigPoint, autoscaler: Optional[AutoScaler] = None
+    ) -> None:
+        self.points: Tuple[ReconfigPoint, ...] = tuple(points)
+        self.autoscaler = autoscaler
+        if not self.points and autoscaler is None:
+            raise ValueError(
+                "ReconfigSchedule needs at least one ReconfigPoint or an autoscaler="
+            )
+
+    def root_view(
+        self,
+        worker: str,
+        *,
+        width: int = 0,
+        ceiling: int = 0,
+        fired: frozenset = frozenset(),
+        autoscale_spent: int = 0,
+    ) -> Optional[RootReconfigView]:
+        """A fresh per-attempt view for the current plan's root: the
+        planned triggers not in ``fired`` plus the watermarks while the
+        auto-scaler has budget left after ``autoscale_spent`` firings.
+        A watermark whose decision could not move the current ``width``
+        in its own direction (already at the ``ceiling``/floor, or a
+        clamp inversion) is disarmed, so the run never pauses for a
+        no-op or wrong-way migration.  None once everything is spent
+        (the final attempt then runs with no quiesce hook at all)."""
+        triggers = [
+            PointTrigger(i, p.at_ts, p.after_joins)
+            for i, p in enumerate(self.points)
+            if i not in fired
+        ]
+        watermarks = None
+        auto = self.autoscaler
+        if auto is not None and autoscale_spent < auto.max_reconfigs:
+            high = auto.high_watermark
+            low = auto.low_watermark
+            if width:
+                # Disarm any decision that would not move the width in
+                # its own direction — including clamp inversions (e.g.
+                # already above max_leaves: "scale out" must not fire a
+                # migration that *shrinks* the plan).
+                if high is not None and auto.target_width(SCALE_OUT, width, ceiling) <= width:
+                    high = None
+                if low is not None and auto.target_width(SCALE_IN, width, ceiling) >= width:
+                    low = None
+            if high is not None or low is not None:
+                watermarks = WatermarkTrigger(high, low, auto.cooldown_joins)
+        if not triggers and watermarks is None:
+            return None
+        return RootReconfigView(worker, triggers, watermarks)
+
+    def target_plan(
+        self, record: QuiesceRecord, current: SyncPlan, program: DGSProgram
+    ) -> SyncPlan:
+        """The plan to migrate into for a quiesce that just fired."""
+        if record.point_index >= 0:
+            point = self.points[record.point_index]
+            if point.to_plan is not None:
+                return point.to_plan
+            return repartition_plan(
+                program,
+                current,
+                point.to_leaves,
+                shape=point.shape,
+                # Preserve a custom root state type across the
+                # migration (R2: the snapshot is a value of it).
+                state_type=current.root.state_type,
+            )
+        assert self.autoscaler is not None
+        width = self.autoscaler.target_width(
+            record.reason, plan_width(current), max_width(program, current)
+        )
+        return repartition_plan(
+            program,
+            current,
+            width,
+            shape=self.autoscaler.shape,
+            state_type=current.root.state_type,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        auto = f", autoscaler={self.autoscaler!r}" if self.autoscaler else ""
+        return f"ReconfigSchedule({len(self.points)} points{auto})"
+
+
+@dataclass(frozen=True)
+class ReconfigStep:
+    """One completed migration between plans."""
+
+    attempt: int
+    reason: str
+    key: tuple
+    ts: float
+    from_leaves: int
+    to_leaves: int
+    queue_depth: int
+    #: Driver-side migration pause: suffix computation + target-plan
+    #: construction + compatibility checks.  Worker restart and suffix
+    #: replay are part of the next attempt's wall time — see
+    #: measure_reconfig_pause for the end-to-end cost.
+    pause_s: float
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One attempt's worth of processing on a fixed plan shape (only
+    attempts ending in a quiesce or in completion — crashed attempts
+    are recorded as recoveries instead)."""
+
+    attempt: int
+    leaves: int
+    events_processed: int
+    joins: int
+    wall_s: float
+
+    @property
+    def throughput_events_per_s(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class ReconfiguredRun(RunStatsMixin):
+    """A complete elastic execution: one or more plan phases, possibly
+    interleaved with crash recoveries."""
+
+    outputs: List[Any] = field(default_factory=list)
+    events_in: int = 0
+    events_processed: int = 0
+    joins: int = 0
+    wall_s: float = 0.0
+    attempts: int = 1
+    crashes: List[CrashRecord] = field(default_factory=list)
+    recoveries: List[RecoveryStep] = field(default_factory=list)
+    checkpoints_taken: int = 0
+    reconfigurations: List[ReconfigStep] = field(default_factory=list)
+    phases: List[PhaseRecord] = field(default_factory=list)
+    #: Every plan shape the execution ran through, initial one first.
+    plan_history: List[SyncPlan] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.recoveries)
+
+    @property
+    def reconfigured(self) -> bool:
+        return bool(self.reconfigurations)
+
+    @property
+    def replayed_events(self) -> int:
+        return sum(r.replayed_events for r in self.recoveries)
+
+    @property
+    def final_plan(self) -> SyncPlan:
+        return self.plan_history[-1]
+
+
+def _assert_phase_sound(phase_plan: SyncPlan, program: DGSProgram) -> None:
+    """Phase-level soundness: multi-worker plans must have prefix-state
+    root snapshots (they quiesce and checkpoint there); a single worker
+    takes no snapshots at all, so any program is safe on it."""
+    if len(phase_plan.workers()) > 1:
+        assert_recovery_sound(phase_plan, program)
+
+
+#: (plan, streams, initial_state, reconfig_view) -> AttemptOutcome; the
+#: fault plan and checkpoint predicate are closed over by the backend
+#: adapter.  Unlike recovery's AttemptFn, the *plan* varies per attempt.
+ElasticAttemptFn = Callable[
+    [SyncPlan, Sequence[InputStream], Any, Optional[RootReconfigView]],
+    AttemptOutcome,
+]
+
+
+def run_with_reconfig(
+    attempt_fn: ElasticAttemptFn,
+    program: DGSProgram,
+    plan: SyncPlan,
+    streams: Sequence[InputStream],
+    schedule: ReconfigSchedule,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    max_attempts: Optional[int] = None,
+) -> ReconfiguredRun:
+    """Drive attempts until one completes, migrating plans at quiesces
+    and recovering crashes into the then-current plan shape."""
+    # Quiescing (like checkpointing) needs every phase's root snapshots
+    # to be timestamp-prefix states; target plans keep the same root
+    # tags (R1+R2), but check each migration's target anyway.  A
+    # single-worker plan is exempt: it has no root joins, so it can
+    # neither quiesce nor checkpoint — a crash there replays its whole
+    # phase from the boundary snapshot, which is sound for any program.
+    _assert_phase_sound(plan, program)
+    budget = len(schedule.points)
+    if schedule.autoscaler is not None:
+        budget += schedule.autoscaler.max_reconfigs
+    if fault_plan is not None:
+        budget += len(fault_plan.crash_indices())
+    cap = max_attempts if max_attempts is not None else budget + 2
+
+    run = ReconfiguredRun(plan_history=[plan])
+    committed: List[Any] = []
+    pending: Sequence[InputStream] = list(streams)
+    initial: Any = INIT_STATE
+    last_ckpt: Optional[Checkpoint] = None
+    current = plan
+    # Firing bookkeeping is driver-local so the schedule itself stays
+    # reusable pure data (one schedule, many runs/backends).
+    fired: set = set()
+    autoscale_spent = 0
+    for attempt in range(1, cap + 1):
+        view = schedule.root_view(
+            current.root.id,
+            width=plan_width(current),
+            ceiling=max_width(program, current),
+            fired=fired,
+            autoscale_spent=autoscale_spent,
+        )
+        out = attempt_fn(current, pending, initial, view)
+        run.attempts = attempt
+        run.checkpoints_taken += len(out.checkpoints)
+        run.events_processed += out.events_processed
+        run.joins += out.joins
+        run.wall_s += out.wall_s
+        if attempt == 1:
+            run.events_in = out.events_in
+
+        if out.crashes:
+            # Crash wins over a racing quiesce: the interrupted point
+            # is not marked fired and triggers again on the replay —
+            # recovery restores into the *current* plan shape (the last
+            # restore point may be a migration boundary snapshot).
+            run.crashes.extend(out.crashes)
+            if fault_plan is not None:
+                for crash in out.crashes:
+                    fault_plan.mark_fired(crash.fault_index)
+            restart = restart_from_crash(
+                attempt, out, pending, initial, last_ckpt,
+                no_checkpoint_hint=(
+                    "crashed before any checkpoint or migration snapshot "
+                    "existed; configure checkpoint_predicate= (e.g. "
+                    "every_root_join()) to make reconfigured runs "
+                    "crash-recoverable"
+                ),
+            )
+            committed.extend(restart.committed_delta)
+            pending = restart.pending
+            initial = restart.initial
+            last_ckpt = restart.last_ckpt
+            run.recoveries.append(restart.step)
+            continue
+
+        run.phases.append(
+            PhaseRecord(
+                attempt=attempt,
+                leaves=plan_width(current),
+                events_processed=out.events_processed,
+                joins=out.joins,
+                wall_s=out.wall_s,
+            )
+        )
+        if out.quiesce is not None:
+            q = out.quiesce
+            t0 = time.perf_counter()
+            if q.point_index >= 0:
+                if q.point_index in fired:
+                    raise RuntimeFault(
+                        f"reconfiguration point #{q.point_index} fired twice"
+                    )
+                fired.add(q.point_index)
+            else:
+                autoscale_spent += 1
+            committed.extend(v for k, v in out.keyed_outputs if k <= q.key)
+            pending = suffix_streams(pending, q.key)
+            new_plan = schedule.target_plan(q, current, program)
+            assert_reconfig_compatible(current, new_plan, program)
+            _assert_phase_sound(new_plan, program)
+            pause_s = time.perf_counter() - t0
+            run.reconfigurations.append(
+                ReconfigStep(
+                    attempt=attempt,
+                    reason=q.reason,
+                    key=q.key,
+                    ts=q.ts,
+                    from_leaves=plan_width(current),
+                    to_leaves=plan_width(new_plan),
+                    queue_depth=q.queue_depth,
+                    pause_s=pause_s,
+                )
+            )
+            run.plan_history.append(new_plan)
+            current = new_plan
+            initial = q.state
+            # The migration snapshot is a checkpoint by construction:
+            # crashes in the next phase before its first own checkpoint
+            # restore from here, into the new plan.
+            last_ckpt = Checkpoint(q.key, q.ts, q.state)
+            continue
+
+        run.outputs = committed + list(out.outputs)
+        return run
+    raise RuntimeFault(
+        f"elastic execution did not converge after {cap} attempts "
+        "(each point fires once and the auto-scaler is budgeted, so "
+        "this indicates a driver bug)"
+    )

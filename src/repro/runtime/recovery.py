@@ -58,6 +58,9 @@ class AttemptOutcome:
     events_processed: int = 0
     joins: int = 0
     wall_s: float = 0.0
+    #: QuiesceRecord when the attempt stopped at a reconfiguration
+    #: point (see repro.runtime.reconfigure); None otherwise.
+    quiesce: Any = None
 
 
 #: (streams, initial_state) -> AttemptOutcome; the fault plan and the
@@ -136,6 +139,66 @@ def assert_recovery_sound(plan: SyncPlan, program: DGSProgram) -> None:
             )
 
 
+@dataclass
+class CrashRestart:
+    """The exactly-once bookkeeping for one restore-and-replay step,
+    shared between the recovery and reconfiguration drivers."""
+
+    committed_delta: List[Any]
+    pending: List[InputStream]
+    initial: Any
+    last_ckpt: Checkpoint
+    step: RecoveryStep
+
+
+def restart_from_crash(
+    attempt: int,
+    out: AttemptOutcome,
+    pending: Sequence[InputStream],
+    initial: Any,
+    last_ckpt: Optional[Checkpoint],
+    *,
+    no_checkpoint_hint: str,
+) -> CrashRestart:
+    """Plan the restart after a crashed attempt: pick the attempt's
+    newest snapshot, commit the sequential prefix of its output log
+    (everything at or below the snapshot key — all later outputs are
+    discarded and regenerated by the replay: exactly-once delivery),
+    and compute the input suffix to replay.  A crash with no snapshot
+    at all — neither in this attempt nor restored earlier — raises
+    :class:`NoCheckpointError`; crashing again before any *new*
+    snapshot retries the same suffix from the previous restore point.
+
+    Aborting on crash detection cannot lose a needed snapshot: a
+    worker's crash trigger only fires while processing an event, and
+    (for sound plans) an event past root join k is released to a
+    worker only after that join's fork reached it — by which time the
+    root recorded checkpoint k in its synchronous log.
+    """
+    ckpt = max(out.checkpoints, key=lambda c: c.key, default=None)
+    committed_delta: List[Any] = []
+    if ckpt is not None:
+        last_ckpt = ckpt
+        committed_delta = [v for k, v in out.keyed_outputs if k <= ckpt.key]
+        pending = suffix_streams(pending, ckpt.key)
+        initial = ckpt.state
+    elif last_ckpt is None:
+        who = ", ".join(sorted({c.worker for c in out.crashes}))
+        raise NoCheckpointError(f"worker(s) {who} {no_checkpoint_hint}")
+    return CrashRestart(
+        committed_delta=committed_delta,
+        pending=list(pending),
+        initial=initial,
+        last_ckpt=last_ckpt,
+        step=RecoveryStep(
+            attempt=attempt,
+            crashed_workers=tuple(sorted({c.worker for c in out.crashes})),
+            resumed_from_ts=last_ckpt.ts,
+            replayed_events=sum(len(s.events) for s in pending),
+        ),
+    )
+
+
 def run_with_recovery(
     attempt_fn: AttemptFn,
     program: DGSProgram,
@@ -171,37 +234,19 @@ def run_with_recovery(
         run.crashes.extend(out.crashes)
         for crash in out.crashes:
             fault_plan.mark_fired(crash.fault_index)
-        # Aborting on crash detection cannot lose a needed snapshot: a
-        # worker's crash trigger only fires while processing an event,
-        # and (for sound plans) an event past root join k is released
-        # to a worker only after that join's fork reached it — by which
-        # time the root recorded checkpoint k in its synchronous log.
-        ckpt = max(out.checkpoints, key=lambda c: c.key, default=None)
-        if ckpt is not None:
-            # Commit this attempt's sequential prefix (everything at or
-            # below the snapshot key); all later outputs are discarded
-            # and regenerated by the replay — exactly-once delivery.
-            last_ckpt = ckpt
-            committed.extend(v for k, v in out.keyed_outputs if k <= ckpt.key)
-            pending = suffix_streams(pending, ckpt.key)
-            initial = ckpt.state
-        elif last_ckpt is None:
-            who = ", ".join(sorted({c.worker for c in out.crashes}))
-            raise NoCheckpointError(
-                f"worker(s) {who} crashed but no checkpoint exists to "
-                "recover from; configure checkpoint_predicate= (e.g. "
-                "every_root_join()) to enable crash recovery"
-            )
-        # else: crashed again before any new snapshot — retry the same
-        # suffix from the previously restored checkpoint.
-        run.recoveries.append(
-            RecoveryStep(
-                attempt=attempt,
-                crashed_workers=tuple(sorted({c.worker for c in out.crashes})),
-                resumed_from_ts=last_ckpt.ts,  # type: ignore[union-attr]
-                replayed_events=sum(len(s.events) for s in pending),
-            )
+        restart = restart_from_crash(
+            attempt, out, pending, initial, last_ckpt,
+            no_checkpoint_hint=(
+                "crashed but no checkpoint exists to recover from; "
+                "configure checkpoint_predicate= (e.g. every_root_join()) "
+                "to enable crash recovery"
+            ),
         )
+        committed.extend(restart.committed_delta)
+        pending = restart.pending
+        initial = restart.initial
+        last_ckpt = restart.last_ckpt
+        run.recoveries.append(restart.step)
     raise RuntimeFault(
         f"recovery did not converge after {cap} attempts "
         "(crash faults should each fire at most once)"

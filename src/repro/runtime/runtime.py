@@ -34,6 +34,7 @@ from .checkpoint import Checkpoint
 from .faults import CrashRecord, FaultPlan
 from .messages import EventMsg, HeartbeatMsg
 from .protocol import INIT_STATE
+from .quiesce import QuiesceRecord
 from .worker import RunCollector, StateSizeFn, WorkerActor, default_state_size
 
 
@@ -73,6 +74,8 @@ class RunResult:
     #: (order_key, value) log (record_keys runs) + injected crashes.
     keyed_outputs: List[Tuple[tuple, Any]] = field(default_factory=list)
     crashes: List[CrashRecord] = field(default_factory=list)
+    #: Set when the root quiesced for elastic reconfiguration.
+    quiesce: Optional[QuiesceRecord] = None
 
     def event_latency_percentiles(
         self, qs: Sequence[float] = (10, 50, 90)
@@ -123,6 +126,7 @@ class FluminaRuntime:
         track_event_latency: bool = False,
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
+        reconfig: Optional[Any] = None,
         validate: bool = True,
     ) -> None:
         self.program = program
@@ -146,6 +150,8 @@ class FluminaRuntime:
         self.track_event_latency = track_event_latency
         self.faults = faults
         self.record_keys = record_keys
+        #: RootReconfigView handed to the root worker (elastic runs).
+        self.reconfig = reconfig
 
     # -- setup ----------------------------------------------------------------
     @staticmethod
@@ -175,6 +181,9 @@ class FluminaRuntime:
                 checkpoint_predicate=self.checkpoint_predicate,
                 faults=(
                     self.faults.view_for(node.id) if self.faults is not None else None
+                ),
+                reconfig=(
+                    self.reconfig if node.id == self.plan.root.id else None
                 ),
             )
             system.add(actor)
@@ -267,11 +276,11 @@ class FluminaRuntime:
         events_in, first_ts, last_ts = self._feed(system, streams)
         system.sim.run(max_events=max_sim_events)
         duration_clock = max(system.sim.now, system.last_completion)
-        if not collector.crashes:
-            # A crashed attempt legitimately strands buffered items
-            # (the dead worker's, and its blocked ancestors'); the
-            # recovery driver replays them, so only fail-free runs must
-            # prove they drained.
+        if not collector.crashes and collector.quiesce is None:
+            # A crashed or quiesced attempt legitimately strands
+            # buffered items (the stopped worker's, and its blocked
+            # ancestors'); the recovery/reconfiguration drivers replay
+            # them, so only fail-free runs must prove they drained.
             for worker in workers.values():
                 if worker.mailbox.buffered_count() or worker.pending:
                     raise RuntimeFault(
@@ -299,6 +308,7 @@ class FluminaRuntime:
             event_latencies=collector.event_latencies,
             keyed_outputs=list(collector.keyed_outputs),
             crashes=list(collector.crashes),
+            quiesce=collector.quiesce,
         )
 
 

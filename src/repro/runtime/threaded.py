@@ -32,6 +32,7 @@ from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
 from .checkpoint import Checkpoint, CheckpointPredicate
 from .faults import CrashRecord, FaultPlan, WorkerCrash
+from .quiesce import QuiesceRecord, QuiesceSignal
 from .protocol import (
     INIT_STATE,
     OutputSink,
@@ -57,6 +58,8 @@ class ThreadedResult(RunStatsMixin):
     keyed_outputs: List[Any] = field(default_factory=list)
     checkpoints: List[Checkpoint] = field(default_factory=list)
     crashes: List[CrashRecord] = field(default_factory=list)
+    #: Set when the root quiesced for elastic reconfiguration.
+    quiesce: Optional[QuiesceRecord] = None
 
 
 class _Router:
@@ -70,6 +73,8 @@ class _Router:
         self.idle.set()  # vacuously idle until the first post
         self.crashed = threading.Event()
         self.crashes: List[CrashRecord] = []
+        self.quiesced = threading.Event()
+        self.quiesce: Optional[QuiesceRecord] = None
 
     def register(self, name: str) -> "queue.Queue[Any]":
         q: "queue.Queue[Any]" = queue.Queue()
@@ -92,6 +97,11 @@ class _Router:
         with self._lock:
             self.crashes.append(record)
         self.crashed.set()
+
+    def record_quiesce(self, record: QuiesceRecord) -> None:
+        with self._lock:
+            self.quiesce = record
+        self.quiesced.set()
 
     def stop_all(self) -> None:
         for q in self.queues.values():
@@ -162,6 +172,12 @@ class _ThreadedWorker(threading.Thread):
             except WorkerCrash as crash:
                 self.crashed = True
                 self.router.record_crash(crash.record)
+            except QuiesceSignal as sig:
+                # Planned stop at a consistent snapshot (elastic
+                # reconfiguration): go silent like a fail-stop; the
+                # driver migrates the captured state to a new plan.
+                self.crashed = True
+                self.router.record_quiesce(sig.record)
             finally:
                 self.router.done()
 
@@ -184,6 +200,7 @@ class ThreadedRuntime:
         checkpoint_predicate: Optional[CheckpointPredicate] = None,
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
+        reconfig: Any = None,
     ) -> ThreadedResult:
         """Execute one attempt.
 
@@ -191,10 +208,15 @@ class ThreadedRuntime:
         ``checkpoint_predicate``, ``faults``, ``record_keys``) default
         to the plain fail-free execution; the recovery driver
         (:mod:`repro.runtime.recovery`) sets them when replaying from a
-        checkpoint.  A crashed attempt *returns* (with ``crashes``
-        non-empty and the output log truncated at whatever had been
-        processed) rather than raising — deciding whether to recover is
-        the driver's job, not the substrate's.
+        checkpoint, and the reconfiguration driver
+        (:mod:`repro.runtime.reconfigure`) additionally arms
+        ``reconfig=`` (a per-attempt
+        :class:`~repro.runtime.quiesce.RootReconfigView`) on the root.
+        A crashed or quiesced attempt *returns* (with ``crashes``
+        non-empty / ``quiesce`` set and the output log truncated at
+        whatever had been processed) rather than raising — deciding
+        whether to recover or migrate is the driver's job, not the
+        substrate's.
         """
         router = _Router()
         result = ThreadedResult()
@@ -210,6 +232,7 @@ class ThreadedRuntime:
                     sink,
                     checkpoint_predicate=checkpoint_predicate,
                     faults=faults.view_for(n.id) if faults is not None else None,
+                    reconfig=reconfig if n.id == self.plan.root.id else None,
                 ),
                 router,
             )
@@ -235,7 +258,7 @@ class ThreadedRuntime:
 
         deadline = time.monotonic() + timeout_s
         while True:
-            if router.crashed.is_set():
+            if router.crashed.is_set() or router.quiesced.is_set():
                 break
             if router.idle.wait(timeout=0.05):
                 break
@@ -247,7 +270,8 @@ class ThreadedRuntime:
         for w in workers.values():
             w.join(timeout=5.0)
         result.crashes = list(router.crashes)
-        if not result.crashes:
+        result.quiesce = router.quiesce
+        if not result.crashes and result.quiesce is None:
             for w in workers.values():
                 if w.core.unprocessed():
                     raise RuntimeFault(

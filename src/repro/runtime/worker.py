@@ -42,6 +42,7 @@ from ..sim.actors import Actor
 from .checkpoint import Checkpoint
 from .faults import CrashRecord, WorkerCrash, WorkerFaultView
 from .mailbox import Buffered, Mailbox
+from .quiesce import QuiesceRecord, QuiesceSignal
 from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
 
 StateSizeFn = Callable[[Any], float]
@@ -74,6 +75,9 @@ class RunCollector:
     record_keys: bool = False
     keyed_outputs: List[Tuple[tuple, Any]] = field(default_factory=list)
     crashes: List[CrashRecord] = field(default_factory=list)
+    #: Set when the root quiesced for an elastic reconfiguration
+    #: (repro.runtime.reconfigure); carries the migration snapshot.
+    quiesce: Optional[QuiesceRecord] = None
 
     def record_output(
         self, value: Any, emit_time: float, event_ts: float, key: Any = None
@@ -109,6 +113,7 @@ class WorkerActor(Actor):
         state_size: StateSizeFn = default_state_size,
         checkpoint_predicate: Optional[Callable[[Event, int], bool]] = None,
         faults: Optional[WorkerFaultView] = None,
+        reconfig: Optional[Any] = None,
     ) -> None:
         super().__init__(name, host)
         self.node = node
@@ -118,6 +123,9 @@ class WorkerActor(Actor):
         self.state_size = state_size
         self.checkpoint_predicate = checkpoint_predicate
         self.faults = faults
+        #: RootReconfigView for the root of an elastic run (see
+        #: repro.runtime.quiesce); None everywhere else.
+        self.reconfig = reconfig
         #: Fail-stop flag: a crashed actor silently absorbs everything.
         self.crashed = False
 
@@ -218,6 +226,14 @@ class WorkerActor(Actor):
             # before the failure).  The triggering event did not.
             self.crashed = True
             self.collector.crashes.append(crash.record)
+        except QuiesceSignal as sig:
+            # Planned stop for reconfiguration: the triggering event IS
+            # fully processed (outputs recorded, snapshot captured);
+            # only the fork back down was withheld.  The actor goes
+            # silent like a fail-stop — the driver restarts the cluster
+            # on the migrated plan.
+            self.crashed = True
+            self.collector.quiesce = sig.record
 
     # -- queue management ---------------------------------------------------------
     def _enqueue(self, released: List[Buffered]) -> None:
@@ -266,7 +282,7 @@ class WorkerActor(Actor):
             size = self.state_size(self.state)
             self.send(
                 req.reply_to,
-                JoinResponse(req.req_id, req.side, self.state, size),
+                JoinResponse(req.req_id, req.side, self.state, size, self._backlog()),
                 state_size=size,
             )
             self.state = None
@@ -275,6 +291,11 @@ class WorkerActor(Actor):
             self._absorb_restore = None
         else:
             self._start_join(("parent", req))
+
+    def _backlog(self) -> int:
+        """Queue depth at this worker: buffered + released-but-pending
+        mailbox items (the load signal piggybacked on JoinResponse)."""
+        return self.mailbox.buffered_count() + len(self.pending)
 
     # -- join protocol ------------------------------------------------------------
     def _start_join(self, ctx: Tuple[str, Any]) -> None:
@@ -296,10 +317,11 @@ class WorkerActor(Actor):
         if self._current_join is None or self._current_join[0] != msg.req_id:
             raise RuntimeFault(f"{self.name}: unexpected join response {msg.req_id}")
         req_id, ctx, states = self._current_join
-        states[msg.side] = msg.state
+        states[msg.side] = msg
         if len(states) < 2:
             return
-        joined = self.join(states["left"], states["right"])
+        joined = self.join(states["left"].state, states["right"].state)
+        subtree_backlog = states["left"].backlog + states["right"].backlog
         self.collector.record_join(self.name)
         self._current_join = None
         if ctx[0] == "event":
@@ -320,6 +342,12 @@ class WorkerActor(Actor):
                 self.collector.checkpoints.append(
                     Checkpoint(event.order_key, event.ts, joined)
                 )
+            if self.is_root and self.reconfig is not None:
+                # Elastic reconfiguration hook (may raise QuiesceSignal
+                # — caught in handle(); the fork below never happens).
+                self.reconfig.maybe_quiesce(
+                    event, subtree_backlog + self._backlog(), joined
+                )
             self._fork_down(req_id, joined)
             self.blocked = False
         else:
@@ -327,7 +355,13 @@ class WorkerActor(Actor):
             size = self.state_size(joined)
             self.send(
                 req.reply_to,
-                JoinResponse(req.req_id, req.side, joined, size),
+                JoinResponse(
+                    req.req_id,
+                    req.side,
+                    joined,
+                    size,
+                    subtree_backlog + self._backlog(),
+                ),
                 state_size=size,
             )
             # Stay blocked ("absorbed"): our subtree has no state until

@@ -3,10 +3,20 @@
 Acceptance shape: >= 50 seeded (app, plan, fault-schedule) cases across
 the threaded and process runtimes, each recovering from its injected
 faults and producing outputs multiset-equal to the sequential
-reference.  Every case id encodes its full derivation seed, so a
-failure here reproduces standalone with
+reference, plus a reconfiguration matrix — seeded mid-stream plan
+migrations, half of them with crash schedules armed at the same time
+(recovery must restore into the then-current plan shape).  Every case
+id encodes its full derivation seed, so a failure here reproduces
+standalone with
 
     python -m repro.chaos --seed 20260728 --cases 54 --only <case_id>
+
+for the fault sweep, or
+
+    python -m repro.chaos --seed 20260729 --cases 24 \\
+        --modes reconfig,reconfig-crash --only <case_id>
+
+for the reconfiguration matrix.
 """
 
 import pytest
@@ -15,6 +25,7 @@ from repro.chaos import (
     APPS,
     ChaosCase,
     build_fault_schedule,
+    build_reconfig_schedule,
     build_workload,
     generate_cases,
     run_chaos_case,
@@ -28,7 +39,29 @@ CASES = generate_cases(
     seed=SWEEP_SEED, n_cases=N_CASES, backends=("threaded", "process")
 )
 
+RECONFIG_SEED = 20260729
+N_RECONFIG_CASES = 24
+
+RECONFIG_CASES = generate_cases(
+    seed=RECONFIG_SEED,
+    n_cases=N_RECONFIG_CASES,
+    backends=("threaded", "process"),
+    modes=("reconfig", "reconfig-crash"),
+)
+
 _OUTCOMES = {}
+
+
+def _outcomes_or_sample(cases, stride):
+    """Outcomes for an aggregate assertion: free when the parametrized
+    cases all ran in this process (the serial full-suite case), else a
+    deterministic every-``stride``-th sample recomputed locally — so
+    under pytest-xdist (which scatters the parametrized cases across
+    workers) these tests stay cheap instead of re-running whole
+    sweeps."""
+    if all(c.case_id in _OUTCOMES for c in cases):
+        return [_OUTCOMES[c.case_id] for c in cases]
+    return [run_chaos_case(c, timeout_s=60.0) for c in cases[::stride]]
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c.case_id)
@@ -64,16 +97,61 @@ def test_sweep_exercised_recovery():
     """Most schedules must have actually fired (crash observed +
     recovery replayed events) — a sweep where faults never trigger
     would be vacuous.  Outcomes are taken from the parametrized cases
-    when they ran in this process (the full-suite case: free), and
-    recomputed otherwise (selective or split runs stay correct)."""
-    outcomes = [
-        _OUTCOMES.get(c.case_id) or run_chaos_case(c, timeout_s=60.0) for c in CASES
-    ]
+    when they all ran in this process (the serial full-suite case:
+    free); under xdist or selective runs a bounded deterministic
+    sample is recomputed instead."""
+    outcomes = _outcomes_or_sample(CASES, stride=5)
     recovered = [o for o in outcomes if o.recovered]
     assert len(recovered) >= len(outcomes) * 0.6
     assert sum(o.replayed_events for o in recovered) > 0
     assert all(o.attempts >= 2 for o in recovered)
     assert sum(o.checkpoints_taken for o in outcomes) > 0
+
+
+@pytest.mark.parametrize("case", RECONFIG_CASES, ids=lambda c: c.case_id)
+def test_reconfig_case_matches_spec(case):
+    outcome = run_chaos_case(case, timeout_s=60.0)
+    _OUTCOMES[case.case_id] = outcome
+    assert outcome.ok, (
+        f"{case.case_id}: outputs diverged from the sequential reference "
+        f"under mid-stream reconfiguration: {outcome.mismatch}"
+    )
+
+
+def test_reconfig_sweep_composition():
+    """The reconfiguration matrix covers what it claims: both real
+    runtimes, both elastic modes, every chaos app, and every crash-mode
+    case also schedules at least one crash."""
+    assert {c.backend for c in RECONFIG_CASES} == {"threaded", "process"}
+    assert {c.mode for c in RECONFIG_CASES} == {"reconfig", "reconfig-crash"}
+    assert {c.app for c in RECONFIG_CASES} == set(APPS)
+    assert len({c.case_id for c in RECONFIG_CASES}) == len(RECONFIG_CASES)
+    for case in RECONFIG_CASES:
+        prog, streams, plan, sync_ts = build_workload(case)
+        sched = build_reconfig_schedule(case, streams, plan, sync_ts, prog)
+        assert len(sched.points) >= 1
+        if case.mode == "reconfig-crash":
+            fp = build_fault_schedule(case, streams, plan, sync_ts)
+            assert any(isinstance(f, CrashFault) for f in fp.faults)
+
+
+def test_reconfig_sweep_exercised_migrations():
+    """Most elastic schedules actually migrated (widths changed), and
+    the crash-mode cases that crashed recovered into the then-current
+    plan — their runs still end on the final migrated width.  Outcomes
+    come from the parametrized cases when they all ran in this process;
+    under xdist or selective runs a bounded deterministic sample is
+    recomputed instead."""
+    outcomes = _outcomes_or_sample(RECONFIG_CASES, stride=2)
+    migrated = [o for o in outcomes if o.reconfigured]
+    assert len(migrated) >= len(outcomes) * 0.6
+    assert all(len(o.plan_widths) == o.reconfigs + 1 for o in outcomes)
+    assert any(
+        o.plan_widths[-1] != o.plan_widths[0] for o in migrated
+    ), "every migration was a no-op width change"
+    crashed = [o for o in outcomes if o.case.mode == "reconfig-crash" and o.recovered]
+    assert crashed, "no crash ever fired during a reconfigured execution"
+    assert all(o.attempts >= 2 for o in crashed)
 
 
 def test_case_derivation_is_deterministic():
@@ -85,3 +163,30 @@ def test_case_derivation_is_deterministic():
     fa = build_fault_schedule(case, a[1], a[2], a[3])
     fb = build_fault_schedule(case, b[1], b[2], b[3])
     assert fa.faults == fb.faults
+
+
+def test_reconfig_derivation_is_deterministic():
+    case = ChaosCase(
+        app="keycounter", backend="process", seed=4242, mode="reconfig-crash"
+    )
+    assert case.case_id.endswith("-reconfig-crash")
+    runs = []
+    for _ in range(2):
+        prog, streams, plan, sync_ts = build_workload(case)
+        sched = build_reconfig_schedule(case, streams, plan, sync_ts, prog)
+        runs.append(sched.points)
+    assert runs[0] == runs[1]
+
+
+def test_mode_field_keeps_default_case_ids_stable():
+    """PR-2 case ids (and their seed streams) must not shift under the
+    new mode axis — `--only` repro lines in old failure reports keep
+    working."""
+    legacy = ChaosCase(app="value-barrier", backend="threaded", seed=7)
+    assert legacy.case_id == "value-barrier-threaded-s7"
+    assert [c.seed for c in CASES] == [
+        c.seed
+        for c in generate_cases(
+            seed=SWEEP_SEED, n_cases=N_CASES, backends=("threaded", "process")
+        )
+    ]

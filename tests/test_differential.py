@@ -1,6 +1,7 @@
 """Tests for the differential-testing utility (repro.testing) and its
 use across the simulated runtime, the threaded runtime, the process
-runtime, and the baseline engines."""
+runtime, and the baseline engines — including every app under live
+elastic reconfiguration."""
 
 import random
 
@@ -15,8 +16,13 @@ from repro.apps import (
     value_barrier as vb,
 )
 from repro.core import Event, ImplTag
-from repro.plans import sequential_plan
-from repro.runtime import InputStream, run_on_backend
+from repro.plans import plan_width, root_and_leaves_plan, sequential_plan
+from repro.runtime import (
+    InputStream,
+    ReconfigPoint,
+    ReconfigSchedule,
+    run_on_backend,
+)
 from repro.runtime.threaded import ThreadedRuntime
 from repro.testing import compare_outputs, diff_plans, diff_against_spec, fuzz_plans
 
@@ -171,3 +177,101 @@ class TestCrossRuntimeDifferential:
             },
         )
         assert report.ok, [str(m) for m in report.mismatches]
+
+
+def _elastic_app_case(name):
+    """(program, streams, plan) for each app with a plan whose root
+    tags synchronize globally — the shape elastic reconfiguration (like
+    checkpoint recovery) requires.  Most apps' natural plans qualify;
+    pageview needs a single page (pages are mutually independent, so a
+    multi-page forest has no global synchronization point) and
+    keycounter a single key with resets at the root."""
+    if name == "pageview":
+        prog = pageview.make_program(1)
+        wl = pageview.make_workload(
+            n_pages=1, n_view_streams=3, views_per_update=15, n_updates_per_page=3
+        )
+        return prog, pageview.make_streams(wl), pageview.make_plan(prog, wl)
+    if name == "keycounter":
+        prog = kc.make_program(1)
+        rng = random.Random(23)
+        inc_itags = [ImplTag(kc.inc_tag(0), f"i{s}") for s in range(3)]
+        reset_itag = ImplTag(kc.reset_tag(0), "r")
+        streams = [
+            InputStream(
+                it,
+                tuple(
+                    Event(it.tag, it.stream, float(t))
+                    for t in sorted(rng.sample(range(1, 60), 12))
+                ),
+                heartbeat_interval=5.0,
+            )
+            for it in inc_itags
+        ]
+        streams.append(
+            InputStream(
+                reset_itag,
+                tuple(Event(reset_itag.tag, "r", float(t)) for t in (14.5, 31.5, 47.5)),
+                heartbeat_interval=5.0,
+            )
+        )
+        plan = root_and_leaves_plan(prog, [reset_itag], [[it] for it in inc_itags])
+        return prog, streams, plan
+    return _app_case(name)
+
+
+class TestElasticDifferential:
+    """Every app, mid-stream reconfiguration, both real runtimes: the
+    plan narrows at the first root join and (where the narrow plan can
+    still quiesce) widens back at the next — outputs stay multiset-
+    equal to the sequential specification across both migrations."""
+
+    @pytest.mark.parametrize("backend", ("threaded", "process"))
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_all_apps_reconfigure_mid_stream(self, app, backend):
+        prog, streams, plan = _elastic_app_case(app)
+        w = plan_width(plan)
+        assert w >= 2, f"{app}: elastic case must start parallel"
+        mid = max(1, w // 2)
+        points = [ReconfigPoint(after_joins=1, to_leaves=mid)]
+        if mid >= 2:
+            points.append(ReconfigPoint(after_joins=1, to_leaves=w))
+        report = diff_against_spec(
+            prog,
+            streams,
+            {
+                backend: lambda: run_on_backend(
+                    backend,
+                    prog,
+                    plan,
+                    streams,
+                    reconfig_schedule=ReconfigSchedule(*points),
+                    timeout_s=60.0,
+                ).outputs
+            },
+        )
+        assert report.ok, [str(m) for m in report.mismatches]
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_elastic_migrations_actually_happen(self, app):
+        """The schedules above are not vacuous: at least the first
+        migration fires on every app (checked once, on threaded)."""
+        prog, streams, plan = _elastic_app_case(app)
+        w = plan_width(plan)
+        mid = max(1, w // 2)
+        run = run_on_backend(
+            "threaded",
+            prog,
+            plan,
+            streams,
+            reconfig_schedule=ReconfigSchedule(
+                ReconfigPoint(after_joins=1, to_leaves=mid)
+            ),
+            timeout_s=60.0,
+        )
+        rec = run.reconfig
+        assert rec.reconfigured, f"{app}: reconfiguration point never fired"
+        assert rec.reconfigurations[0].from_leaves == w
+        assert plan_width(rec.final_plan) == mid
+        # The migrated plan is a repartition of the original.
+        assert rec.final_plan.all_itags() == plan.all_itags()

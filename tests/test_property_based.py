@@ -28,11 +28,13 @@ from repro.core import (
     output_multiset,
     random_diagram,
 )
-from repro.plans import is_p_valid, random_valid_plan
+from repro.plans import is_p_valid, plan_width, random_valid_plan, root_and_leaves_plan
 from repro.runtime import (
     FluminaRuntime,
     InputStream,
     Mailbox,
+    ReconfigPoint,
+    ReconfigSchedule,
     run_on_backend,
     run_sequential_reference,
 )
@@ -203,3 +205,132 @@ def test_randomized_sweep_on_real_backends(backend, seed):
     assert output_multiset(run.outputs) == output_multiset(
         run_sequential_reference(prog, streams)
     ), f"{backend} diverged from spec for seed {seed}"
+
+
+# -- elastic reconfiguration under random schedules ---------------------------
+#
+# Mirrors the fault-schedule sweep above: a strategy generates random
+# reconfiguration schedules (trigger kind, firing point, target width,
+# target shape) over a rooted single-key keycounter workload, checked
+# against the sequential spec.  Hypothesis drives the cheap backend
+# (sim); the process backend — which forks a cluster per phase — runs
+# the same derivation from fixed seeds so the case count stays bounded
+# and failures name their (backend, seed) exactly.
+
+
+def _rooted_keycounter_case(seed: int):
+    """A 1-key workload whose resets synchronize globally, on a plan
+    with resets at the root — the sound shape for live re-planning."""
+    rng = random.Random(seed)
+    n_streams = rng.randint(2, 4)
+    prog = kc.make_program(1)
+    inc_itags = [ImplTag(kc.inc_tag(0), f"i{s}") for s in range(n_streams)]
+    reset_itag = ImplTag(kc.reset_tag(0), "r")
+    streams = []
+    t = 0.0
+    events_by_stream = {it: [] for it in inc_itags}
+    for _ in range(rng.randint(15, 45)):
+        t += rng.uniform(0.3, 1.2)
+        it = rng.choice(inc_itags)
+        events_by_stream[it].append(Event(it.tag, it.stream, round(t, 3)))
+    for it in inc_itags:
+        streams.append(
+            InputStream(
+                it, tuple(events_by_stream[it]),
+                heartbeat_interval=rng.choice((2.0, 5.0)),
+            )
+        )
+    n_resets = rng.randint(3, 5)
+    span = max(t, 1.0)
+    resets = tuple(
+        Event(reset_itag.tag, "r", round(span * (i + 1) / (n_resets + 1) + 0.01, 3))
+        for i in range(n_resets)
+    )
+    streams.append(InputStream(reset_itag, resets, heartbeat_interval=2.0))
+    plan = root_and_leaves_plan(prog, [reset_itag], [[it] for it in inc_itags])
+    return prog, streams, plan, n_resets
+
+
+#: One schedule as plain data: ((trigger_kind, value), to_leaves, shape)
+#: per point.  ReconfigPoint/ReconfigSchedule instances are built fresh
+#: per execution — schedules record which points fired.
+reconfig_schedule_specs = st.lists(
+    st.tuples(
+        st.one_of(
+            st.tuples(st.just("after_joins"), st.integers(min_value=1, max_value=3)),
+            st.tuples(
+                st.just("at_ts"),
+                st.floats(min_value=0.1, max_value=60.0, allow_nan=False),
+            ),
+        ),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from(("balanced", "chain")),
+    ),
+    min_size=1,
+    max_size=2,
+)
+
+
+def _build_schedule(spec) -> ReconfigSchedule:
+    points = []
+    joins_floor = 0
+    for (kind, value), to_leaves, shape in spec:
+        if kind == "after_joins":
+            # Strictly increasing so two points never collide on the
+            # same root join within one attempt.
+            joins_floor += value
+            points.append(
+                ReconfigPoint(after_joins=joins_floor, to_leaves=to_leaves, shape=shape)
+            )
+        else:
+            points.append(
+                ReconfigPoint(at_ts=value, to_leaves=to_leaves, shape=shape)
+            )
+    return ReconfigSchedule(*points)
+
+
+@given(reconfig_schedule_specs, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_random_reconfig_schedules_match_spec(spec, seed):
+    prog, streams, plan, _ = _rooted_keycounter_case(seed)
+    run = run_on_backend(
+        "sim", prog, plan, streams, reconfig_schedule=_build_schedule(spec)
+    )
+    assert output_multiset(run.outputs) == output_multiset(
+        run_sequential_reference(prog, streams)
+    ), f"sim diverged under reconfiguration {spec} for seed {seed}"
+
+
+@pytest.mark.parametrize("seed", [5, 97, 20260728])
+def test_seeded_reconfig_sweep_on_process_backend(seed):
+    """The process backend forks one cluster per plan phase, so its
+    sweep runs from fixed seeds (failures reproduce exactly); the
+    schedule is drawn from the same derivation rng as the workload."""
+    prog, streams, plan, n_resets = _rooted_keycounter_case(seed)
+    rng = random.Random(seed + 1)
+    spec = []
+    for _ in range(rng.randint(1, 2)):
+        trigger = (
+            ("after_joins", rng.randint(1, 2))
+            if rng.random() < 0.5
+            else ("at_ts", round(rng.uniform(1.0, 30.0), 3))
+        )
+        spec.append(
+            (trigger, rng.randint(1, 5), rng.choice(("balanced", "chain")))
+        )
+    run = run_on_backend(
+        "process",
+        prog,
+        plan,
+        streams,
+        reconfig_schedule=_build_schedule(spec),
+        timeout_s=60.0,
+    )
+    assert output_multiset(run.outputs) == output_multiset(
+        run_sequential_reference(prog, streams)
+    ), f"process diverged under reconfiguration {spec} for seed {seed}"
+    # Each phase ran on a plan no wider than the program allows.
+    assert all(
+        1 <= plan_width(p) <= len(streams) - 1
+        for p in run.reconfig.plan_history
+    )
