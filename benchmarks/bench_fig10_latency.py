@@ -11,7 +11,7 @@
 from conftest import quick
 
 from repro.bench import experiments as ex
-from repro.bench import publish, render_table
+from repro.bench import bench_record, publish, publish_json, render_table
 
 QUICK = quick()
 
@@ -36,6 +36,20 @@ def test_fig10a_latency_vs_workers(benchmark):
         note="paper shape: latency grows ~linearly with workers; worse for low vb-ratio",
     )
     publish("fig10a_latency_workers", text)
+    publish_json(
+        "fig10a_latency_workers",
+        bench_record(
+            "fig10a_latency_workers",
+            config={"workers": list(WORKERS), "vb_ratios": list(RATIOS)},
+            metrics={
+                f"vb_{ratio}": {
+                    str(w): {"p50_ms": p50, "p90_ms": p90}
+                    for (w, _, p50, p90) in pts
+                }
+                for ratio, pts in data.items()
+            },
+        ),
+    )
 
     for ratio, pts in data.items():
         p50s = [p50 for _, _, p50, _ in pts]

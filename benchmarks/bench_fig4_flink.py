@@ -9,7 +9,7 @@ cross-instance model update).
 from conftest import parallelism_levels
 
 from repro.bench import experiments as ex
-from repro.bench import publish, render_table
+from repro.bench import bench_record, publish, publish_json, render_table
 from repro.bench.harness import speedup
 
 
@@ -29,6 +29,17 @@ def test_fig4_flink(benchmark):
         note="paper shape: Event Win. ~10x @12; Page View saturates ~2x; Fraud ~1x",
     )
     publish("fig4_flink", text)
+    publish_json(
+        "fig4_flink",
+        bench_record(
+            "fig4_flink",
+            config={"parallelism": list(xs)},
+            metrics={
+                app: {str(pt.parallelism): pt.max_throughput_per_ms for pt in pts}
+                for app, pts in data.items()
+            },
+        ),
+    )
 
     sp = {app: dict(speedup(pts)) for app, pts in data.items()}
     # Event windowing scales near-linearly.

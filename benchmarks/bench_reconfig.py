@@ -24,8 +24,10 @@ from conftest import quick
 from repro.apps import value_barrier as vb
 from repro.bench import (
     available_cores,
+    bench_record,
     measure_reconfig_pause,
     publish,
+    publish_json,
     render_table,
 )
 from repro.plans import repartition_plan
@@ -91,6 +93,22 @@ def test_reconfig_pause_by_backend(benchmark):
         ),
     )
     publish("reconfig_pause", text)
+    publish_json(
+        "reconfig_pause",
+        bench_record(
+            "reconfig_pause",
+            config={"quick": QUICK, "scale_out_to": width},
+            metrics={
+                b: {
+                    "clean_wall_s": round(points[b].clean_wall_s, 4),
+                    "elastic_wall_s": round(points[b].elastic_wall_s, 4),
+                    "overhead_ratio": round(points[b].overhead_ratio, 3),
+                    "migration_pause_ms": round(points[b].migration_pause_s * 1e3, 3),
+                }
+                for b in backends
+            },
+        ),
+    )
 
     for b in backends:
         assert points[b].outputs_equal, f"{b}: elastic run diverged from clean run"

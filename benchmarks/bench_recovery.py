@@ -12,7 +12,13 @@ clean run, so the overhead ratio can never be bought by dropping work.
 from conftest import quick
 
 from repro.apps import value_barrier as vb
-from repro.bench import measure_recovery_overhead, publish, render_table
+from repro.bench import (
+    bench_record,
+    measure_recovery_overhead,
+    publish,
+    publish_json,
+    render_table,
+)
 from repro.runtime import CrashFault, FaultPlan
 
 
@@ -76,6 +82,22 @@ def test_recovery_overhead_by_backend(benchmark):
         ),
     )
     publish("recovery_overhead", text)
+    publish_json(
+        "recovery_overhead",
+        bench_record(
+            "recovery_overhead",
+            config={"quick": QUICK, "crashed_leaf": crashed_leaf},
+            metrics={
+                b: {
+                    "clean_wall_s": round(points[b].clean_wall_s, 4),
+                    "faulty_wall_s": round(points[b].faulty_wall_s, 4),
+                    "overhead_ratio": round(points[b].overhead_ratio, 3),
+                    "replayed_events": points[b].replayed_events,
+                }
+                for b in backends
+            },
+        ),
+    )
 
     for b in backends:
         assert points[b].outputs_equal, f"{b}: faulty run diverged from clean run"

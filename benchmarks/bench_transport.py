@@ -1,0 +1,100 @@
+"""Transport-layer benchmark: Queue vs pipe data planes x batch
+policies on the process runtime.
+
+Not a paper artifact — the paper's speedup claims assume IPC is not
+the bottleneck; this table measures exactly the transport choices that
+make that true (framed raw pipes vs ``multiprocessing.Queue``, fixed
+vs adaptive batching, including the degenerate per-message batch=1
+baseline that shows what batching buys in the first place).  Outputs
+are multiset-verified across every configuration, so no configuration
+can look fast by dropping or corrupting messages.
+
+Writes BENCH_transport_matrix.json (ungated — the gated transport
+record comes from bench_micro_core's pipe-vs-queue measurement).
+"""
+
+from conftest import quick
+
+from repro.apps import value_barrier as vb
+from repro.bench import (
+    available_cores,
+    bench_record,
+    compare_transports,
+    publish,
+    publish_json,
+    render_table,
+)
+
+
+def _workload(QUICK: bool):
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=2 if QUICK else 4,
+        values_per_barrier=250 if QUICK else 2500,
+        n_barriers=2 if QUICK else 4,
+    )
+    return prog, vb.make_streams(wl), vb.make_plan(prog, wl)
+
+
+def test_transport_batching_matrix(benchmark):
+    QUICK = quick()
+    prog, streams, plan = _workload(QUICK)
+    configs = {
+        "queue fixed(1)": {"transport": "queue", "batch_size": 1},
+        "queue fixed(64)": {"transport": "queue", "batch_size": 64},
+        "pipe fixed(1)": {"transport": "pipe", "batch_size": 1},
+        "pipe fixed(64)": {"transport": "pipe", "batch_size": 64},
+        "pipe adaptive": {"transport": "pipe", "batch_size": None},
+        "pipe adaptive 5ms": {
+            "transport": "pipe",
+            "batch_size": None,
+            "flush_ms": 5.0,
+        },
+    }
+    points = benchmark.pedantic(
+        lambda: compare_transports(
+            prog, plan, streams, configs=configs, repeats=1 if QUICK else 2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    labels = list(points)
+    base = points["queue fixed(64)"].events_per_s
+    text = render_table(
+        "Transport x batch policy: wall-clock throughput (events/s)",
+        "config",
+        labels,
+        {
+            "events/s": [points[lb].events_per_s for lb in labels],
+            "vs queue64": [
+                points[lb].events_per_s / base if base > 0 else 0.0
+                for lb in labels
+            ],
+        },
+        note=(
+            f"cores={available_cores()}, value-barrier, trivial updates; "
+            "outputs multiset-verified across all configs"
+        ),
+    )
+    publish("transport_batching_matrix", text)
+    publish_json(
+        "transport_matrix",
+        bench_record(
+            "transport_matrix",
+            config={
+                "quick": QUICK,
+                "events": points["pipe adaptive"].events,
+                "configs": {k: str(v) for k, v in configs.items()},
+            },
+            metrics={
+                lb.replace(" ", "_"): round(points[lb].events_per_s)
+                for lb in labels
+            },
+        ),
+    )
+
+    # Batching must matter: per-message IPC can never beat batched IPC
+    # by more than noise.  This is a sanity floor, not a perf gate.
+    assert points["pipe fixed(64)"].events_per_s >= 0.5 * max(
+        p.events_per_s for p in points.values()
+    ), "batch=64 pipe transport fell implausibly far behind; transport regression"

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""CI perf gate CLI over the BENCH_*.json records.
+
+Check the current results against the committed baselines::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py check
+
+Regenerate the committed baselines after an intentional perf change
+(run the smoke benchmarks first so fresh results exist)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
+        benchmarks/bench_transport.py --smoke -q
+    PYTHONPATH=src python benchmarks/perf_gate.py rebase
+
+See :mod:`repro.bench.perfgate` for the comparison rules (directional
+metrics, 25% default tolerance, fail-closed on missing records).
+"""
+
+import sys
+
+from repro.bench.perfgate import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,7 +33,17 @@ def main() -> None:
     )
     parser.add_argument("--workers", type=int, default=3, help="value streams / leaves")
     parser.add_argument(
-        "--batch-size", type=int, default=64, help="process-backend channel batch size"
+        "--batch-size",
+        type=int,
+        default=None,
+        help="process-backend fixed batch size (default: adaptive batching)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("pipe", "queue"),
+        default="pipe",
+        help="process-backend data plane: framed raw pipes (default) or "
+        "the legacy multiprocessing.Queue fabric",
     )
     parser.add_argument(
         "--spin",
@@ -60,7 +70,11 @@ def main() -> None:
     cores = available_cores()
     print(f"host cores: {cores}; per-event spin: {args.spin}\n")
     for name in backends:
-        opts = {"batch_size": args.batch_size} if name == "process" else {}
+        opts = (
+            {"batch_size": args.batch_size, "transport": args.transport}
+            if name == "process"
+            else {}
+        )
         run = run_on_backend(name, program, plan, streams, **opts)
         ok = output_multiset(run.outputs) == want
         print(

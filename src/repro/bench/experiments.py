@@ -17,7 +17,7 @@ capacity).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import fraud as fraud_app
 from ..apps import pageview as pv_app
@@ -385,7 +385,8 @@ def runtime_backend_comparison(
     values_per_barrier: int = 200,
     n_barriers: int = 3,
     spin: int = 300,
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
+    transport: Optional[str] = None,
     repeats: int = 1,
     backends: Sequence[str] = ("threaded", "process"),
     timeout_s: float = 120.0,
@@ -396,10 +397,11 @@ def runtime_backend_comparison(
     ``spin`` sets per-event CPU work (see ``make_cpu_program``): with a
     trivial update the experiment measures message passing, with
     realistic per-event cost it measures how much of the hardware the
-    substrate can actually use.  ``batch_size`` tunes the process
-    runtime's channel batching.  Outputs are multiset-compared across
-    backends inside :func:`compare_backends`, so reported speedups are
-    for verified-equivalent executions.
+    substrate can actually use.  ``transport`` / ``batch_size`` tune
+    the process runtime's data plane (defaults: pipe transport,
+    adaptive batching).  Outputs are multiset-compared across backends
+    inside :func:`compare_backends`, so reported speedups are for
+    verified-equivalent executions.
     """
     builders = {
         "Event Win.": (vb_app.make_cpu_program, vb_app),
@@ -432,6 +434,7 @@ def runtime_backend_comparison(
             streams,
             backends=backends,
             batch_size=batch_size,
+            transport=transport,
             repeats=repeats,
             timeout_s=timeout_s,
         )

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import math
 import os
+import platform
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 
 class ResultLike(Protocol):  # pragma: no cover - structural typing only
@@ -154,13 +156,62 @@ class WallClockPoint:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
 
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark records (the repo's perf trajectory)
+# ---------------------------------------------------------------------------
+
+#: Schema identifier written into every record; bump on breaking
+#: changes so the perf gate can refuse to compare across schemas.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def bench_record(
+    name: str,
+    *,
+    config: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    gate: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Build one ``BENCH_<name>.json`` record (see
+    :func:`repro.bench.tables.publish_json`).
+
+    ``metrics`` holds the measured numbers (throughput, latency
+    percentiles, speedups — nesting allowed).  ``gate`` names the
+    top-level metrics the CI perf gate thresholds against the
+    committed baseline, each mapped to its direction: ``"higher"``
+    (throughput-like: fail when it *drops* more than the tolerance) or
+    ``"lower"`` (latency-like: fail when it *rises* more than the
+    tolerance).  Ungated records still land in the artifact trail —
+    they chart the trajectory without failing CI on noisy numbers."""
+    for metric, direction in (gate or {}).items():
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"gate direction for {metric!r} must be higher|lower")
+        value = metrics.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"gated metric {metric!r} must be a number, got {value!r}")
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "host": {
+            "cores": available_cores(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": dict(config),
+        "metrics": dict(metrics),
+        "gate": dict(gate or {}),
+    }
+
+
 def compare_backends(
     program: Any,
     plan: Any,
     streams: Sequence[Any],
     *,
     backends: Sequence[str] = ("threaded", "process"),
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
+    transport: Optional[str] = None,
     repeats: int = 1,
     timeout_s: float = 120.0,
 ) -> Dict[str, WallClockPoint]:
@@ -169,10 +220,11 @@ def compare_backends(
 
     Unlike the offered-rate sweeps above (which measure the *simulated*
     clock), this measures real elapsed time — the basis for the
-    threaded-vs-process speedup claim.  ``batch_size`` tunes the
-    process runtime's channel batching; every backend's outputs are
-    cross-checked against the others (multiset equality) so a speedup
-    can never come from dropping work.
+    threaded-vs-process speedup claim.  ``transport`` / ``batch_size``
+    tune the process runtime's data plane (defaults: pipe transport,
+    adaptive batching); every backend's outputs are cross-checked
+    against the others (multiset equality) so a speedup can never come
+    from dropping work.
     """
     from ..runtime import get_backend  # runtime does not import bench; no cycle
 
@@ -185,6 +237,8 @@ def compare_backends(
             opts["timeout_s"] = timeout_s
         if name == "process":
             opts["batch_size"] = batch_size
+            if transport is not None:
+                opts["transport"] = transport
         best: Optional[WallClockPoint] = None
         for _ in range(max(1, repeats)):
             run = backend.run(program, plan, streams, **opts)
@@ -199,6 +253,46 @@ def compare_backends(
             if best is None or point.wall_s < best.wall_s:
                 best = point
         points[name] = best  # type: ignore[assignment]
+    return points
+
+
+def compare_transports(
+    program: Any,
+    plan: Any,
+    streams: Sequence[Any],
+    *,
+    configs: Mapping[str, Mapping[str, Any]],
+    repeats: int = 1,
+    timeout_s: float = 120.0,
+) -> Dict[str, WallClockPoint]:
+    """Run the same workload on the *process* backend under several
+    transport/batching configurations (``label -> {transport=,
+    batch_size=, flush_ms=}``) and report each one's best wall-clock
+    throughput.  Outputs are multiset-verified across configurations —
+    a transport can never look fast by corrupting or dropping
+    messages."""
+    from ..runtime import get_backend  # runtime does not import bench; no cycle
+
+    backend = get_backend("process")
+    points: Dict[str, WallClockPoint] = {}
+    reference: Optional[Any] = None
+    ref_label: Optional[str] = None
+    for label, cfg in configs.items():
+        best: Optional[WallClockPoint] = None
+        for _ in range(max(1, repeats)):
+            run = backend.run(program, plan, streams, timeout_s=timeout_s, **cfg)
+            if reference is None:
+                reference = run.output_multiset()
+                ref_label = label
+            elif run.output_multiset() != reference:
+                raise AssertionError(
+                    f"transport config {label!r} produced different outputs "
+                    f"than {ref_label!r}; refusing to report throughput"
+                )
+            point = WallClockPoint(label, run.events_in, run.wall_s)
+            if best is None or point.wall_s < best.wall_s:
+                best = point
+        points[label] = best  # type: ignore[assignment]
     return points
 
 

@@ -1,0 +1,208 @@
+"""The CI perf gate: compare ``BENCH_*.json`` results to baselines.
+
+Every benchmark writes a machine-readable record
+(:func:`repro.bench.harness.bench_record` +
+:func:`repro.bench.tables.publish_json`) into ``benchmarks/results/``.
+Records that declare *gate metrics* participate in the gate: CI runs
+the smoke benchmarks, then compares each gated metric against the
+committed baseline under ``benchmarks/baselines/`` and fails on a
+regression beyond the tolerance (default 25%).
+
+Directionality lives in the record (``"gate": {"metric": "higher" |
+"lower"}``): throughput-like metrics fail when they *drop*,
+latency-like metrics fail when they *rise*.  Records without gate
+entries are trajectory-only — uploaded as artifacts, never blocking.
+
+Baselines are machine-dependent (they capture absolute throughput on
+the CI runner class).  Refresh them whenever the hot path genuinely
+changes or CI hardware shifts::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
+        benchmarks/bench_transport.py --smoke -q
+    PYTHONPATH=src python benchmarks/perf_gate.py rebase
+
+and commit the updated ``benchmarks/baselines/*.json``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .harness import BENCH_SCHEMA
+
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One gated metric's verdict."""
+
+    name: str
+    metric: str
+    direction: str
+    baseline: float
+    measured: float
+    ok: bool
+
+    @property
+    def change(self) -> float:
+        """Relative change, signed so positive is always *better*."""
+        if self.baseline == 0:
+            return 0.0
+        delta = (self.measured - self.baseline) / abs(self.baseline)
+        return delta if self.direction == "higher" else -delta
+
+    def describe(self) -> str:
+        verdict = "ok  " if self.ok else "FAIL"
+        return (
+            f"  [{verdict}] {self.name}.{self.metric}: "
+            f"baseline {self.baseline:g} -> measured {self.measured:g} "
+            f"({self.change:+.1%}, {self.direction} is better)"
+        )
+
+
+def load_records(directory: str) -> Dict[str, dict]:
+    """All ``BENCH_*.json`` records in a directory, keyed by name."""
+    records: Dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as f:
+            rec = json.load(f)
+        records[rec.get("name", os.path.basename(path))] = rec
+    return records
+
+
+def compare(
+    results: Dict[str, dict],
+    baselines: Dict[str, dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[GateCheck], List[str]]:
+    """Gate every baselined metric; returns (checks, problems).
+
+    A missing result record, a missing metric, or a schema mismatch is
+    a *problem* (the gate fails closed: silently skipping a comparison
+    would let a deleted benchmark pass forever)."""
+    checks: List[GateCheck] = []
+    problems: List[str] = []
+    for name, base in sorted(baselines.items()):
+        gate = base.get("gate") or {}
+        if not gate:
+            continue
+        result = results.get(name)
+        if result is None:
+            problems.append(
+                f"baseline {name!r} has no matching BENCH_{name}.json result "
+                "(benchmark removed or not run?)"
+            )
+            continue
+        if result.get("schema") != base.get("schema", BENCH_SCHEMA):
+            problems.append(
+                f"{name!r}: schema mismatch "
+                f"({result.get('schema')} vs {base.get('schema')}); rebase the baseline"
+            )
+            continue
+        for metric, direction in sorted(gate.items()):
+            baseline_value = base.get("metrics", {}).get(metric)
+            measured = result.get("metrics", {}).get(metric)
+            if not isinstance(baseline_value, (int, float)) or not isinstance(
+                measured, (int, float)
+            ):
+                problems.append(
+                    f"{name!r}.{metric}: not a number in baseline/result "
+                    f"({baseline_value!r} vs {measured!r})"
+                )
+                continue
+            if direction == "higher":
+                ok = measured >= baseline_value * (1.0 - tolerance)
+            else:
+                ok = measured <= baseline_value * (1.0 + tolerance)
+            checks.append(
+                GateCheck(name, metric, direction, baseline_value, measured, ok)
+            )
+    return checks, problems
+
+
+def check_dirs(
+    results_dir: str,
+    baselines_dir: str,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[bool, str]:
+    """Run the gate over two directories; returns (ok, report text)."""
+    results = load_records(results_dir)
+    baselines = load_records(baselines_dir)
+    checks, problems = compare(results, baselines, tolerance=tolerance)
+    lines = [
+        f"perf gate: {len(checks)} gated metric(s), tolerance {tolerance:.0%}",
+        f"  results:   {results_dir} ({len(results)} record(s))",
+        f"  baselines: {baselines_dir} ({len(baselines)} record(s))",
+    ]
+    lines.extend(c.describe() for c in checks)
+    lines.extend(f"  [FAIL] {p}" for p in problems)
+    if not baselines:
+        problems.append(f"no baselines found under {baselines_dir}")
+        lines.append(f"  [FAIL] no baselines found under {baselines_dir}")
+    ok = not problems and all(c.ok for c in checks)
+    lines.append("perf gate: PASS" if ok else "perf gate: FAIL")
+    return ok, "\n".join(lines)
+
+
+def rebase(results_dir: str, baselines_dir: str) -> List[str]:
+    """Copy every *gated* result record over the committed baselines
+    (the documented regeneration step).  Returns the written paths."""
+    os.makedirs(baselines_dir, exist_ok=True)
+    written: List[str] = []
+    for name, rec in sorted(load_records(results_dir).items()):
+        if not rec.get("gate"):
+            continue
+        src = os.path.join(results_dir, f"BENCH_{name}.json")
+        dst = os.path.join(baselines_dir, f"BENCH_{name}.json")
+        shutil.copyfile(src, dst)
+        written.append(dst)
+    return written
+
+
+def main(argv: List[str]) -> int:
+    import argparse
+
+    repo_benchmarks = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks"
+    )
+    parser = argparse.ArgumentParser(
+        prog="perf_gate",
+        description="Gate BENCH_*.json results against committed baselines.",
+    )
+    parser.add_argument("command", choices=("check", "rebase"))
+    parser.add_argument(
+        "--results", default=os.path.join(repo_benchmarks, "results")
+    )
+    parser.add_argument(
+        "--baselines", default=os.path.join(repo_benchmarks, "baselines")
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed relative regression (default 0.25 = 25%%, "
+        "or env PERF_GATE_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "rebase":
+        written = rebase(args.results, args.baselines)
+        for path in written:
+            print(f"rebased {path}")
+        if not written:
+            print("no gated records under", args.results)
+            return 1
+        return 0
+    ok, report = check_dirs(
+        args.results, args.baselines, tolerance=args.tolerance
+    )
+    print(report)
+    return 0 if ok else 1

@@ -8,6 +8,7 @@ comparison for each.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Any, Mapping, Sequence
@@ -94,4 +95,18 @@ def publish(name: str, text: str) -> str:
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    return path
+
+
+def publish_json(name: str, record: Mapping[str, Any]) -> str:
+    """Persist a machine-readable benchmark record as
+    ``BENCH_<name>.json`` under benchmarks/results/.
+
+    Records are built by :func:`repro.bench.harness.bench_record`; the
+    CI perf gate (``benchmarks/perf_gate.py``) compares them against
+    the committed baselines in ``benchmarks/baselines/``."""
+    path = os.path.join(results_dir(), f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
     return path

@@ -74,6 +74,12 @@ from .messages import (
     JoinResponse,
 )
 from .process import ProcessResult, ProcessRuntime
+from .transport import (
+    BatchPolicy,
+    PipeTransport,
+    QueueTransport,
+    TRANSPORTS,
+)
 from .runtime import (
     FluminaRuntime,
     InputStream,
@@ -120,7 +126,8 @@ class RuntimeBackend:
 
     Every backend takes the same :class:`RunOptions` (or the loose
     keywords it collects — ``fault_plan=``, ``checkpoint_predicate=``,
-    ``reconfig_schedule=``, ``timeout_s=``, ``batch_size=``):
+    ``reconfig_schedule=``, ``timeout_s=``, ``transport=``,
+    ``batch_size=``, ``flush_ms=``):
 
     * ``checkpoint_predicate=`` arms Appendix-D.2 snapshots at root
       joins;
@@ -316,9 +323,7 @@ class ProcessBackend(RuntimeBackend):
     default_timeout_s = 120.0
 
     def _run_plain(self, program, plan, streams, opts):
-        rt = ProcessRuntime(
-            program, plan, batch_size=opts.with_batch_default(64), **opts.extra
-        )
+        rt = ProcessRuntime(program, plan, **opts.transport_kwargs(), **opts.extra)
         res = rt.run(
             streams,
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
@@ -336,9 +341,7 @@ class ProcessBackend(RuntimeBackend):
         )
 
     def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
-        rt = ProcessRuntime(
-            program, plan, batch_size=opts.with_batch_default(64), **opts.extra
-        )
+        rt = ProcessRuntime(program, plan, **opts.transport_kwargs(), **opts.extra)
         res = rt.run(
             streams,
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
@@ -396,6 +399,7 @@ __all__ = [
     "AttemptOutcome",
     "AutoScaler",
     "BackendRun",
+    "BatchPolicy",
     "Buffered",
     "ByTimestampInterval",
     "Checkpoint",
@@ -415,9 +419,11 @@ __all__ = [
     "Mailbox",
     "NoCheckpointError",
     "PhaseRecord",
+    "PipeTransport",
     "ProcessBackend",
     "ProcessResult",
     "ProcessRuntime",
+    "QueueTransport",
     "QuiesceRecord",
     "QuiesceSignal",
     "ReconfigPoint",
@@ -433,6 +439,7 @@ __all__ = [
     "RunResult",
     "RuntimeBackend",
     "SimBackend",
+    "TRANSPORTS",
     "ThreadedBackend",
     "ThreadedResult",
     "ThreadedRuntime",

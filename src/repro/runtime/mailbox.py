@@ -61,6 +61,10 @@ class Mailbox:
             t: deque() for t in self.itags
         }
         self._timers: Dict[ImplTag, OrderKey] = {t: NEG_INF_KEY for t in self.itags}
+        #: Incrementally-maintained total of all buffered items, so the
+        #: backlog queries on the join path (every JoinResponse reports
+        #: queue depth) stay O(1) instead of O(tags).
+        self._total_buffered = 0
         # Precompute, for each tag, which known tags it depends on
         # (excluding itself: same-tag ordering is the buffer's FIFO).
         self._deps: Dict[ImplTag, Tuple[ImplTag, ...]] = {}
@@ -83,7 +87,7 @@ class Mailbox:
     def buffered_count(self, itag: Optional[ImplTag] = None) -> int:
         if itag is not None:
             return len(self._buffers[itag])
-        return sum(len(b) for b in self._buffers.values())
+        return self._total_buffered
 
     def buffer_empty(self, itag: ImplTag) -> bool:
         return not self._buffers[itag]
@@ -113,6 +117,7 @@ class Mailbox:
                 f"item for {itag!r} arrives behind its heartbeat frontier"
             )
         buf.append(Buffered(itag, key, item))
+        self._total_buffered += 1
         self._timers[itag] = key
         return self._cascade(itag)
 
@@ -148,6 +153,7 @@ class Mailbox:
             progressed = False
             while buf and self._releasable(buf[0]):
                 released.append(buf.popleft())
+                self._total_buffered -= 1
                 progressed = True
             if progressed:
                 for nxt in self._rdeps[tag]:

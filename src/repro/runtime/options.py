@@ -33,16 +33,28 @@ from typing import Any, Dict, Optional
 class RunOptions:
     """One execution's cross-substrate configuration.
 
-    ``timeout_s`` / ``batch_size`` of ``None`` mean "substrate
-    default" (60 s threaded, 120 s process; batch 64).  ``extra`` holds
-    substrate-specific passthrough kwargs (e.g. the sim's
-    ``track_event_latency=``)."""
+    ``timeout_s`` of ``None`` means "substrate default" (60 s
+    threaded, 120 s process).  The process substrate's transport knobs:
+
+    * ``transport`` — ``"pipe"`` (framed raw pipes, the default) or
+      ``"queue"`` (the original ``multiprocessing.Queue`` fabric, kept
+      as a measurable baseline);
+    * ``batch_size`` — ``None`` (default) selects *adaptive* batching
+      (flush on size or latency deadline, per-channel targets driven
+      by observed backlog); an explicit integer pins the old
+      fixed-size policy;
+    * ``flush_ms`` — the adaptive policy's latency deadline.
+
+    ``extra`` holds substrate-specific passthrough kwargs (e.g. the
+    sim's ``track_event_latency=``)."""
 
     fault_plan: Any = None
     checkpoint_predicate: Any = None
     reconfig_schedule: Any = None
     timeout_s: Optional[float] = None
     batch_size: Optional[int] = None
+    transport: Optional[str] = None
+    flush_ms: Optional[float] = None
     record_keys: bool = False
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -67,5 +79,12 @@ class RunOptions:
     def with_timeout_default(self, default_s: float) -> float:
         return self.timeout_s if self.timeout_s is not None else default_s
 
-    def with_batch_default(self, default: int) -> int:
-        return self.batch_size if self.batch_size is not None else default
+    def transport_kwargs(self) -> Dict[str, Any]:
+        """The process substrate's transport configuration (compact
+        form for ``ProcessRuntime(**...)``)."""
+        out: Dict[str, Any] = {"batch_size": self.batch_size}
+        if self.transport is not None:
+            out["transport"] = self.transport
+        if self.flush_ms is not None:
+            out["flush_ms"] = self.flush_ms
+        return out

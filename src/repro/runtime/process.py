@@ -8,15 +8,24 @@ on different leaves genuinely run in parallel — the paper's central
 claim (dependency-guided synchronization lets independent events
 proceed concurrently) measured on real cores rather than asserted.
 
-Two design points keep IPC from eating the speedup:
+Three design points keep IPC from eating the speedup:
 
-* **Batched channels.**  Every queue operation carries a *list* of
-  wire-encoded messages (see :mod:`repro.runtime.wire`), so one
-  pickle + pipe write + consumer wakeup is amortized over
-  ``batch_size`` messages.  Producers batch aggressively; workers
-  buffer their outgoing messages while handling an incoming batch and
-  flush when done, which bounds the latency a batch can add to the
-  join/fork critical path.
+* **A dedicated transport layer** (:mod:`repro.runtime.transport`).
+  By default protocol traffic crosses raw per-edge pipes carrying
+  length-prefixed frames in the struct-packed wire format — no queue
+  locks, no feeder threads, no per-message pickle on the hot path.
+  ``transport="queue"`` keeps the original ``multiprocessing.Queue``
+  fabric as a measurable baseline.
+
+* **Adaptive batching.**  Every channel operation carries a *batch* of
+  messages, so one encode + one pipe write + one consumer wakeup is
+  amortized over the whole batch.  The batch policy adapts per
+  channel: batches grow while the observed backlog is high and shrink
+  when the system keeps up, with a latency deadline bounding how long
+  a message can sit buffered; join-critical messages flush
+  immediately (the protocol's flush hint).  An explicit ``batch_size``
+  pins the old fixed policy instead.
+
 * **Fork start method.**  Workers are forked, so programs — which
   contain closures and are deliberately *not* picklable — are
   inherited by child processes instead of serialized.  Only protocol
@@ -27,8 +36,8 @@ Termination mirrors the threaded runtime: a shared in-flight message
 counter is incremented when a batch is posted and decremented when it
 has been fully handled *and* its consequences flushed; the counter
 reaching zero after all producer input is posted means every channel
-has drained, at which point stop sentinels are delivered and each
-worker ships its locally-accumulated outputs back once.
+has drained, at which point stop frames are delivered and each worker
+ships its locally-accumulated outputs back once.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ import queue as queue_mod
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..core.errors import RuntimeFault
 from ..core.program import DGSProgram
@@ -57,13 +66,16 @@ from .protocol import (
     producer_messages,
 )
 from .runtime import InputStream
-from .wire import decode_batch, encode_msg
-
-#: Stop sentinel; a plain string so it crosses the wire untouched.
-_STOP = "__stop__"
-
-DEFAULT_BATCH_SIZE = 64
-
+from .transport import (
+    COORDINATOR,
+    DEFAULT_TRANSPORT,
+    STOP,
+    BatchPolicy,
+    ControlPlane,
+    make_transport,
+    plan_edges,
+    resolve_policy,
+)
 
 @dataclass
 class ProcessResult(RunStatsMixin):
@@ -75,7 +87,8 @@ class ProcessResult(RunStatsMixin):
     events_in: int = 0
     wall_s: float = 0.0
     n_workers: int = 0
-    batch_size: int = DEFAULT_BATCH_SIZE
+    transport: str = DEFAULT_TRANSPORT
+    batch: str = ""
     #: (order_key, value) log, populated only when record_keys is set.
     keyed_outputs: List[Any] = field(default_factory=list)
     checkpoints: List[Checkpoint] = field(default_factory=list)
@@ -104,81 +117,13 @@ class _WorkerReport:
     quiesce: Optional[QuiesceRecord] = None
 
 
-class _Channels:
-    """The shared IPC fabric: one inbox queue per worker plus the
-    global in-flight accounting that detects quiescence."""
-
-    def __init__(self, ctx, worker_ids: Sequence[str]) -> None:
-        self.queues = {wid: ctx.Queue() for wid in worker_ids}
-        self.results = ctx.Queue()
-        self.errors = ctx.Queue()
-        self.crashes = ctx.Queue()
-        self.quiesces = ctx.Queue()
-        self.inflight = ctx.Value("q", 0, lock=True)
-        self.idle = ctx.Event()
-        self.idle.set()  # vacuously idle until the first post
-
-    def stop_all(self) -> None:
-        for q in self.queues.values():
-            q.put(_STOP)
-
-    def drain_inboxes(self) -> None:
-        """Discard whatever is still sitting in worker inboxes after an
-        aborted attempt, so no queue feeder thread stays blocked on a
-        full pipe when the queues are torn down."""
-        for q in self.queues.values():
-            try:
-                while True:
-                    q.get_nowait()
-            except queue_mod.Empty:
-                pass
-            q.cancel_join_thread()
-
-
-class _Batcher:
-    """Per-sender outgoing buffers: wire-encodes and coalesces messages
-    into per-destination batches, flushed at ``batch_size`` or on
-    demand.  In-flight accounting happens at batch granularity —
-    increment on put, decrement when the receiver finishes the batch —
-    so quiescence implies empty queues *and* empty buffers."""
-
-    def __init__(self, channels: _Channels, batch_size: int) -> None:
-        self.channels = channels
-        self.batch_size = max(1, batch_size)
-        self._buffers: Dict[str, List[tuple]] = {}
-
-    def post(self, dst: str, msg: Any) -> None:
-        buf = self._buffers.setdefault(dst, [])
-        buf.append(encode_msg(msg))
-        if len(buf) >= self.batch_size:
-            self._flush_one(dst)
-
-    def _flush_one(self, dst: str) -> None:
-        batch = self._buffers.pop(dst, None)
-        if not batch:
-            return
-        with self.channels.inflight.get_lock():
-            self.channels.inflight.value += len(batch)
-            self.channels.idle.clear()
-        self.channels.queues[dst].put(batch)
-
-    def flush(self) -> None:
-        for dst in list(self._buffers):
-            self._flush_one(dst)
-
-    def mark_done(self, n: int) -> None:
-        with self.channels.inflight.get_lock():
-            self.channels.inflight.value -= n
-            if self.channels.inflight.value == 0:
-                self.channels.idle.set()
-
-
 def _worker_main(
     node_id: str,
     plan: SyncPlan,
     program: DGSProgram,
-    channels: _Channels,
-    batch_size: int,
+    transport,
+    control: ControlPlane,
+    policy: BatchPolicy,
     init_state: Optional[tuple],
     checkpoint_predicate: Optional[CheckpointPredicate],
     fault_view: Optional[WorkerFaultView],
@@ -195,10 +140,16 @@ def _worker_main(
     consequences of fully-processed events are flushed (they already
     left the failure domain in the model), the crash is announced on
     the dedicated queue, and from then on incoming batches are absorbed
-    unprocessed until the stop sentinel, when the report ships.
+    unprocessed until the stop frame, when the report ships.
     """
     try:
-        batcher = _Batcher(channels, batch_size)
+        # Drop inherited channel endpoints this worker does not own,
+        # so a dead peer surfaces as EOF/EPIPE instead of silence.
+        transport.child_setup(node_id)
+        receiver = transport.receiver(node_id)
+        # While this worker waits for pipe space it keeps ingesting its
+        # own inbox (receiver.poll), so mutual pressure cannot deadlock.
+        batcher = transport.sender(node_id, control, policy, on_block=receiver.poll)
         sink = OutputSink(record_keys=record_keys)
         core = WorkerCore(
             plan.node(node_id),
@@ -209,21 +160,20 @@ def _worker_main(
             checkpoint_predicate=checkpoint_predicate,
             faults=fault_view,
             reconfig=reconfig_view,
+            flush_hint=batcher.flush,
         )
         if init_state is not None:
             core.state = init_state[0]
             core.has_state = True
-        inbox = channels.queues[node_id]
         crash: Optional[CrashRecord] = None
         quiesce: Optional[QuiesceRecord] = None
         while True:
-            batch = inbox.get()
-            if batch == _STOP:
+            msgs = receiver.recv()
+            if msgs is STOP:
                 break
             if crash is not None or quiesce is not None:
-                batcher.mark_done(len(batch))
+                control.mark_done(len(msgs))
                 continue
-            msgs = decode_batch(batch)
             try:
                 for msg in msgs:
                     core.handle(msg)
@@ -233,7 +183,7 @@ def _worker_main(
                 # the crash, then announce it; the triggering event and
                 # the rest of the batch die with the worker.
                 batcher.flush()
-                channels.crashes.put(crash)
+                control.crashes.put(crash)
             except QuiesceSignal as sig:
                 quiesce = sig.record
                 # Planned stop at a consistent snapshot: the triggering
@@ -244,13 +194,13 @@ def _worker_main(
                 # record (carrying the snapshot state) travels once, in
                 # the end-of-run report.
                 batcher.flush()
-                channels.quiesces.put(node_id)
+                control.quiesces.put(node_id)
             # Flush consequences *before* declaring the batch done, so
             # the in-flight counter can never dip to zero while this
             # worker still owes messages to others.
             batcher.flush()
-            batcher.mark_done(len(msgs))
-        channels.results.put(
+            control.mark_done(len(msgs))
+        control.results.put(
             _WorkerReport(
                 node_id,
                 sink.outputs,
@@ -264,16 +214,19 @@ def _worker_main(
             )
         )
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
-        channels.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
+        control.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
         raise
 
 
 class ProcessRuntime:
     """Run a DGS program on OS processes (one per plan worker).
 
-    ``batch_size`` tunes the channel batching: 1 degenerates to
-    per-message IPC (useful as a baseline), larger values amortize
-    serialization until batching latency starts delaying joins.
+    ``transport`` selects the data plane (``"pipe"`` — framed raw
+    pipes, the default — or ``"queue"`` — the original
+    ``multiprocessing.Queue`` fabric).  ``batch_size=None`` (default)
+    enables adaptive batching; an explicit integer pins the fixed
+    policy (1 degenerates to per-message IPC, useful as a baseline).
+    ``flush_ms`` tunes the adaptive policy's latency deadline.
     """
 
     def __init__(
@@ -281,14 +234,17 @@ class ProcessRuntime:
         program: DGSProgram,
         plan: SyncPlan,
         *,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
+        transport: str = DEFAULT_TRANSPORT,
+        flush_ms: Optional[float] = None,
         validate: bool = True,
     ) -> None:
         self.program = program
         if validate:
             assert_p_valid(plan, program)
         self.plan = plan
-        self.batch_size = max(1, batch_size)
+        self.transport_name = transport
+        self.policy = resolve_policy(batch_size, flush_ms)
         # fork (not spawn): children must inherit the program's
         # closures; only messages are ever pickled.
         if "fork" not in mp.get_all_start_methods():
@@ -315,7 +271,10 @@ class ProcessRuntime:
         or quiesced attempt returns with ``crashes`` non-empty /
         ``quiesce`` set instead of raising)."""
         workers = self.plan.workers()
-        channels = _Channels(self._ctx, [n.id for n in workers])
+        transport = make_transport(
+            self.transport_name, self._ctx, plan_edges(self.plan)
+        )
+        control = ControlPlane(self._ctx)
         leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
         procs = [
             self._ctx.Process(
@@ -324,8 +283,9 @@ class ProcessRuntime:
                     n.id,
                     self.plan,
                     self.program,
-                    channels,
-                    self.batch_size,
+                    transport,
+                    control,
+                    self.policy,
                     (leaf_states[n.id],) if n.id in leaf_states else None,
                     checkpoint_predicate,
                     faults.view_for(n.id) if faults is not None else None,
@@ -339,11 +299,27 @@ class ProcessRuntime:
         ]
         for p in procs:
             p.start()
+        # Every worker holds its endpoints now; drop the parent's
+        # copies of the fds only workers use, so dead peers surface as
+        # EOF/EPIPE on the survivors' pipes.
+        transport.parent_setup()
 
-        result = ProcessResult(n_workers=len(workers), batch_size=self.batch_size)
+        result = ProcessResult(
+            n_workers=len(workers),
+            transport=transport.name,
+            batch=self.policy.describe(),
+        )
         try:
             t0 = time.perf_counter()
-            batcher = _Batcher(channels, self.batch_size)
+
+            def pump_guard() -> None:
+                # Invoked while a producer write waits for pipe space:
+                # a dead worker must surface as a fault, not a hang.
+                self._raise_worker_faults(control, procs)
+
+            batcher = transport.sender(
+                COORDINATOR, control, self.policy, on_block=pump_guard
+            )
             end_ts = end_timestamp(streams)
             for stream in streams:
                 owner = self.plan.owner_of(stream.itag).id
@@ -351,13 +327,13 @@ class ProcessRuntime:
                     batcher.post(owner, msg)
                 result.events_in += len(stream.events)
             batcher.flush()
-            aborted = self._await_idle(channels, procs, timeout_s)
+            aborted = self._await_idle(control, procs, timeout_s)
             result.wall_s = time.perf_counter() - t0
 
-            channels.stop_all()
-            self._collect(channels, result, timeout_s)
+            transport.stop_all()
+            self._collect(control, result, timeout_s)
             if aborted:
-                channels.drain_inboxes()
+                transport.drain()
         finally:
             for p in procs:
                 p.join(timeout=5.0)
@@ -365,14 +341,15 @@ class ProcessRuntime:
                 if p.is_alive():  # pragma: no cover - defensive cleanup
                     p.terminate()
                     p.join(timeout=1.0)
+            transport.close()
         return result
 
     # -- coordination helpers -------------------------------------------
     @staticmethod
-    def _aborted(channels: _Channels) -> bool:
+    def _aborted(control: ControlPlane) -> bool:
         """True when a crash or a reconfiguration quiesce was announced
         (either one ends the attempt early)."""
-        for q in (channels.crashes, channels.quiesces):
+        for q in (control.crashes, control.quiesces):
             try:
                 q.get_nowait()
             except queue_mod.Empty:
@@ -380,36 +357,40 @@ class ProcessRuntime:
             return True
         return False
 
+    @staticmethod
+    def _raise_worker_faults(control: ControlPlane, procs) -> None:
+        try:
+            node_id, err = control.errors.get_nowait()
+        except queue_mod.Empty:
+            pass
+        else:
+            raise RuntimeFault(f"worker {node_id} crashed:\n{err}")
+        if any(not p.is_alive() and p.exitcode not in (0, None) for p in procs):
+            raise RuntimeFault(
+                "a worker process died before the run drained "
+                f"(exitcodes: {[p.exitcode for p in procs]})"
+            )
+
     @classmethod
-    def _await_idle(cls, channels: _Channels, procs, timeout_s: float) -> bool:
+    def _await_idle(cls, control: ControlPlane, procs, timeout_s: float) -> bool:
         """Wait for drain, an injected crash, or a reconfiguration
         quiesce (returns True for an aborted attempt), surfacing worker
         faults promptly."""
         deadline = time.monotonic() + timeout_s
         while True:
-            if cls._aborted(channels):
+            if cls._aborted(control):
                 return True
-            if channels.idle.wait(timeout=0.05):
+            if control.idle.wait(timeout=0.05):
                 # Drain and an abort can race: a crashed/quiesced
                 # worker absorbs its backlog, so the counter may reach
                 # zero right as the announcement lands.  Abort wins.
-                return cls._aborted(channels)
-            try:
-                node_id, err = channels.errors.get_nowait()
-            except queue_mod.Empty:
-                pass
-            else:
-                raise RuntimeFault(f"worker {node_id} crashed:\n{err}")
-            if any(not p.is_alive() and p.exitcode not in (0, None) for p in procs):
-                raise RuntimeFault(
-                    "a worker process died before the run drained "
-                    f"(exitcodes: {[p.exitcode for p in procs]})"
-                )
+                return cls._aborted(control)
+            cls._raise_worker_faults(control, procs)
             if time.monotonic() > deadline:
                 raise RuntimeFault("process runtime did not drain in time")
 
     def _collect(
-        self, channels: _Channels, result: ProcessResult, timeout_s: float
+        self, control: ControlPlane, result: ProcessResult, timeout_s: float
     ) -> None:
         deadline = time.monotonic() + timeout_s
         reports: List[_WorkerReport] = []
@@ -419,11 +400,11 @@ class ProcessRuntime:
             # surface with its traceback, not as a bare timeout.
             while True:
                 try:
-                    reports.append(channels.results.get(timeout=0.05))
+                    reports.append(control.results.get(timeout=0.05))
                     break
                 except queue_mod.Empty:
                     try:
-                        err_node, err = channels.errors.get_nowait()
+                        err_node, err = control.errors.get_nowait()
                     except queue_mod.Empty:
                         pass
                     else:

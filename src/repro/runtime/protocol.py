@@ -136,6 +136,7 @@ class WorkerCore:
         checkpoint_predicate: Optional[CheckpointPredicate] = None,
         faults: Optional[WorkerFaultView] = None,
         reconfig: Optional[Any] = None,
+        flush_hint: Optional[Callable[[], None]] = None,
     ) -> None:
         self.node = node
         self.plan = plan
@@ -144,6 +145,13 @@ class WorkerCore:
         self.sink = sink
         self.checkpoint_predicate = checkpoint_predicate
         self.faults = faults
+        #: Called after posting join-critical messages (join requests,
+        #: join responses, forked states).  Substrates with batched
+        #: channels pass their flush here so synchronization traffic
+        #: never waits out a batch window — joins block the whole
+        #: subtree, so their latency is the protocol's critical path.
+        #: Substrates with unbatched channels leave it None.
+        self.flush_hint = flush_hint
         #: A RootReconfigView (repro.runtime.quiesce) when this worker
         #: is the root of an elastically-reconfigurable run; its
         #: maybe_quiesce hook may raise QuiesceSignal at a root join.
@@ -242,6 +250,8 @@ class WorkerCore:
             self.state = None
             self.has_state = False
             self.blocked = True
+            if self.flush_hint is not None:
+                self.flush_hint()
         else:
             self._start_join(("parent", req))
 
@@ -254,6 +264,8 @@ class WorkerCore:
             self.post(child, JoinRequest(req_id, itag, key, self.node.id, side))
         self.blocked = True
         self._current = (req_id, ctx, {})
+        if self.flush_hint is not None:
+            self.flush_hint()
 
     def _on_join_response(self, msg: JoinResponse) -> None:
         assert self._current is not None and self._current[0] == msg.req_id
@@ -305,6 +317,8 @@ class WorkerCore:
                 ),
             )
             self._absorb_restore = req_id
+            if self.flush_hint is not None:
+                self.flush_hint()
 
     def _on_fork_state(self, msg: ForkStateMsg) -> None:
         if self.is_leaf:
@@ -320,6 +334,8 @@ class WorkerCore:
         s_l, s_r = self.fork_fn(state, self.pred_left, self.pred_right)
         for child, s in zip(self.children, (s_l, s_r)):
             self.post(child, ForkStateMsg(req_id, s, 1.0))
+        if self.flush_hint is not None:
+            self.flush_hint()
 
     def _relay_frontiers(self) -> None:
         if self.is_leaf:

@@ -1,0 +1,599 @@
+"""IPC transports for the process runtime (data plane + batching).
+
+The process runtime originally shipped every batch through
+``multiprocessing.Queue``: one lock acquisition, one pickle in the
+feeder thread, one pipe write and one consumer wakeup per hop — queue
+machinery that ends up measured as "synchronization cost" in every
+benchmark.  This module separates the *transport* concern from the
+protocol so the hot path can do better:
+
+* :class:`PipeTransport` (default) — one raw ``os.pipe`` per directed
+  communication edge (coordinator → worker, parent ↔ child), carrying
+  length-prefixed frames in the :mod:`repro.runtime.wire` frame format
+  (struct-packed fast path, pickle fallback).  Single writer per pipe,
+  so frames never interleave; readers ``select`` across their inbound
+  pipes.  Writes are non-blocking with an ``on_block`` hook so a
+  worker waiting for pipe space keeps ingesting its own inbox —
+  full-duplex pressure can never deadlock the tree.
+
+* :class:`QueueTransport` — the original ``multiprocessing.Queue``
+  fabric, kept as a baseline (``transport="queue"``) so benchmarks can
+  measure exactly what the fast path buys.
+
+Both transports move *batches*.  :class:`BatchingSender` owns the
+policy: a :class:`BatchPolicy` either flushes at a fixed size (the old
+``batch_size`` behaviour) or adapts per channel — batches grow toward
+``max_batch`` while the observed global backlog is high (receivers are
+busy; amortize harder) and shrink toward ``min_batch`` when the system
+is keeping up, with a latency deadline bounding how long any message
+can sit buffered.
+
+The control plane (end-of-run reports, worker faults, crash/quiesce
+announcements, and the global in-flight accounting that detects
+quiescence) stays on ``multiprocessing`` primitives in
+:class:`ControlPlane` — it is low-rate and needs blocking semantics,
+not throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import select
+import struct
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from ..core.errors import RuntimeFault
+from .wire import decode_batch, encode_batch, pack_frame, unpack_frame
+
+#: Destination/sender id of the run coordinator (the parent process
+#: pumping producer messages and collecting reports).
+COORDINATOR = "__coordinator__"
+
+#: Returned by ``Receiver.recv()`` when the coordinator shut the
+#: channel down; workers exit their loop on it.
+STOP = object()
+
+#: Queue-transport stop sentinel: a plain string so it crosses the
+#: wire untouched (kept from the original channel fabric).
+_QUEUE_STOP = "__stop__"
+
+_LEN = struct.Struct("<I")
+
+#: Transport names accepted by ``RunOptions.transport`` /
+#: ``ProcessRuntime(transport=)``.
+TRANSPORTS = ("pipe", "queue")
+DEFAULT_TRANSPORT = "pipe"
+
+
+def _widen_pipe(fd: int, size: int = 1 << 20) -> None:
+    """Best-effort bump of the kernel pipe buffer (Linux): a 64 KiB
+    default pipe forces a writer wait every ~3k packed events; 1 MiB
+    keeps bursts off the slow path.  Silently keeps the default where
+    unsupported or capped (``/proc/sys/fs/pipe-max-size``)."""
+    try:
+        import fcntl
+
+        fcntl.fcntl(fd, getattr(fcntl, "F_SETPIPE_SZ", 1031), size)
+    except (ImportError, AttributeError, OSError, ValueError):  # pragma: no cover
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Batch policy: fixed size vs adaptive (size OR deadline, backlog-driven)
+# ---------------------------------------------------------------------------
+
+class BatchPolicy:
+    """When to flush a per-destination outgoing buffer.
+
+    ``fixed(n)`` reproduces the original behaviour: flush at ``n``
+    buffered messages, never on time.  ``adaptive()`` starts from
+    ``start_batch`` and moves each channel's target within
+    ``[min_batch, max_batch]``: observed backlog above
+    ``grow_watermark`` × target doubles it (receivers are saturated —
+    amortize harder), backlog below ``shrink_watermark`` × target
+    halves it (system keeping up — favour latency).  ``deadline_ms``
+    additionally flushes any buffer whose oldest message has waited
+    that long, so a slow stretch cannot strand messages.
+    """
+
+    __slots__ = (
+        "adaptive",
+        "start_batch",
+        "min_batch",
+        "max_batch",
+        "deadline_s",
+        "grow_watermark",
+        "shrink_watermark",
+    )
+
+    def __init__(
+        self,
+        *,
+        adaptive: bool,
+        start_batch: int,
+        min_batch: int,
+        max_batch: int,
+        deadline_ms: Optional[float],
+        grow_watermark: float = 4.0,
+        shrink_watermark: float = 0.5,
+    ) -> None:
+        if not 1 <= min_batch <= start_batch <= max_batch:
+            raise RuntimeFault(
+                f"invalid batch policy: need 1 <= min ({min_batch}) <= "
+                f"start ({start_batch}) <= max ({max_batch})"
+            )
+        self.adaptive = adaptive
+        self.start_batch = start_batch
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        # `is not None`: deadline_ms=0 means "flush immediately", the
+        # tightest latency bound — not "no deadline".
+        self.deadline_s = deadline_ms / 1000.0 if deadline_ms is not None else None
+        self.grow_watermark = grow_watermark
+        self.shrink_watermark = shrink_watermark
+
+    @classmethod
+    def fixed(cls, batch_size: int) -> "BatchPolicy":
+        n = max(1, batch_size)
+        return cls(
+            adaptive=False, start_batch=n, min_batch=n, max_batch=n, deadline_ms=None
+        )
+
+    @classmethod
+    def adaptive_policy(
+        cls,
+        *,
+        start_batch: int = 64,
+        min_batch: int = 16,
+        max_batch: int = 1024,
+        deadline_ms: float = 1.0,
+    ) -> "BatchPolicy":
+        return cls(
+            adaptive=True,
+            start_batch=start_batch,
+            min_batch=min_batch,
+            max_batch=max_batch,
+            deadline_ms=deadline_ms,
+        )
+
+    def describe(self) -> str:
+        if not self.adaptive:
+            return f"fixed({self.start_batch})"
+        dl = self.deadline_s * 1000.0 if self.deadline_s is not None else None
+        return (
+            f"adaptive({self.min_batch}..{self.max_batch}, "
+            f"deadline={dl}ms)"
+        )
+
+
+def resolve_policy(batch_size: Optional[int], flush_ms: Optional[float]) -> BatchPolicy:
+    """Map the user-facing knobs onto a policy: an explicit
+    ``batch_size`` selects the fixed policy (the pre-transport
+    behaviour, still useful as a baseline and in tests); ``None``
+    selects adaptive batching, optionally overriding the flush
+    deadline."""
+    if batch_size is not None:
+        return BatchPolicy.fixed(batch_size)
+    if flush_ms is not None:
+        return BatchPolicy.adaptive_policy(deadline_ms=flush_ms)
+    return BatchPolicy.adaptive_policy()
+
+
+# ---------------------------------------------------------------------------
+# Control plane: reports, faults, and quiescence accounting
+# ---------------------------------------------------------------------------
+
+class ControlPlane:
+    """Low-rate cross-process coordination shared by all transports.
+
+    The in-flight counter is incremented when a batch is posted and
+    decremented when the receiver has fully handled it *and* flushed
+    its consequences; zero (after all producer input is posted) means
+    every channel and every buffer has drained."""
+
+    def __init__(self, ctx) -> None:
+        self.results = ctx.Queue()
+        self.errors = ctx.Queue()
+        self.crashes = ctx.Queue()
+        self.quiesces = ctx.Queue()
+        self.inflight = ctx.Value("q", 0, lock=True)
+        # Raw ctypes view: reading `inflight.value` acquires the shared
+        # lock; the adaptive policy's backlog heuristic must not add a
+        # second cross-process lock round per flush.
+        self._inflight_raw = self.inflight.get_obj()
+        self.idle = ctx.Event()
+        self.idle.set()  # vacuously idle until the first post
+
+    def add_inflight(self, n: int) -> None:
+        with self.inflight.get_lock():
+            self.inflight.value += n
+            self.idle.clear()
+
+    def mark_done(self, n: int) -> None:
+        with self.inflight.get_lock():
+            self.inflight.value -= n
+            if self.inflight.value == 0:
+                self.idle.set()
+
+    def backlog(self) -> int:
+        """Racy, lock-free read of the global in-flight count — a
+        heuristic load signal for the adaptive batch policy, not a
+        synchronization point."""
+        return self._inflight_raw.value
+
+
+# ---------------------------------------------------------------------------
+# Batching sender (transport-independent policy layer)
+# ---------------------------------------------------------------------------
+
+class BatchingSender:
+    """Per-destination outgoing buffers over a raw transport sender.
+
+    In-flight accounting happens at flush granularity — increment just
+    before the batch hits the wire, decrement when the receiver
+    finishes it — so quiescence implies empty channels *and* empty
+    buffers."""
+
+    __slots__ = ("_send", "control", "policy", "_buffers", "_first_ts", "_targets")
+
+    def __init__(
+        self,
+        send_batch: Callable[[str, List[Any]], None],
+        control: ControlPlane,
+        policy: BatchPolicy,
+    ) -> None:
+        self._send = send_batch
+        self.control = control
+        self.policy = policy
+        self._buffers: Dict[str, List[Any]] = {}
+        self._first_ts: Dict[str, float] = {}
+        self._targets: Dict[str, int] = {}
+
+    def post(self, dst: str, msg: Any) -> None:
+        buf = self._buffers.get(dst)
+        if buf is None:
+            buf = self._buffers[dst] = []
+            if self.policy.deadline_s is not None:
+                self._first_ts[dst] = time.monotonic()
+        buf.append(msg)
+        target = self._targets.get(dst, self.policy.start_batch)
+        if len(buf) >= target:
+            self._flush_one(dst, target)
+        elif (
+            self.policy.deadline_s is not None
+            and time.monotonic() - self._first_ts[dst] >= self.policy.deadline_s
+        ):
+            self._flush_one(dst, target)
+
+    def _flush_one(self, dst: str, target: int) -> None:
+        batch = self._buffers.pop(dst, None)
+        if not batch:
+            return
+        self._first_ts.pop(dst, None)
+        self.control.add_inflight(len(batch))
+        self._send(dst, batch)
+        if self.policy.adaptive:
+            # Per-channel target tracking the observed global backlog:
+            # saturated receivers -> bigger batches, idle system ->
+            # smaller ones.
+            backlog = self.control.backlog()
+            if backlog > self.policy.grow_watermark * target:
+                self._targets[dst] = min(target * 2, self.policy.max_batch)
+            elif backlog < self.policy.shrink_watermark * target:
+                self._targets[dst] = max(target // 2, self.policy.min_batch)
+
+    def flush(self) -> None:
+        for dst in list(self._buffers):
+            self._flush_one(dst, self._targets.get(dst, self.policy.start_batch))
+
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buffers.values())
+
+
+# ---------------------------------------------------------------------------
+# Queue transport (the original fabric, kept as a measurable baseline)
+# ---------------------------------------------------------------------------
+
+class _QueueReceiver:
+    __slots__ = ("_q",)
+
+    def __init__(self, q) -> None:
+        self._q = q
+
+    def recv(self) -> Any:
+        batch = self._q.get()
+        if batch == _QUEUE_STOP:
+            return STOP
+        return decode_batch(batch)
+
+    def poll(self) -> None:  # pragma: no cover - queue puts never block
+        pass
+
+
+class QueueTransport:
+    """``multiprocessing.Queue`` per worker — the legacy data plane."""
+
+    name = "queue"
+
+    def __init__(self, ctx, edges: Dict[str, Sequence[str]]) -> None:
+        self.queues = {wid: ctx.Queue() for wid in edges}
+
+    def sender(
+        self,
+        src: str,
+        control: ControlPlane,
+        policy: BatchPolicy,
+        on_block: Optional[Callable[[], None]] = None,
+    ) -> BatchingSender:
+        def send_batch(dst: str, batch: List[Any]) -> None:
+            self.queues[dst].put(encode_batch(batch))
+
+        return BatchingSender(send_batch, control, policy)
+
+    def receiver(self, wid: str) -> _QueueReceiver:
+        return _QueueReceiver(self.queues[wid])
+
+    def child_setup(self, wid: str) -> None:
+        pass
+
+    def parent_setup(self) -> None:
+        pass
+
+    def stop_all(self) -> None:
+        for q in self.queues.values():
+            q.put(_QUEUE_STOP)
+
+    def drain(self) -> None:
+        """Discard whatever is still sitting in worker inboxes after an
+        aborted attempt, so no queue feeder thread stays blocked on a
+        full pipe when the queues are torn down."""
+        for q in self.queues.values():
+            try:
+                while True:
+                    q.get_nowait()
+            except queue_mod.Empty:
+                pass
+            q.cancel_join_thread()
+
+    def close(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Pipe transport (raw os.pipe per directed edge, framed)
+# ---------------------------------------------------------------------------
+
+class _PipeReceiver:
+    """Merges framed traffic from every inbound pipe of one worker.
+
+    Frames are delivered in per-sender order (pipes are FIFO and have
+    a single writer each); cross-sender arrival order is whatever the
+    poller observes, exactly like the queue fabric's interleaved
+    puts.  ``poll()`` ingests opportunistically without blocking — the
+    sender calls it while waiting for pipe space, which is what makes
+    the mesh deadlock-free.  ``select.poll`` (not ``select.select``)
+    because fd numbers above FD_SETSIZE (1024) must keep working —
+    the coordinator opens every edge's pipes before forking."""
+
+    __slots__ = ("_poller", "_n_live", "_bufs", "_ready")
+
+    def __init__(self, rfds: List[int]) -> None:
+        self._poller = select.poll()
+        self._bufs: Dict[int, bytearray] = {}
+        for fd in rfds:
+            self._poller.register(fd, select.POLLIN)
+            self._bufs[fd] = bytearray()
+        self._n_live = len(rfds)
+        self._ready: Deque[Any] = deque()
+
+    def recv(self) -> Any:
+        while not self._ready:
+            for fd, _events in self._poller.poll():
+                self._ingest(fd)
+        return self._ready.popleft()
+
+    def poll(self) -> None:
+        while True:
+            events = self._poller.poll(0)
+            if not events:
+                return
+            for fd, _events in events:
+                self._ingest(fd)
+
+    def _ingest(self, fd: int) -> None:
+        try:
+            data = os.read(fd, 1 << 16)
+        except OSError:  # pragma: no cover - peer torn down mid-read
+            data = b""
+        if not data:
+            # EOF: the writer died; drop the fd so the poller stops
+            # reporting it.  The coordinator's liveness checks surface
+            # the actual fault.
+            self._poller.unregister(fd)
+            self._n_live -= 1
+            if self._n_live == 0:
+                self._ready.append(STOP)
+            return
+        buf = self._bufs[fd]
+        buf += data
+        while True:
+            if len(buf) < 4:
+                return
+            n = _LEN.unpack_from(buf, 0)[0]
+            if n == 0:
+                del buf[:4]
+                self._ready.append(STOP)
+                continue
+            if len(buf) < 4 + n:
+                return
+            frame = bytes(buf[4 : 4 + n])
+            del buf[: 4 + n]
+            self._ready.append(unpack_frame(frame))
+
+
+class _PipeSender:
+    """Write side of one process's outbound edges (single writer per
+    pipe, non-blocking with an ingest hook while the pipe is full)."""
+
+    __slots__ = ("_wfds", "_on_block")
+
+    def __init__(self, wfds: Dict[str, int], on_block: Optional[Callable[[], None]]):
+        self._wfds = wfds
+        self._on_block = on_block
+
+    def send_batch(self, dst: str, batch: List[Any]) -> None:
+        data = pack_frame(batch)
+        self.send_raw(dst, _LEN.pack(len(data)) + data)
+
+    def send_raw(self, dst: str, record: bytes) -> None:
+        try:
+            fd = self._wfds[dst]
+        except KeyError:
+            raise RuntimeFault(
+                f"pipe transport has no edge to {dst!r} from this sender"
+            ) from None
+        view = memoryview(record)
+        while view:
+            try:
+                n = os.write(fd, view)
+            except BlockingIOError:
+                n = 0
+            except (BrokenPipeError, OSError):
+                # Peer already exited: only legal after an aborted
+                # attempt (crash/quiesce) or once the run is being torn
+                # down; the control plane carries the real outcome.
+                return
+            if n:
+                view = view[n:]
+                continue
+            if self._on_block is not None:
+                self._on_block()
+            # poll, not select: fd numbers above FD_SETSIZE must work.
+            waiter = select.poll()
+            waiter.register(fd, select.POLLOUT)
+            waiter.poll(2)
+
+
+class PipeTransport:
+    """Raw-pipe data plane: one framed, single-writer pipe per directed
+    edge of the communication graph."""
+
+    name = "pipe"
+
+    def __init__(self, ctx, edges: Dict[str, Sequence[str]]) -> None:
+        # edges: receiver id -> sender ids allowed to reach it.
+        self._edges = {wid: tuple(srcs) for wid, srcs in edges.items()}
+        self._pipes: Dict[tuple, tuple] = {}
+        for wid, srcs in self._edges.items():
+            for src in srcs:
+                r, w = os.pipe()
+                os.set_blocking(w, False)
+                _widen_pipe(w)
+                self._pipes[(src, wid)] = (r, w)
+        #: Parent-side fds not yet closed.  Tracked explicitly so
+        #: ``parent_setup`` + ``close`` never double-close an fd number
+        #: the OS may have reused for something else.
+        self._parent_open = {fd for pair in self._pipes.values() for fd in pair}
+
+    def sender(
+        self,
+        src: str,
+        control: ControlPlane,
+        policy: BatchPolicy,
+        on_block: Optional[Callable[[], None]] = None,
+    ) -> BatchingSender:
+        wfds = {
+            wid: w
+            for (s, wid), (_, w) in self._pipes.items()
+            if s == src
+        }
+        raw = _PipeSender(wfds, on_block)
+        return BatchingSender(raw.send_batch, control, policy)
+
+    def receiver(self, wid: str) -> _PipeReceiver:
+        rfds = [r for (_, d), (r, _) in self._pipes.items() if d == wid]
+        return _PipeReceiver(rfds)
+
+    def child_setup(self, wid: str) -> None:
+        """Called in a forked worker before it opens its endpoints:
+        close every inherited fd this worker does not own (it keeps
+        read ends of inbound edges and write ends of outbound ones).
+        Without this, every pipe end lives in every process and a dead
+        peer can never be observed as EOF/EPIPE — only the
+        coordinator's exitcode polling would catch it, seconds later."""
+        for (src, dst), (r, w) in self._pipes.items():
+            if dst != wid:
+                os.close(r)
+            if src != wid:
+                os.close(w)
+
+    def parent_setup(self) -> None:
+        """Called in the coordinator once every worker has forked:
+        drop the parent's copies of the fds it never uses (all read
+        ends, and write ends of worker-to-worker edges), completing
+        the ownership picture ``child_setup`` starts — after this,
+        each pipe end lives only in the process that uses it."""
+        for (src, _), (r, w) in self._pipes.items():
+            self._parent_close(r)
+            if src != COORDINATOR:
+                self._parent_close(w)
+
+    def _parent_close(self, fd: int) -> None:
+        if fd in self._parent_open:
+            self._parent_open.discard(fd)
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def stop_all(self) -> None:
+        """Coordinator-side shutdown: a zero-length frame on every
+        coordinator edge."""
+        stop = _LEN.pack(0)
+        sender = _PipeSender(
+            {
+                wid: w
+                for (s, wid), (_, w) in self._pipes.items()
+                if s == COORDINATOR
+            },
+            None,
+        )
+        for wid in list(self._edges):
+            sender.send_raw(wid, stop)
+
+    def drain(self) -> None:
+        pass  # kernel buffers vanish with the fds
+
+    def close(self) -> None:
+        for fd in list(self._parent_open):
+            self._parent_close(fd)
+
+
+def make_transport(name: str, ctx, edges: Dict[str, Sequence[str]]):
+    if name == "pipe":
+        return PipeTransport(ctx, edges)
+    if name == "queue":
+        return QueueTransport(ctx, edges)
+    raise RuntimeFault(
+        f"unknown transport {name!r}; available: {TRANSPORTS}"
+    )
+
+
+def plan_edges(plan) -> Dict[str, List[str]]:
+    """The directed communication graph of a synchronization plan:
+    every worker hears from the coordinator (producer input + stop),
+    its parent (join requests, forked states, relayed heartbeats) and
+    its children (join responses)."""
+    edges: Dict[str, List[str]] = {}
+    for node in plan.workers():
+        srcs = [COORDINATOR]
+        parent = plan.parent_of(node.id)
+        if parent is not None:
+            srcs.append(parent.id)
+        if not node.is_leaf:
+            srcs.extend(c.id for c in node.children)
+        edges[node.id] = srcs
+    return edges

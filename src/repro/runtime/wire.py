@@ -1,24 +1,40 @@
 """Compact wire encoding for runtime messages.
 
-The process runtime ships protocol messages across OS-process
-boundaries through ``multiprocessing`` queues, which pickle every
-payload.  Pickling the message dataclasses directly works but spends
-most of the bytes on class metadata; encoding each message as a small
-tuple headed by an integer type code roughly halves the serialized
-size and sidesteps dataclass-pickling quirks across Python versions.
+Two layers live here:
 
-Messages travel in *batches* (lists of encoded tuples) so producers
-and workers amortize one queue operation — one pickle, one pipe write,
-one wakeup — over many messages; see
-:class:`repro.runtime.process.ProcessRuntime` for the batching policy.
+* **Tuple codec** (``encode_msg``/``decode_msg``): each protocol
+  message becomes a small tuple headed by an integer type code.
+  Pickling the message dataclasses directly works but spends most of
+  the bytes on class metadata; the tuple form roughly halves the
+  serialized size and sidesteps dataclass-pickling quirks across
+  Python versions.  The queue transport ships lists of these tuples
+  (``multiprocessing`` pickles them internally).
 
-Event payloads and join/fork states are application data and pass
-through unencoded: they must be picklable (every app in
-:mod:`repro.apps` uses ints, tuples, and dicts).
+* **Frame codec** (``pack_frame``/``unpack_frame``): the pipe
+  transport's byte-level format.  A frame carries one batch of
+  messages.  The dominant message kinds — events and heartbeats whose
+  fields are scalars (ints, floats, strings, ``None``) or tuples
+  thereof — take a ``struct``-packed fast path with no pickle
+  involved; anything carrying arbitrary application state (join
+  responses, fork states, exotic payloads) falls back to pickling that
+  one message.  Both paths round-trip exactly, including type identity
+  (``3`` never comes back as ``3.0``, ``True`` never as ``1``), which
+  the cross-backend differential suites rely on (output multisets
+  compare ``repr``\\ s).
+
+Messages travel in *batches* so producers and workers amortize one
+channel operation — one encode, one pipe write, one wakeup — over many
+messages; see :mod:`repro.runtime.transport` for the batching policy.
+
+Event payloads and join/fork states are application data: they must be
+picklable (every app in :mod:`repro.apps` uses ints, tuples, and
+dicts), and scalar-shaped payloads additionally ride the fast path.
 """
 
 from __future__ import annotations
 
+import pickle
+import struct
 from typing import Any, List, Sequence, Tuple
 
 from ..core.errors import RuntimeFault
@@ -85,3 +101,426 @@ def encode_batch(msgs: Sequence[Any]) -> List[WireMsg]:
 
 def decode_batch(batch: Sequence[WireMsg]) -> List[Any]:
     return [decode_msg(w) for w in batch]
+
+
+# ---------------------------------------------------------------------------
+# Frame codec: the pipe transport's byte-level format
+# ---------------------------------------------------------------------------
+#
+# frame   := <u32 count> message*
+# message := 0x05 route shape:u8 n:u16 <columnar struct body>
+#                                                     (event-run fast path)
+#          | 0x06 route tskind:u8 <f64 | i64>         (self-keyed heartbeat)
+#          | 0x03 scalar(tag) scalar(stream) scalar(ts) scalar(payload)
+#                                                     (generic EventMsg)
+#          | 0x04 scalar(tag) scalar(stream) scalar(key)
+#                                                     (generic HeartbeatMsg)
+#          | 0x01 <scalar tree of the wire tuple>     (generic struct path)
+#          | 0x02 <u32 len> <pickle of the wire tuple>
+# route   := taglen:u8 <utf-8 tag> ('i' <i64> | 's' len:u8 <utf-8>)
+# scalar  := 'N'                                      None
+#          | 'i' <i64>                                int (exactly; not bool)
+#          | 'd' <f64>                                float (exactly)
+#          | 's' <u16 len> <utf-8 bytes>              str
+#          | 't' <u8 count> scalar*                   tuple
+#
+# Events and heartbeats — the traffic that dominates every workload —
+# skip the intermediate wire tuple entirely.  A *run* of consecutive
+# events with the same implementation tag and the same field shape
+# (producers emit exactly that) is packed columnar: the (tag, stream)
+# route prefix once, then one precompiled struct for all (ts, payload)
+# columns.  Heartbeats whose key is the canonical self key
+# ``(ts, stable(tag), stable(stream))`` collapse to the route plus the
+# timestamp.  Everything else walks the generic scalar grammar, and
+# anything carrying arbitrary application state (join states, exotic
+# payloads) falls back to pickling that one message.
+#
+# Type checks are exact (``type(v) is int``) so bools, int subclasses,
+# numpy scalars, big ints (> 64 bit) and long strings all take a
+# slower path instead of coming back as a different type.  f64 packing
+# is lossless for floats (same IEEE bits, inf/NaN included).
+
+_MSG_PACKED = 0x01
+_MSG_PICKLED = 0x02
+_MSG_EVENT = 0x03
+_MSG_HEARTBEAT = 0x04
+_MSG_EVT_RUN = 0x05
+_MSG_HB_SELF = 0x06
+
+# Run shapes: (type(ts), type(payload)) -> (shape byte, struct columns).
+_SHAPE_FI = 0  # ts float, payload int    -> "dq"
+_SHAPE_FN = 1  # ts float, payload None   -> "d"
+_SHAPE_II = 2  # ts int,   payload int    -> "qq"
+_SHAPE_FF = 3  # ts float, payload float  -> "dd"
+_SHAPE_COLS = ("dq", "d", "qq", "dd")
+_SHAPE_WIDTH = (16, 8, 16, 16)
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U16 = struct.Struct("<H")
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+#: Memoized per-(shape, run-length) structs for the columnar event
+#: path; run lengths repeat heavily (the batch policy's flush sizes),
+#: so this stays small.
+_RUN_STRUCTS: dict = {}
+
+
+def _run_struct(shape: int, count: int) -> struct.Struct:
+    key = (shape, count)
+    s = _RUN_STRUCTS.get(key)
+    if s is None:
+        if len(_RUN_STRUCTS) > 8192:  # pragma: no cover - pathological
+            _RUN_STRUCTS.clear()
+        s = _RUN_STRUCTS[key] = struct.Struct("<" + _SHAPE_COLS[shape] * count)
+    return s
+
+
+_MISSING = object()
+
+#: Route (tag, stream) -> encoded prefix bytes, or None when the pair
+#: is not fast-path eligible.  Implementation tags come from a small
+#: finite universe (§3.1), so this hits after the first message.
+_ROUTE_ENC: dict = {}
+
+#: Interning memo for decoded tag/stream strings (bytes -> str).
+_STR_DEC: dict = {}
+
+
+def _route_bytes(tag: Any, stream: Any):
+    # type(stream) participates in the key: True == 1 and hash(True) ==
+    # hash(1), so a bool stream must not hit the int entry (the fast
+    # path promises exact-type round-trips).
+    key = (tag, stream, type(stream))
+    route = _ROUTE_ENC.get(key, _MISSING)
+    if route is not _MISSING:
+        return route
+    computed = None
+    if type(tag) is str:
+        tb = tag.encode("utf-8")
+        if len(tb) <= 0xFF:
+            if type(stream) is int and _I64_MIN <= stream <= _I64_MAX:
+                computed = bytes((len(tb),)) + tb + b"i" + _I64.pack(stream)
+            elif type(stream) is str:
+                sb = stream.encode("utf-8")
+                if len(sb) <= 0xFF:
+                    computed = (
+                        bytes((len(tb),)) + tb + b"s" + bytes((len(sb),)) + sb
+                    )
+    if len(_ROUTE_ENC) > 4096:  # pragma: no cover - pathological
+        _ROUTE_ENC.clear()
+    _ROUTE_ENC[key] = computed
+    return computed
+
+
+def _intern_str(b: bytes) -> str:
+    s = _STR_DEC.get(b)
+    if s is None:
+        if len(_STR_DEC) > 4096:  # pragma: no cover - pathological
+            _STR_DEC.clear()
+        s = _STR_DEC[b] = b.decode("utf-8")
+    return s
+
+
+def _read_route(data: bytes, pos: int):
+    n = data[pos]
+    pos += 1
+    tag = _intern_str(data[pos : pos + n])
+    pos += n
+    sk = data[pos]
+    pos += 1
+    if sk == 0x69:  # 'i'
+        stream = _I64.unpack_from(data, pos)[0]
+        pos += 8
+    elif sk == 0x73:  # 's'
+        m = data[pos]
+        pos += 1
+        stream = _intern_str(data[pos : pos + m])
+        pos += m
+    else:
+        raise RuntimeFault(f"corrupt frame: unknown stream kind {sk:#x}")
+    return tag, stream, pos
+
+
+class _Unpackable(Exception):
+    """Internal: this wire tuple needs the pickle fallback."""
+
+
+def _pack_scalar(v: Any, out: List[bytes]) -> None:
+    t = type(v)
+    if t is int:
+        if not _I64_MIN <= v <= _I64_MAX:
+            raise _Unpackable
+        out.append(b"i")
+        out.append(_I64.pack(v))
+    elif t is float:
+        out.append(b"d")
+        out.append(_F64.pack(v))
+    elif t is str:
+        b = v.encode("utf-8")
+        if len(b) > 0xFFFF:
+            raise _Unpackable
+        out.append(b"s")
+        out.append(_U16.pack(len(b)))
+        out.append(b)
+    elif v is None:
+        out.append(b"N")
+    elif t is tuple:
+        if len(v) > 0xFF:
+            raise _Unpackable
+        out.append(b"t")
+        out.append(bytes((len(v),)))
+        for item in v:
+            _pack_scalar(item, out)
+    else:
+        raise _Unpackable
+
+
+def _unpack_scalar(buf: bytes, pos: int) -> Tuple[Any, int]:
+    kind = buf[pos]
+    pos += 1
+    if kind == 0x69:  # 'i'
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if kind == 0x64:  # 'd'
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if kind == 0x73:  # 's'
+        n = _U16.unpack_from(buf, pos)[0]
+        pos += 2
+        return buf[pos : pos + n].decode("utf-8"), pos + n
+    if kind == 0x4E:  # 'N'
+        return None, pos
+    if kind == 0x74:  # 't'
+        n = buf[pos]
+        pos += 1
+        items = []
+        for _ in range(n):
+            item, pos = _unpack_scalar(buf, pos)
+            items.append(item)
+        return tuple(items), pos
+    raise RuntimeFault(f"corrupt frame: unknown scalar kind {kind:#x}")
+
+
+def _event_shape(ts: Any, payload: Any) -> int:
+    """Shape code of one event's (ts, payload) pair, or -1."""
+    tts = type(ts)
+    if tts is float:
+        tp = type(payload)
+        if tp is int:
+            return _SHAPE_FI
+        if payload is None:
+            return _SHAPE_FN
+        if tp is float:
+            return _SHAPE_FF
+        return -1
+    if tts is int and type(payload) is int:
+        return _SHAPE_II
+    return -1
+
+
+def pack_frame(batch: Sequence[Any]) -> bytes:
+    """Encode one batch of protocol messages as a self-contained frame.
+
+    Order is preserved exactly (per-sender FIFO is a mailbox
+    invariant), so fast-path and fallback messages interleave freely
+    within a frame."""
+    out: List[bytes] = [_U32.pack(len(batch))]
+    append = out.append
+    n_msgs = len(batch)
+    i = 0
+    while i < n_msgs:
+        msg = batch[i]
+        i += 1
+        mark = len(out)
+        try:
+            cls = type(msg)
+            if cls is EventMsg:
+                e = msg.event
+                tag, stream = e.tag, e.stream
+                route = _route_bytes(tag, stream)
+                if route is not None:
+                    ts, p = e.ts, e.payload
+                    shape = _event_shape(ts, p)
+                    if shape >= 0:
+                        # Columnar run: swallow every directly
+                        # following event with the same route and
+                        # shape into one struct pack.
+                        if shape == _SHAPE_FN:
+                            flat = [ts]
+                        else:
+                            flat = [ts, p]
+                        j = i
+                        j_max = i + 0xFFFE  # u16 run-length cap
+                        while j < n_msgs and j < j_max:
+                            m2 = batch[j]
+                            if type(m2) is not EventMsg:
+                                break
+                            e2 = m2.event
+                            # type check before ==: True == 1, but a
+                            # bool stream must not join an int run.
+                            if (
+                                type(e2.stream) is not type(stream)
+                                or e2.stream != stream
+                                or e2.tag != tag
+                            ):
+                                break
+                            ts2, p2 = e2.ts, e2.payload
+                            if _event_shape(ts2, p2) != shape:
+                                break
+                            flat.append(ts2)
+                            if shape != _SHAPE_FN:
+                                flat.append(p2)
+                            j += 1
+                        count = j - i + 1
+                        try:
+                            body = _run_struct(shape, count).pack(*flat)
+                        except struct.error:
+                            pass  # out-of-range i64 -> generic, this msg only
+                        else:
+                            append(bytes((_MSG_EVT_RUN,)))
+                            append(route)
+                            append(bytes((shape,)))
+                            append(_U16.pack(count))
+                            append(body)
+                            i = j
+                            continue
+                append(b"\x03")
+                _pack_scalar(e.tag, out)
+                _pack_scalar(e.stream, out)
+                _pack_scalar(e.ts, out)
+                _pack_scalar(e.payload, out)
+                continue
+            if cls is HeartbeatMsg:
+                it = msg.itag
+                tag, stream = it.tag, it.stream
+                key = msg.key
+                route = _route_bytes(tag, stream)
+                if (
+                    route is not None
+                    and type(key) is tuple
+                    and len(key) == 3
+                    and key[1] == ("str", tag)
+                    and key[2] == (("int", stream) if type(stream) is int else ("str", stream))
+                ):
+                    ts = key[0]
+                    tts = type(ts)
+                    try:
+                        if tts is float:
+                            append(bytes((_MSG_HB_SELF,)))
+                            append(route)
+                            append(b"\x00")
+                            append(_F64.pack(ts))
+                            continue
+                        if tts is int:
+                            body = _I64.pack(ts)
+                            append(bytes((_MSG_HB_SELF,)))
+                            append(route)
+                            append(b"\x01")
+                            append(body)
+                            continue
+                    except struct.error:
+                        del out[mark:]
+                append(b"\x04")
+                _pack_scalar(tag, out)
+                _pack_scalar(stream, out)
+                _pack_scalar(key, out)
+                continue
+            append(b"\x01")
+            _pack_scalar(encode_msg(msg), out)
+            continue
+        except _Unpackable:
+            del out[mark:]
+        blob = pickle.dumps(encode_msg(msg), protocol=pickle.HIGHEST_PROTOCOL)
+        append(b"\x02")
+        append(_U32.pack(len(blob)))
+        append(blob)
+    return b"".join(out)
+
+
+def unpack_frame(data: bytes) -> List[Any]:
+    """Inverse of :func:`pack_frame`: decode a frame back to messages.
+
+    Truncated or corrupt frames raise :class:`RuntimeFault` — a
+    half-written frame (e.g. from a writer that died mid-``write``)
+    must surface as a transport error, never as silently dropped or
+    garbled messages."""
+    try:
+        total = _U32.unpack_from(data, 0)[0]
+        pos = 4
+        msgs: List[Any] = []
+        mappend = msgs.append
+        while len(msgs) < total:
+            if pos >= len(data):
+                raise RuntimeFault(
+                    f"corrupt frame: truncated after {len(msgs)}/{total} messages"
+                )
+            kind = data[pos]
+            pos += 1
+            if kind == _MSG_EVT_RUN:
+                tag, stream, pos = _read_route(data, pos)
+                shape = data[pos]
+                pos += 1
+                count = _U16.unpack_from(data, pos)[0]
+                pos += 2
+                if shape > _SHAPE_FF:
+                    raise RuntimeFault(
+                        f"corrupt frame: unknown run shape {shape:#x}"
+                    )
+                vals = _run_struct(shape, count).unpack_from(data, pos)
+                pos += _SHAPE_WIDTH[shape] * count
+                if shape == _SHAPE_FN:
+                    for ts in vals:
+                        mappend(EventMsg(Event(tag, stream, ts, None)))
+                else:
+                    for k in range(0, 2 * count, 2):
+                        mappend(
+                            EventMsg(Event(tag, stream, vals[k], vals[k + 1]))
+                        )
+                continue
+            if kind == _MSG_HB_SELF:
+                tag, stream, pos = _read_route(data, pos)
+                tskind = data[pos]
+                pos += 1
+                if tskind == 0:
+                    ts = _F64.unpack_from(data, pos)[0]
+                else:
+                    ts = _I64.unpack_from(data, pos)[0]
+                pos += 8
+                skey = ("int", stream) if type(stream) is int else ("str", stream)
+                mappend(
+                    HeartbeatMsg(ImplTag(tag, stream), (ts, ("str", tag), skey))
+                )
+                continue
+            if kind == _MSG_EVENT:
+                tag, pos = _unpack_scalar(data, pos)
+                stream, pos = _unpack_scalar(data, pos)
+                ts, pos = _unpack_scalar(data, pos)
+                payload, pos = _unpack_scalar(data, pos)
+                mappend(EventMsg(Event(tag, stream, ts, payload)))
+                continue
+            if kind == _MSG_HEARTBEAT:
+                tag, pos = _unpack_scalar(data, pos)
+                stream, pos = _unpack_scalar(data, pos)
+                key, pos = _unpack_scalar(data, pos)
+                mappend(HeartbeatMsg(ImplTag(tag, stream), key))
+                continue
+            if kind == _MSG_PACKED:
+                wire, pos = _unpack_scalar(data, pos)
+            elif kind == _MSG_PICKLED:
+                n = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                if pos + n > len(data):
+                    raise RuntimeFault("corrupt frame: truncated pickle payload")
+                wire = pickle.loads(data[pos : pos + n])
+                pos += n
+            else:
+                raise RuntimeFault(f"corrupt frame: unknown message kind {kind:#x}")
+            mappend(decode_msg(wire))
+    except (struct.error, IndexError, UnicodeDecodeError, pickle.UnpicklingError, EOFError) as exc:
+        raise RuntimeFault(f"corrupt frame: {exc!r}") from exc
+    if pos != len(data):
+        raise RuntimeFault(
+            f"corrupt frame: {len(data) - pos} trailing bytes after {total} messages"
+        )
+    return msgs

@@ -1,0 +1,149 @@
+"""The CI perf gate (repro.bench.perfgate): record schema, directional
+comparisons, fail-closed behaviour, and the rebase flow."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import bench_record, publish_json
+from repro.bench.perfgate import (
+    check_dirs,
+    compare,
+    load_records,
+    main,
+    rebase,
+)
+
+
+def rec(name, metrics, gate=None):
+    return bench_record(name, config={"case": name}, metrics=metrics, gate=gate)
+
+
+class TestBenchRecord:
+    def test_record_shape(self):
+        r = rec("x", {"eps": 100}, gate={"eps": "higher"})
+        assert r["schema"] == "repro-bench/1"
+        assert r["name"] == "x"
+        assert r["metrics"] == {"eps": 100}
+        assert r["gate"] == {"eps": "higher"}
+        assert r["host"]["cores"] >= 1
+        assert "python" in r["host"]
+
+    def test_gate_must_name_numeric_metric(self):
+        with pytest.raises(ValueError):
+            rec("x", {"eps": "fast"}, gate={"eps": "higher"})
+        with pytest.raises(ValueError):
+            rec("x", {"eps": 1}, gate={"missing": "higher"})
+        with pytest.raises(ValueError):
+            rec("x", {"eps": 1}, gate={"eps": "sideways"})
+
+    def test_publish_json_writes_bench_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = publish_json("unit", rec("unit", {"eps": 5}))
+        assert os.path.basename(path) == "BENCH_unit.json"
+        with open(path) as f:
+            assert json.load(f)["metrics"] == {"eps": 5}
+
+
+class TestCompare:
+    def test_higher_metric_within_tolerance_passes(self):
+        base = {"b": rec("b", {"eps": 100}, gate={"eps": "higher"})}
+        res = {"b": rec("b", {"eps": 80})}
+        checks, problems = compare(res, base, tolerance=0.25)
+        assert not problems
+        assert [c.ok for c in checks] == [True]
+
+    def test_higher_metric_regression_fails(self):
+        base = {"b": rec("b", {"eps": 100}, gate={"eps": "higher"})}
+        res = {"b": rec("b", {"eps": 74})}
+        checks, _ = compare(res, base, tolerance=0.25)
+        assert [c.ok for c in checks] == [False]
+        assert checks[0].change == pytest.approx(-0.26)
+
+    def test_lower_metric_direction(self):
+        base = {"b": rec("b", {"p50_ms": 10.0}, gate={"p50_ms": "lower"})}
+        ok_res = {"b": rec("b", {"p50_ms": 12.0})}
+        bad_res = {"b": rec("b", {"p50_ms": 13.0})}
+        assert [c.ok for c in compare(ok_res, base, tolerance=0.25)[0]] == [True]
+        assert [c.ok for c in compare(bad_res, base, tolerance=0.25)[0]] == [False]
+
+    def test_missing_result_is_a_problem(self):
+        base = {"b": rec("b", {"eps": 100}, gate={"eps": "higher"})}
+        checks, problems = compare({}, base)
+        assert not checks
+        assert problems and "no matching" in problems[0]
+
+    def test_ungated_baseline_is_ignored(self):
+        base = {"b": rec("b", {"eps": 100})}
+        checks, problems = compare({}, base)
+        assert not checks and not problems
+
+    def test_missing_metric_is_a_problem(self):
+        base = {"b": rec("b", {"eps": 100}, gate={"eps": "higher"})}
+        res = {"b": rec("b", {"other": 1})}
+        checks, problems = compare(res, base)
+        assert not checks
+        assert problems and "not a number" in problems[0]
+
+    def test_schema_mismatch_is_a_problem(self):
+        base = {"b": rec("b", {"eps": 100}, gate={"eps": "higher"})}
+        res = {"b": dict(rec("b", {"eps": 100}), schema="repro-bench/999")}
+        _, problems = compare(res, base)
+        assert problems and "schema mismatch" in problems[0]
+
+
+class TestDirsAndCli:
+    def _write(self, directory, record):
+        os.makedirs(directory, exist_ok=True)
+        with open(
+            os.path.join(directory, f"BENCH_{record['name']}.json"), "w"
+        ) as f:
+            json.dump(record, f)
+
+    def test_check_dirs_pass_and_fail(self, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        self._write(results, rec("t", {"eps": 100}, gate={"eps": "higher"}))
+        self._write(baselines, rec("t", {"eps": 90}, gate={"eps": "higher"}))
+        ok, report = check_dirs(str(results), str(baselines))
+        assert ok and "PASS" in report
+
+        self._write(baselines, rec("t", {"eps": 500}, gate={"eps": "higher"}))
+        ok, report = check_dirs(str(results), str(baselines))
+        assert not ok and "FAIL" in report
+
+    def test_empty_baselines_fail_closed(self, tmp_path):
+        results = tmp_path / "results"
+        self._write(results, rec("t", {"eps": 100}))
+        ok, report = check_dirs(str(results), str(tmp_path / "nothing"))
+        assert not ok and "no baselines" in report
+
+    def test_rebase_copies_only_gated_records(self, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        self._write(results, rec("gated", {"eps": 1}, gate={"eps": "higher"}))
+        self._write(results, rec("trajectory", {"eps": 2}))
+        written = rebase(str(results), str(baselines))
+        assert [os.path.basename(p) for p in written] == ["BENCH_gated.json"]
+        assert load_records(str(baselines)).keys() == {"gated"}
+
+    def test_cli_check_and_rebase(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        self._write(results, rec("t", {"eps": 100}, gate={"eps": "higher"}))
+        assert (
+            main(["rebase", "--results", str(results), "--baselines", str(baselines)])
+            == 0
+        )
+        assert (
+            main(["check", "--results", str(results), "--baselines", str(baselines)])
+            == 0
+        )
+        self._write(results, rec("t", {"eps": 1}, gate={"eps": "higher"}))
+        assert (
+            main(["check", "--results", str(results), "--baselines", str(baselines)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "perf gate: FAIL" in out

@@ -370,8 +370,13 @@ class TestRunOptions:
     def test_defaults_helpers(self):
         opts = RunOptions()
         assert opts.with_timeout_default(60.0) == 60.0
-        assert opts.with_batch_default(64) == 64
+        # batch_size=None rides through (adaptive batching downstream);
+        # transport/flush knobs appear only when set.
+        assert opts.transport_kwargs() == {"batch_size": None}
         assert RunOptions(timeout_s=1.0).with_timeout_default(60.0) == 1.0
+        assert RunOptions(
+            batch_size=8, transport="queue", flush_ms=2.0
+        ).transport_kwargs() == {"batch_size": 8, "transport": "queue", "flush_ms": 2.0}
 
     def test_options_object_accepted_by_backends(self):
         prog, streams, plan = vb_case(n_value_streams=2, values_per_barrier=10)
