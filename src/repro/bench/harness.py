@@ -266,11 +266,18 @@ def compare_transports(
     timeout_s: float = 120.0,
 ) -> Dict[str, WallClockPoint]:
     """Run the same workload on the *process* backend under several
-    transport/batching configurations (``label -> {transport=,
-    batch_size=, flush_ms=}``) and report each one's best wall-clock
-    throughput.  Outputs are multiset-verified across configurations —
-    a transport can never look fast by corrupting or dropping
-    messages."""
+    data-plane configurations (``label -> {transport=, batch_size=,
+    flush_ms=, nodes=, placement=}``) and report each one's best
+    wall-clock throughput.
+
+    The config axis spans every data plane the backend offers:
+    ``transport="queue" | "pipe" | "tcp"`` for the one-process-per-
+    worker runtime, and ``nodes=N`` for a cluster deployment across
+    local node agents (see :mod:`repro.runtime.cluster`) — which is
+    how the queue/pipe/tcp benchmark matrix and the distributed smoke
+    lane share one measurement path.  Outputs are multiset-verified
+    across configurations — a transport can never look fast by
+    corrupting or dropping messages."""
     from ..runtime import get_backend  # runtime does not import bench; no cycle
 
     backend = get_backend("process")

@@ -149,6 +149,21 @@ def check_dirs(
         lines.append(f"  [FAIL] no baselines found under {baselines_dir}")
     ok = not problems and all(c.ok for c in checks)
     lines.append("perf gate: PASS" if ok else "perf gate: FAIL")
+    if not ok:
+        # Make the failure actionable straight from the CI log: the
+        # documented recovery flow, verbatim.
+        lines.extend(
+            [
+                "",
+                "If this change is intentional (or the runner class "
+                "changed), refresh the baselines:",
+                "    PYTHONPATH=src python -m pytest "
+                "benchmarks/bench_micro_core.py \\",
+                "        benchmarks/bench_transport.py --smoke -q",
+                "    PYTHONPATH=src python benchmarks/perf_gate.py rebase",
+                "and commit benchmarks/baselines/*.json.",
+            ]
+        )
     return ok, "\n".join(lines)
 
 

@@ -34,10 +34,18 @@ Run it three ways:
   (``--modes reconfig,reconfig-crash`` for the elastic families);
 * ``python -m repro.chaos --smoke`` — the CI-sized sweep.
 
+The *data plane* is a sweep-level axis, not part of the seed:
+``--transport tcp`` runs every process-backend case over TCP stream
+sockets, and ``--transport tcp --nodes 2`` deploys each case across
+two local node agents (:mod:`repro.runtime.cluster`) — the
+``distributed-smoke`` CI lane's configuration.  Case derivations (and
+therefore case ids) are transport-independent: the same seed must
+produce the same scenario on every data plane.
+
 Reproduce one failure with ``python -m repro.chaos --only <case_id>``
 (the case id encodes app, backend, seed, and — when not ``faults`` —
-the mode; pass the same ``--seed``/``--cases``/``--modes`` as the
-sweep that produced it).
+the mode; pass the same ``--seed``/``--cases``/``--modes`` — and the
+same ``--transport``/``--nodes`` — as the sweep that produced it).
 """
 
 from __future__ import annotations
@@ -297,7 +305,16 @@ def build_reconfig_schedule(
 # Execution
 # ---------------------------------------------------------------------------
 
-def run_chaos_case(case: ChaosCase, *, timeout_s: float = 60.0) -> ChaosOutcome:
+def run_chaos_case(
+    case: ChaosCase,
+    *,
+    timeout_s: float = 60.0,
+    transport: Optional[str] = None,
+    nodes: Optional[int] = None,
+) -> ChaosOutcome:
+    """Run one case; ``transport``/``nodes`` select the process
+    backend's data plane (ignored by the threaded backend) without
+    entering the case derivation — see the module docstring."""
     prog, streams, plan, sync_ts = build_workload(case)
     fault_plan = None
     reconfig_schedule = None
@@ -321,6 +338,8 @@ def run_chaos_case(case: ChaosCase, *, timeout_s: float = 60.0) -> ChaosOutcome:
         reconfig_schedule=reconfig_schedule,
         checkpoint_predicate=every_root_join(),
         timeout_s=timeout_s,
+        transport=transport,
+        nodes=nodes,
     )
     reference = run_sequential_reference(prog, streams)
     mismatch = compare_outputs(reference, run.outputs, case.case_id)
@@ -374,6 +393,11 @@ def generate_cases(
 @dataclass
 class ChaosSummary:
     outcomes: List[ChaosOutcome]
+    #: The sweep-level data plane ("pipe"/"queue"/"tcp"; None = the
+    #: backend default) and node-agent count (None = per-worker
+    #: processes) the process-backend cases ran on.
+    transport: Optional[str] = None
+    nodes: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -385,6 +409,12 @@ class ChaosSummary:
 
     def describe(self) -> str:
         n = len(self.outcomes)
+        plane = ""
+        if self.transport is not None or self.nodes is not None:
+            plane = (
+                f", data plane: transport={self.transport or 'default'}"
+                + (f" x {self.nodes} node agent(s)" if self.nodes else "")
+            )
         recovered = sum(1 for o in self.outcomes if o.recovered)
         crashes = sum(o.crashes for o in self.outcomes)
         replayed = sum(o.replayed_events for o in self.outcomes)
@@ -395,7 +425,8 @@ class ChaosSummary:
             by_backend[o.case.backend] = by_backend.get(o.case.backend, 0) + 1
         lines = [
             f"chaos sweep: {n} cases "
-            f"({', '.join(f'{b}: {c}' for b, c in sorted(by_backend.items()))})",
+            f"({', '.join(f'{b}: {c}' for b, c in sorted(by_backend.items()))})"
+            f"{plane}",
             f"  crashed+recovered: {recovered} cases, {crashes} injected crashes, "
             f"{replayed} events replayed",
             f"  reconfigured: {reconfigured} cases, {migrations} plan migrations",
@@ -415,6 +446,8 @@ def run_chaos_suite(
     modes: Sequence[str] = ("faults",),
     only: Optional[str] = None,
     timeout_s: float = 60.0,
+    transport: Optional[str] = None,
+    nodes: Optional[int] = None,
 ) -> ChaosSummary:
     cases = generate_cases(
         seed=seed, n_cases=n_cases, backends=backends, modes=modes
@@ -423,7 +456,14 @@ def run_chaos_suite(
         cases = [c for c in cases if c.case_id == only]
         if not cases:
             raise SystemExit(f"no case {only!r} in this sweep (seed={seed})")
-    return ChaosSummary([run_chaos_case(c, timeout_s=timeout_s) for c in cases])
+    return ChaosSummary(
+        [
+            run_chaos_case(c, timeout_s=timeout_s, transport=transport, nodes=nodes)
+            for c in cases
+        ],
+        transport=transport,
+        nodes=nodes,
+    )
 
 
 def _main(argv: Optional[Sequence[str]] = None) -> int:
@@ -456,6 +496,16 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="re-run a single case id from the sweep (reproduces a failure)",
     )
     ap.add_argument(
+        "--transport", default=None, choices=("pipe", "queue", "tcp"),
+        help="process-backend data plane (default: the backend default, pipe)",
+    )
+    ap.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="deploy process-backend cases across N local node agents "
+        "over TCP (implies --transport tcp semantics; see "
+        "repro.runtime.cluster)",
+    )
+    ap.add_argument(
         "--smoke", action="store_true",
         help="CI-sized sweep (12 cases) unless --cases is given explicitly",
     )
@@ -463,12 +513,16 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     n_cases = args.cases
     if n_cases is None:
         n_cases = 12 if args.smoke else 50
+    if args.nodes is not None and args.transport not in (None, "tcp"):
+        ap.error("--nodes deploys over TCP; drop --transport or use tcp")
     summary = run_chaos_suite(
         seed=args.seed,
         n_cases=n_cases,
         backends=tuple(args.backends.split(",")),
         modes=tuple(args.modes.split(",")),
         only=args.only,
+        transport=args.transport,
+        nodes=args.nodes,
     )
     print(summary.describe())
     return 0 if summary.ok else 1

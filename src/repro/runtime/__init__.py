@@ -73,11 +73,18 @@ from .messages import (
     JoinRequest,
     JoinResponse,
 )
+from .cluster import (
+    ClusterLauncher,
+    NodeSpec,
+    local_nodes,
+    resolve_placement,
+)
 from .process import ProcessResult, ProcessRuntime
 from .transport import (
     BatchPolicy,
     PipeTransport,
     QueueTransport,
+    SocketTransport,
     TRANSPORTS,
 )
 from .runtime import (
@@ -317,13 +324,49 @@ class ThreadedBackend(RuntimeBackend):
 
 
 class ProcessBackend(RuntimeBackend):
-    """One OS process per plan worker, batched channels (multi-core)."""
+    """One OS process per plan worker, batched channels (multi-core);
+    with ``nodes=`` set, one agent process per named node over the TCP
+    data plane (:class:`~repro.runtime.cluster.ClusterLauncher`)."""
 
     name = "process"
     default_timeout_s = 120.0
 
+    @staticmethod
+    def _make_runtime(program, plan, opts: RunOptions):
+        if opts.nodes is None:
+            if opts.placement is not None:
+                raise RuntimeFault(
+                    "placement= pins workers to cluster nodes; it needs "
+                    "nodes= (a worker-placement with no nodes to place "
+                    "on would be silently ignored)"
+                )
+            return ProcessRuntime(
+                program, plan, **opts.transport_kwargs(), **opts.extra
+            )
+        if opts.transport not in (None, "tcp"):
+            raise RuntimeFault(
+                f"nodes= deploys over the TCP data plane; it cannot be "
+                f"combined with transport={opts.transport!r}"
+            )
+        if opts.extra:
+            # Loud, not silent: the single-host path would forward (or
+            # TypeError on) these, and a kwarg that quietly changes
+            # meaning between deployments is a debugging trap.
+            raise RuntimeFault(
+                f"cluster deployments accept no extra substrate kwargs: "
+                f"{sorted(opts.extra)}"
+            )
+        return ClusterLauncher(
+            program,
+            plan,
+            nodes=opts.nodes,
+            placement=opts.placement,
+            batch_size=opts.batch_size,
+            flush_ms=opts.flush_ms,
+        )
+
     def _run_plain(self, program, plan, streams, opts):
-        rt = ProcessRuntime(program, plan, **opts.transport_kwargs(), **opts.extra)
+        rt = self._make_runtime(program, plan, opts)
         res = rt.run(
             streams,
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
@@ -341,7 +384,7 @@ class ProcessBackend(RuntimeBackend):
         )
 
     def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
-        rt = ProcessRuntime(program, plan, **opts.transport_kwargs(), **opts.extra)
+        rt = self._make_runtime(program, plan, opts)
         res = rt.run(
             streams,
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
@@ -403,6 +446,7 @@ __all__ = [
     "Buffered",
     "ByTimestampInterval",
     "Checkpoint",
+    "ClusterLauncher",
     "CrashFault",
     "CrashRecord",
     "DropHeartbeats",
@@ -418,6 +462,7 @@ __all__ = [
     "JoinResponse",
     "Mailbox",
     "NoCheckpointError",
+    "NodeSpec",
     "PhaseRecord",
     "PipeTransport",
     "ProcessBackend",
@@ -439,6 +484,7 @@ __all__ = [
     "RunResult",
     "RuntimeBackend",
     "SimBackend",
+    "SocketTransport",
     "TRANSPORTS",
     "ThreadedBackend",
     "ThreadedResult",
@@ -452,7 +498,9 @@ __all__ = [
     "every_nth_join",
     "every_root_join",
     "get_backend",
+    "local_nodes",
     "recover",
+    "resolve_placement",
     "run_on_backend",
     "run_sequential_reference",
     "run_with_reconfig",

@@ -36,14 +36,23 @@ class RunOptions:
     ``timeout_s`` of ``None`` means "substrate default" (60 s
     threaded, 120 s process).  The process substrate's transport knobs:
 
-    * ``transport`` — ``"pipe"`` (framed raw pipes, the default) or
+    * ``transport`` — ``"pipe"`` (framed raw pipes, the default),
       ``"queue"`` (the original ``multiprocessing.Queue`` fabric, kept
-      as a measurable baseline);
+      as a measurable baseline), or ``"tcp"`` (the same frames over
+      TCP stream sockets — the single-host form of the distributed
+      data plane);
     * ``batch_size`` — ``None`` (default) selects *adaptive* batching
       (flush on size or latency deadline, per-channel targets driven
       by observed backlog); an explicit integer pins the old
       fixed-size policy;
-    * ``flush_ms`` — the adaptive policy's latency deadline.
+    * ``flush_ms`` — the adaptive policy's latency deadline;
+    * ``nodes`` — deploy across node agents instead of one process
+      per worker (see :mod:`repro.runtime.cluster`): an int (that
+      many loopback nodes) or a sequence of
+      :class:`~repro.runtime.cluster.NodeSpec`; implies the TCP data
+      plane;
+    * ``placement`` — worker-id -> node-name pins for ``nodes=``
+      deployments (unpinned workers are spread round-robin).
 
     ``extra`` holds substrate-specific passthrough kwargs (e.g. the
     sim's ``track_event_latency=``)."""
@@ -55,6 +64,8 @@ class RunOptions:
     batch_size: Optional[int] = None
     transport: Optional[str] = None
     flush_ms: Optional[float] = None
+    nodes: Any = None
+    placement: Any = None
     record_keys: bool = False
     extra: Dict[str, Any] = field(default_factory=dict)
 

@@ -89,6 +89,10 @@ class ProcessResult(RunStatsMixin):
     n_workers: int = 0
     transport: str = DEFAULT_TRANSPORT
     batch: str = ""
+    #: Node-agent count when the run was placed across a cluster
+    #: (see :mod:`repro.runtime.cluster`); 0 for the one-process-per-
+    #: worker single-host runtime.
+    nodes: int = 0
     #: (order_key, value) log, populated only when record_keys is set.
     keyed_outputs: List[Any] = field(default_factory=list)
     checkpoints: List[Checkpoint] = field(default_factory=list)
@@ -117,6 +121,100 @@ class _WorkerReport:
     quiesce: Optional[QuiesceRecord] = None
 
 
+def _drive_worker(
+    node_id: str,
+    plan: SyncPlan,
+    program: DGSProgram,
+    receiver,
+    batcher,
+    control: ControlPlane,
+    init_state: Optional[tuple],
+    checkpoint_predicate: Optional[CheckpointPredicate],
+    fault_view: Optional[WorkerFaultView],
+    record_keys: bool,
+    reconfig_view: Optional[RootReconfigView],
+) -> None:
+    """Drive one WorkerCore from its inbox until the stop frame, then
+    ship its report — the substrate-independent worker loop shared by
+    the one-process-per-worker runtime (each worker its own forked
+    process) and the cluster's node agents (several workers as threads
+    of one agent process, channels over TCP).
+
+    Outputs accumulate in a worker-local sink and travel back to the
+    coordinator exactly once, on shutdown — results never compete with
+    protocol traffic for the channels.
+
+    An injected :class:`WorkerCrash` makes the worker fail-stop: the
+    consequences of fully-processed events are flushed (they already
+    left the failure domain in the model), the crash is announced on
+    the dedicated queue, and from then on incoming batches are absorbed
+    unprocessed until the stop frame, when the report ships.
+    """
+    sink = OutputSink(record_keys=record_keys)
+    core = WorkerCore(
+        plan.node(node_id),
+        plan,
+        program,
+        batcher.post,
+        sink,
+        checkpoint_predicate=checkpoint_predicate,
+        faults=fault_view,
+        reconfig=reconfig_view,
+        flush_hint=batcher.flush,
+    )
+    if init_state is not None:
+        core.state = init_state[0]
+        core.has_state = True
+    crash: Optional[CrashRecord] = None
+    quiesce: Optional[QuiesceRecord] = None
+    while True:
+        msgs = receiver.recv()
+        if msgs is STOP:
+            break
+        if crash is not None or quiesce is not None:
+            control.mark_done(len(msgs))
+            continue
+        try:
+            for msg in msgs:
+                core.handle(msg)
+        except WorkerCrash as wc:
+            crash = wc.record
+            # Ship consequences of the events processed *before*
+            # the crash, then announce it; the triggering event and
+            # the rest of the batch die with the worker.
+            batcher.flush()
+            control.crashes.put(crash)
+        except QuiesceSignal as sig:
+            quiesce = sig.record
+            # Planned stop at a consistent snapshot: the triggering
+            # event is fully processed, only its fork-down was
+            # withheld.  Ship consequences, announce, go silent —
+            # the reconfiguration driver restarts on a new plan.
+            # The announcement is a lightweight sentinel: the full
+            # record (carrying the snapshot state) travels once, in
+            # the end-of-run report.
+            batcher.flush()
+            control.quiesces.put(node_id)
+        # Flush consequences *before* declaring the batch done, so
+        # the in-flight counter can never dip to zero while this
+        # worker still owes messages to others.
+        batcher.flush()
+        control.mark_done(len(msgs))
+    control.results.put(
+        _WorkerReport(
+            node_id,
+            sink.outputs,
+            sink.keyed_outputs,
+            sink.checkpoints,
+            sink.events_processed,
+            sink.joins,
+            core.unprocessed(),
+            crash,
+            quiesce,
+        )
+    )
+
+
 def _worker_main(
     node_id: str,
     plan: SyncPlan,
@@ -130,18 +228,8 @@ def _worker_main(
     record_keys: bool,
     reconfig_view: Optional[RootReconfigView] = None,
 ) -> None:
-    """Child-process entry point: drive a WorkerCore from the inbox.
-
-    Outputs accumulate in a process-local sink and travel back to the
-    coordinator exactly once, on shutdown — results never compete with
-    protocol traffic for the channels.
-
-    An injected :class:`WorkerCrash` makes the worker fail-stop: the
-    consequences of fully-processed events are flushed (they already
-    left the failure domain in the model), the crash is announced on
-    the dedicated queue, and from then on incoming batches are absorbed
-    unprocessed until the stop frame, when the report ships.
-    """
+    """Child-process entry point of the one-process-per-worker runtime:
+    bind this worker's transport endpoints, then run the shared loop."""
     try:
         # Drop inherited channel endpoints this worker does not own,
         # so a dead peer surfaces as EOF/EPIPE instead of silence.
@@ -150,68 +238,18 @@ def _worker_main(
         # While this worker waits for pipe space it keeps ingesting its
         # own inbox (receiver.poll), so mutual pressure cannot deadlock.
         batcher = transport.sender(node_id, control, policy, on_block=receiver.poll)
-        sink = OutputSink(record_keys=record_keys)
-        core = WorkerCore(
-            plan.node(node_id),
+        _drive_worker(
+            node_id,
             plan,
             program,
-            batcher.post,
-            sink,
-            checkpoint_predicate=checkpoint_predicate,
-            faults=fault_view,
-            reconfig=reconfig_view,
-            flush_hint=batcher.flush,
-        )
-        if init_state is not None:
-            core.state = init_state[0]
-            core.has_state = True
-        crash: Optional[CrashRecord] = None
-        quiesce: Optional[QuiesceRecord] = None
-        while True:
-            msgs = receiver.recv()
-            if msgs is STOP:
-                break
-            if crash is not None or quiesce is not None:
-                control.mark_done(len(msgs))
-                continue
-            try:
-                for msg in msgs:
-                    core.handle(msg)
-            except WorkerCrash as wc:
-                crash = wc.record
-                # Ship consequences of the events processed *before*
-                # the crash, then announce it; the triggering event and
-                # the rest of the batch die with the worker.
-                batcher.flush()
-                control.crashes.put(crash)
-            except QuiesceSignal as sig:
-                quiesce = sig.record
-                # Planned stop at a consistent snapshot: the triggering
-                # event is fully processed, only its fork-down was
-                # withheld.  Ship consequences, announce, go silent —
-                # the reconfiguration driver restarts on a new plan.
-                # The announcement is a lightweight sentinel: the full
-                # record (carrying the snapshot state) travels once, in
-                # the end-of-run report.
-                batcher.flush()
-                control.quiesces.put(node_id)
-            # Flush consequences *before* declaring the batch done, so
-            # the in-flight counter can never dip to zero while this
-            # worker still owes messages to others.
-            batcher.flush()
-            control.mark_done(len(msgs))
-        control.results.put(
-            _WorkerReport(
-                node_id,
-                sink.outputs,
-                sink.keyed_outputs,
-                sink.checkpoints,
-                sink.events_processed,
-                sink.joins,
-                core.unprocessed(),
-                crash,
-                quiesce,
-            )
+            receiver,
+            batcher,
+            control,
+            init_state,
+            checkpoint_predicate,
+            fault_view,
+            record_keys,
+            reconfig_view,
         )
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
         control.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
@@ -389,8 +427,9 @@ class ProcessRuntime:
             if time.monotonic() > deadline:
                 raise RuntimeFault("process runtime did not drain in time")
 
+    @staticmethod
     def _collect(
-        self, control: ControlPlane, result: ProcessResult, timeout_s: float
+        control: ControlPlane, result: ProcessResult, timeout_s: float
     ) -> None:
         deadline = time.monotonic() + timeout_s
         reports: List[_WorkerReport] = []

@@ -20,6 +20,17 @@ protocol so the hot path can do better:
   fabric, kept as a baseline (``transport="queue"``) so benchmarks can
   measure exactly what the fast path buys.
 
+* :class:`SocketTransport` (``transport="tcp"``) — the same
+  length-prefixed frames carried over TCP stream sockets
+  (``TCP_NODELAY``, widened kernel buffers, non-blocking sends with
+  the same ``on_block`` ingest hook).  Edges are loopback connections
+  established before forking, so the fail-stop model is identical to
+  the pipe backend: a dead peer surfaces as EOF/``ECONNRESET``, never
+  as a reconnect.  :mod:`repro.runtime.cluster` carries the identical
+  frame protocol over *dialed* connections between node agents — that
+  is what crosses real machine boundaries; this transport is the
+  single-host data plane and the benchmark baseline for it.
+
 Both transports move *batches*.  :class:`BatchingSender` owns the
 policy: a :class:`BatchPolicy` either flushes at a fixed size (the old
 ``batch_size`` behaviour) or adapts per channel — batches grow toward
@@ -40,13 +51,20 @@ from __future__ import annotations
 import os
 import queue as queue_mod
 import select
-import struct
+import socket
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import RuntimeFault
-from .wire import decode_batch, encode_batch, pack_frame, unpack_frame
+from .wire import (
+    FRAME_LEN,
+    FrameAssembler,
+    decode_batch,
+    encode_batch,
+    pack_frame,
+    unpack_frame,
+)
 
 #: Destination/sender id of the run coordinator (the parent process
 #: pumping producer messages and collecting reports).
@@ -60,11 +78,11 @@ STOP = object()
 #: wire untouched (kept from the original channel fabric).
 _QUEUE_STOP = "__stop__"
 
-_LEN = struct.Struct("<I")
+_LEN = FRAME_LEN
 
 #: Transport names accepted by ``RunOptions.transport`` /
 #: ``ProcessRuntime(transport=)``.
-TRANSPORTS = ("pipe", "queue")
+TRANSPORTS = ("pipe", "queue", "tcp")
 DEFAULT_TRANSPORT = "pipe"
 
 
@@ -79,6 +97,22 @@ def _widen_pipe(fd: int, size: int = 1 << 20) -> None:
         fcntl.fcntl(fd, getattr(fcntl, "F_SETPIPE_SZ", 1031), size)
     except (ImportError, AttributeError, OSError, ValueError):  # pragma: no cover
         pass
+
+
+def configure_stream_socket(sock: socket.socket, *, nonblocking: bool) -> None:
+    """Tune one TCP endpoint for the framed data plane: ``TCP_NODELAY``
+    (frames are already batched — Nagle would only add latency to the
+    join critical path), best-effort 1 MiB kernel buffers (mirroring
+    ``_widen_pipe``), and the blocking mode the framing code expects
+    (write sides are non-blocking with an ingest hook; read sides stay
+    blocking — reads happen only after ``poll`` reports data)."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, 1 << 20)
+        except OSError:  # pragma: no cover - platform cap, keep default
+            pass
+    sock.setblocking(not nonblocking)
 
 
 # ---------------------------------------------------------------------------
@@ -366,26 +400,36 @@ class QueueTransport:
 # Pipe transport (raw os.pipe per directed edge, framed)
 # ---------------------------------------------------------------------------
 
-class _PipeReceiver:
-    """Merges framed traffic from every inbound pipe of one worker.
+class FrameReceiver:
+    """Merges framed traffic from every inbound stream fd of one worker
+    (raw pipes or TCP sockets — both deliver arbitrarily fragmented
+    bytes; :class:`FrameAssembler` owns the reassembly).
 
-    Frames are delivered in per-sender order (pipes are FIFO and have
-    a single writer each); cross-sender arrival order is whatever the
+    Frames are delivered in per-sender order (each stream is FIFO and
+    has a single writer); cross-sender arrival order is whatever the
     poller observes, exactly like the queue fabric's interleaved
     puts.  ``poll()`` ingests opportunistically without blocking — the
-    sender calls it while waiting for pipe space, which is what makes
-    the mesh deadlock-free.  ``select.poll`` (not ``select.select``)
-    because fd numbers above FD_SETSIZE (1024) must keep working —
-    the coordinator opens every edge's pipes before forking."""
+    sender calls it while waiting for channel space, which is what
+    makes the mesh deadlock-free.  ``select.poll`` (not
+    ``select.select``) because fd numbers above FD_SETSIZE (1024) must
+    keep working — the coordinator opens every edge's channels before
+    forking.
 
-    __slots__ = ("_poller", "_n_live", "_bufs", "_ready")
+    A stream that ends cleanly (EOF at a frame boundary) means the
+    writer exited; the fd is dropped and the coordinator's liveness
+    checks surface the actual fault.  A stream that ends *mid-frame*
+    (torn write, ``ECONNRESET`` under buffered bytes) raises
+    :class:`RuntimeFault` immediately — a half-delivered batch must
+    never decode as a shorter one."""
+
+    __slots__ = ("_poller", "_n_live", "_asm", "_ready")
 
     def __init__(self, rfds: List[int]) -> None:
         self._poller = select.poll()
-        self._bufs: Dict[int, bytearray] = {}
+        self._asm: Dict[int, FrameAssembler] = {}
         for fd in rfds:
             self._poller.register(fd, select.POLLIN)
-            self._bufs[fd] = bytearray()
+            self._asm[fd] = FrameAssembler()
         self._n_live = len(rfds)
         self._ready: Deque[Any] = deque()
 
@@ -406,37 +450,33 @@ class _PipeReceiver:
     def _ingest(self, fd: int) -> None:
         try:
             data = os.read(fd, 1 << 16)
-        except OSError:  # pragma: no cover - peer torn down mid-read
+        except BlockingIOError:  # pragma: no cover - spurious wakeup
+            return
+        except OSError:
+            # ECONNRESET and friends: the peer vanished abruptly.
+            # Treated as end-of-stream; the assembler decides whether
+            # it was torn mid-frame.
             data = b""
         if not data:
-            # EOF: the writer died; drop the fd so the poller stops
-            # reporting it.  The coordinator's liveness checks surface
-            # the actual fault.
+            # End of stream: drop the fd so the poller stops reporting
+            # it; a mid-frame close raises out of the assembler.
             self._poller.unregister(fd)
             self._n_live -= 1
+            self._asm.pop(fd).close()
             if self._n_live == 0:
                 self._ready.append(STOP)
             return
-        buf = self._bufs[fd]
-        buf += data
-        while True:
-            if len(buf) < 4:
-                return
-            n = _LEN.unpack_from(buf, 0)[0]
-            if n == 0:
-                del buf[:4]
+        for frame in self._asm[fd].feed(data):
+            if not frame:
                 self._ready.append(STOP)
-                continue
-            if len(buf) < 4 + n:
-                return
-            frame = bytes(buf[4 : 4 + n])
-            del buf[: 4 + n]
-            self._ready.append(unpack_frame(frame))
+            else:
+                self._ready.append(unpack_frame(frame))
 
 
-class _PipeSender:
-    """Write side of one process's outbound edges (single writer per
-    pipe, non-blocking with an ingest hook while the pipe is full)."""
+class FrameSender:
+    """Write side of one process's outbound framed edges — stream fds
+    (pipes or TCP sockets), single writer per edge, non-blocking with
+    an ingest hook while the channel is full."""
 
     __slots__ = ("_wfds", "_on_block")
 
@@ -453,7 +493,7 @@ class _PipeSender:
             fd = self._wfds[dst]
         except KeyError:
             raise RuntimeFault(
-                f"pipe transport has no edge to {dst!r} from this sender"
+                f"framed transport has no edge to {dst!r} from this sender"
             ) from None
         view = memoryview(record)
         while view:
@@ -489,14 +529,20 @@ class PipeTransport:
         self._pipes: Dict[tuple, tuple] = {}
         for wid, srcs in self._edges.items():
             for src in srcs:
-                r, w = os.pipe()
-                os.set_blocking(w, False)
-                _widen_pipe(w)
-                self._pipes[(src, wid)] = (r, w)
+                self._pipes[(src, wid)] = self._open_edge()
         #: Parent-side fds not yet closed.  Tracked explicitly so
         #: ``parent_setup`` + ``close`` never double-close an fd number
         #: the OS may have reused for something else.
         self._parent_open = {fd for pair in self._pipes.values() for fd in pair}
+
+    def _open_edge(self) -> Tuple[int, int]:
+        """One directed channel as a (read fd, write fd) pair; the
+        write side non-blocking (:class:`SocketTransport` overrides
+        this with a TCP connection, everything else is shared)."""
+        r, w = os.pipe()
+        os.set_blocking(w, False)
+        _widen_pipe(w)
+        return r, w
 
     def sender(
         self,
@@ -510,12 +556,12 @@ class PipeTransport:
             for (s, wid), (_, w) in self._pipes.items()
             if s == src
         }
-        raw = _PipeSender(wfds, on_block)
+        raw = FrameSender(wfds, on_block)
         return BatchingSender(raw.send_batch, control, policy)
 
-    def receiver(self, wid: str) -> _PipeReceiver:
+    def receiver(self, wid: str) -> FrameReceiver:
         rfds = [r for (_, d), (r, _) in self._pipes.items() if d == wid]
-        return _PipeReceiver(rfds)
+        return FrameReceiver(rfds)
 
     def child_setup(self, wid: str) -> None:
         """Called in a forked worker before it opens its endpoints:
@@ -553,7 +599,7 @@ class PipeTransport:
         """Coordinator-side shutdown: a zero-length frame on every
         coordinator edge."""
         stop = _LEN.pack(0)
-        sender = _PipeSender(
+        sender = FrameSender(
             {
                 wid: w
                 for (s, wid), (_, w) in self._pipes.items()
@@ -572,11 +618,66 @@ class PipeTransport:
             self._parent_close(fd)
 
 
+# ---------------------------------------------------------------------------
+# Socket transport (the same frames over TCP stream sockets)
+# ---------------------------------------------------------------------------
+
+class SocketTransport(PipeTransport):
+    """TCP data plane: one framed, single-writer stream socket per
+    directed edge of the communication graph.
+
+    Each edge is a real TCP connection (listen/connect/accept on
+    loopback, established before forking so fd ownership works exactly
+    like pipes): ``TCP_NODELAY`` on both ends, non-blocking writes
+    with the deadlock-free ``on_block`` ingest hook, and fail-stop
+    fault surfacing — a dead peer is EOF (or ``ECONNRESET``, raised as
+    :class:`RuntimeFault` when it tears a frame), never a reconnect.
+    The frame protocol on the wire is byte-identical to what
+    :mod:`repro.runtime.cluster` speaks between node agents on
+    different hosts, which makes this transport the single-host
+    reference point for the distributed deployment."""
+
+    name = "tcp"
+
+    def _open_edge(self) -> Tuple[int, int]:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as lst:
+            lst.bind(("127.0.0.1", 0))
+            lst.listen(8)
+            lst.settimeout(5.0)
+            w_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                # Loopback connect completes against the backlog; no
+                # accept has to be sitting there first.
+                w_sock.connect(lst.getsockname())
+                local = w_sock.getsockname()
+                # Accept until the peer is our own just-dialed socket:
+                # an ephemeral loopback port is visible to every local
+                # user, and a stray connect racing ours must never be
+                # paired into the mesh (its frames would later be
+                # trusted, including the codec's pickle fallback).
+                while True:
+                    r_sock, peer = lst.accept()
+                    if peer == local:
+                        break
+                    r_sock.close()
+            except BaseException:  # pragma: no cover - defensive
+                w_sock.close()
+                raise
+        configure_stream_socket(r_sock, nonblocking=False)
+        configure_stream_socket(w_sock, nonblocking=True)
+        # detach(): from here on the endpoints are plain fds managed by
+        # the shared pipe-ownership machinery (child_setup/parent_setup
+        # close the ends each process does not own).
+        return r_sock.detach(), w_sock.detach()
+
+
 def make_transport(name: str, ctx, edges: Dict[str, Sequence[str]]):
     if name == "pipe":
         return PipeTransport(ctx, edges)
     if name == "queue":
         return QueueTransport(ctx, edges)
+    if name == "tcp":
+        return SocketTransport(ctx, edges)
     raise RuntimeFault(
         f"unknown transport {name!r}; available: {TRANSPORTS}"
     )

@@ -26,6 +26,14 @@ Messages travel in *batches* so producers and workers amortize one
 channel operation — one encode, one pipe write, one wakeup — over many
 messages; see :mod:`repro.runtime.transport` for the batching policy.
 
+On the wire each frame is length-prefixed (:data:`FRAME_LEN`) and may
+arrive arbitrarily fragmented — pipes deliver whatever one ``read``
+returns, TCP delivers segments.  :class:`FrameAssembler` owns the
+reassembly: it buffers partial prefixes and partial frames across
+``feed`` calls and surfaces a peer that closed mid-frame as a
+:class:`~repro.core.errors.RuntimeFault` (a torn write must never turn
+into silently dropped messages).
+
 Event payloads and join/fork states are application data: they must be
 picklable (every app in :mod:`repro.apps` uses ints, tuples, and
 dicts), and scalar-shaped payloads additionally ride the fast path.
@@ -101,6 +109,65 @@ def encode_batch(msgs: Sequence[Any]) -> List[WireMsg]:
 
 def decode_batch(batch: Sequence[WireMsg]) -> List[Any]:
     return [decode_msg(w) for w in batch]
+
+
+# ---------------------------------------------------------------------------
+# Stream framing: length prefix + reassembly from arbitrary fragmentation
+# ---------------------------------------------------------------------------
+
+#: The 4-byte little-endian length prefix in front of every frame on a
+#: byte-stream channel (pipe or TCP).  A zero-length frame is the
+#: transport's stop sentinel.
+FRAME_LEN = struct.Struct("<I")
+
+
+class FrameAssembler:
+    """Reassemble length-prefixed frames from an arbitrarily chunked
+    byte stream.
+
+    One assembler per inbound channel.  ``feed`` accepts whatever the
+    channel's last read returned — a split can land mid-prefix, mid-
+    frame, or carry several frames at once (TCP coalesces batched
+    sends) — and returns every frame completed so far, in order.  A
+    zero-length frame comes back as ``b""`` (the stop sentinel; the
+    receiver maps it, this layer just preserves it).
+
+    ``close`` is called when the peer's stream ends: leftover buffered
+    bytes mean the writer died mid-``write`` (or the segment carrying
+    the rest was reset), which must surface as a
+    :class:`RuntimeFault` — never as silently dropped messages."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        buf = self._buf
+        buf += data
+        frames: List[bytes] = []
+        pos = 0
+        end = len(buf)
+        while end - pos >= 4:
+            n = FRAME_LEN.unpack_from(buf, pos)[0]
+            if end - pos - 4 < n:
+                break
+            frames.append(bytes(buf[pos + 4 : pos + 4 + n]))
+            pos += 4 + n
+        if pos:
+            del buf[:pos]
+        return frames
+
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def close(self) -> None:
+        if self._buf:
+            raise RuntimeFault(
+                f"peer closed mid-frame: {len(self._buf)} byte(s) of an "
+                "incomplete frame buffered (torn write or connection reset)"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -190,10 +257,12 @@ _STR_DEC: dict = {}
 
 
 def _route_bytes(tag: Any, stream: Any):
-    # type(stream) participates in the key: True == 1 and hash(True) ==
-    # hash(1), so a bool stream must not hit the int entry (the fast
-    # path promises exact-type round-trips).
-    key = (tag, stream, type(stream))
+    # The *types* participate in the key alongside the values: True ==
+    # 1 and hash(True) == hash(1), so a bool stream must not hit the
+    # int entry, and a str-subclass tag comparing equal to a cached
+    # str tag must not ride its fast path (the fast path promises
+    # exact-type round-trips; subclasses take the pickle fallback).
+    key = (tag, type(tag), stream, type(stream))
     route = _ROUTE_ENC.get(key, _MISSING)
     if route is not _MISSING:
         return route
@@ -357,11 +426,14 @@ def pack_frame(batch: Sequence[Any]) -> bytes:
                             if type(m2) is not EventMsg:
                                 break
                             e2 = m2.event
-                            # type check before ==: True == 1, but a
-                            # bool stream must not join an int run.
+                            # type checks before ==: True == 1, but a
+                            # bool stream must not join an int run; a
+                            # str-subclass tag comparing equal must
+                            # not join a str run either.
                             if (
                                 type(e2.stream) is not type(stream)
                                 or e2.stream != stream
+                                or type(e2.tag) is not type(tag)
                                 or e2.tag != tag
                             ):
                                 break

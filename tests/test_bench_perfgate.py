@@ -108,10 +108,24 @@ class TestDirsAndCli:
         self._write(baselines, rec("t", {"eps": 90}, gate={"eps": "higher"}))
         ok, report = check_dirs(str(results), str(baselines))
         assert ok and "PASS" in report
+        assert "rebase" not in report  # no recovery hint on a pass
 
         self._write(baselines, rec("t", {"eps": 500}, gate={"eps": "higher"}))
         ok, report = check_dirs(str(results), str(baselines))
         assert not ok and "FAIL" in report
+
+    def test_failure_report_prints_rebase_recovery_flow(self, tmp_path):
+        """A regression must be actionable from the CI log alone: the
+        failure report carries the documented rebase commands."""
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        self._write(results, rec("t", {"eps": 10}, gate={"eps": "higher"}))
+        self._write(baselines, rec("t", {"eps": 500}, gate={"eps": "higher"}))
+        ok, report = check_dirs(str(results), str(baselines))
+        assert not ok
+        assert "perf_gate.py rebase" in report
+        assert "bench_transport.py --smoke" in report
+        assert "commit benchmarks/baselines" in report
 
     def test_empty_baselines_fail_closed(self, tmp_path):
         results = tmp_path / "results"

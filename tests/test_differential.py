@@ -159,23 +159,22 @@ class TestCrossRuntimeDifferential:
 
     @pytest.mark.parametrize("app", ALL_APPS)
     def test_all_apps_all_runtimes_agree(self, app):
-        """Sequential spec, threaded, and process runtimes produce
+        """Sequential spec, threaded, and process runtimes — the
+        latter over both the pipe and the TCP data planes — produce
         identical output multisets on every application in repro.apps
         (Theorem 2.4's determinism up to reordering, checked on every
-        real substrate)."""
+        real substrate and transport)."""
         prog, streams, plan = _app_case(app)
-        report = diff_against_spec(
-            prog,
-            streams,
-            {
-                backend: (
-                    lambda b=backend: run_on_backend(
-                        b, prog, plan, streams
-                    ).outputs
-                )
-                for backend in ("threaded", "process")
-            },
-        )
+        impls = {
+            backend: (
+                lambda b=backend: run_on_backend(b, prog, plan, streams).outputs
+            )
+            for backend in ("threaded", "process")
+        }
+        impls["process-tcp"] = lambda: run_on_backend(
+            "process", prog, plan, streams, transport="tcp"
+        ).outputs
+        report = diff_against_spec(prog, streams, impls)
         assert report.ok, [str(m) for m in report.mismatches]
 
 

@@ -1,0 +1,347 @@
+"""The multi-node cluster runtime (repro.runtime.cluster): placement,
+the registry handshake, and the full protocol — fault injection,
+checkpoint recovery, and elastic reconfiguration — running unchanged
+across node agents over TCP.
+
+The differential shape mirrors tests/test_differential.py: every app,
+outputs multiset-equal to the sequential specification; here the
+execution is placed across two local node agents so every channel is a
+real TCP connection established by the address-exchange handshake."""
+
+import random
+
+import pytest
+
+from repro.apps import keycounter as kc
+from repro.apps import value_barrier as vb
+from repro.chaos import run_chaos_suite
+from repro.core import Event, ImplTag
+from repro.core.errors import RuntimeFault
+from repro.core.semantics import output_multiset
+from repro.plans import plan_width
+from repro.runtime import (
+    ClusterLauncher,
+    CrashFault,
+    FaultPlan,
+    InputStream,
+    NodeSpec,
+    ReconfigPoint,
+    ReconfigSchedule,
+    RunOptions,
+    every_root_join,
+    local_nodes,
+    resolve_placement,
+    run_on_backend,
+    run_sequential_reference,
+)
+
+from test_differential import ALL_APPS, _app_case, _elastic_app_case
+
+
+def vb_case(n_value_streams=3, values_per_barrier=25, n_barriers=3):
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=n_value_streams,
+        values_per_barrier=values_per_barrier,
+        n_barriers=n_barriers,
+    )
+    return prog, vb.make_streams(wl), vb.make_plan(prog, wl)
+
+
+# ---------------------------------------------------------------------------
+# Node specs and placement
+# ---------------------------------------------------------------------------
+
+class TestPlacement:
+    def test_local_nodes_names_and_host(self):
+        nodes = local_nodes(3)
+        assert [n.name for n in nodes] == ["node0", "node1", "node2"]
+        assert all(n.host == "127.0.0.1" for n in nodes)
+        with pytest.raises(RuntimeFault):
+            local_nodes(0)
+
+    def test_round_robin_covers_every_worker(self):
+        prog, _, plan = vb_case(n_value_streams=4)
+        nodes = local_nodes(3)
+        placement = resolve_placement(plan, nodes)
+        assert set(placement) == {n.id for n in plan.workers()}
+        counts = {}
+        for node in placement.values():
+            counts[node] = counts.get(node, 0) + 1
+        # Round-robin over sorted ids: node loads differ by at most 1.
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_explicit_pins_honoured_and_rest_spread(self):
+        prog, _, plan = vb_case(n_value_streams=3)
+        nodes = local_nodes(2)
+        root = plan.root.id
+        placement = resolve_placement(plan, nodes, {root: "node1"})
+        assert placement[root] == "node1"
+        assert set(placement) == {n.id for n in plan.workers()}
+
+    def test_unknown_node_rejected(self):
+        prog, _, plan = vb_case()
+        with pytest.raises(RuntimeFault, match="unknown node"):
+            resolve_placement(plan, local_nodes(2), {plan.root.id: "node9"})
+
+    def test_stale_worker_ids_ignored(self):
+        # Elastic reconfiguration reshapes the worker set; pins on
+        # retired workers must not wedge the new plan.
+        prog, _, plan = vb_case()
+        placement = resolve_placement(
+            plan, local_nodes(2), {"retired-worker": "node0"}
+        )
+        assert "retired-worker" not in placement
+        assert set(placement) == {n.id for n in plan.workers()}
+
+    def test_duplicate_node_names_rejected(self):
+        prog, _, plan = vb_case()
+        with pytest.raises(RuntimeFault, match="duplicate"):
+            resolve_placement(plan, [NodeSpec("a"), NodeSpec("a")], None)
+
+    def test_nodes_require_tcp_data_plane(self):
+        prog, streams, plan = vb_case(n_value_streams=2)
+        with pytest.raises(RuntimeFault, match="TCP"):
+            run_on_backend(
+                "process", prog, plan, streams, nodes=2, transport="queue"
+            )
+
+    def test_placement_without_nodes_rejected(self):
+        # A pin with no nodes to place on would be silently ignored;
+        # the backend must refuse it loudly instead.
+        prog, streams, plan = vb_case(n_value_streams=2)
+        with pytest.raises(RuntimeFault, match="needs\\s+nodes="):
+            run_on_backend(
+                "process", prog, plan, streams, placement={"w1": "node0"}
+            )
+
+    def test_nodes_reject_unknown_extra_kwargs(self):
+        # The single-host path forwards (or TypeErrors on) loose
+        # kwargs; the cluster path must refuse them loudly rather
+        # than silently change meaning between deployments.
+        prog, streams, plan = vb_case(n_value_streams=2)
+        with pytest.raises(RuntimeFault, match="extra substrate kwargs"):
+            run_on_backend(
+                "process", prog, plan, streams, nodes=2, bacth_size=8
+            )
+
+
+class TestHandshakeHellos:
+    """The cookie-authenticated hello layer: JSON only (never pickle),
+    strays and mis-cookied peers rejected as None, well-formed hellos
+    round-tripped."""
+
+    def _pair(self):
+        import socket as socket_mod
+
+        return socket_mod.socketpair()
+
+    def test_valid_hello_round_trips(self):
+        from repro.runtime.cluster import _recv_hello, _send_blob
+
+        a, b = self._pair()
+        _send_blob(a, ["secret", "node0", ["127.0.0.1", 4242]])
+        assert _recv_hello(b, "secret") == ["node0", ["127.0.0.1", 4242]]
+        a.close(), b.close()
+
+    def test_wrong_cookie_rejected(self):
+        from repro.runtime.cluster import _recv_hello, _send_blob
+
+        a, b = self._pair()
+        _send_blob(a, ["wrong", "w1", "w2"])
+        assert _recv_hello(b, "secret") is None
+        a.close(), b.close()
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"",  # peer closes immediately
+            b"\x03\x00\x00\x00abc",  # not JSON
+            b"\xff\xff\xff\x7fx",  # implausible length prefix
+            b'\x0e\x00\x00\x00"just-a-string"',  # JSON, wrong shape
+        ],
+    )
+    def test_garbage_hellos_rejected_not_crashed(self, raw):
+        from repro.runtime.cluster import _recv_hello
+
+        a, b = self._pair()
+        a.sendall(raw)
+        a.close()
+        assert _recv_hello(b, "secret") is None
+        b.close()
+
+    def test_hellos_are_json_not_pickle(self):
+        # A pickle payload must be rejected at the decode layer — the
+        # handshake accepts bytes from unauthenticated peers, and
+        # unpickling those would be code execution.
+        import pickle
+        import struct as struct_mod
+
+        from repro.runtime.cluster import _recv_hello
+
+        a, b = self._pair()
+        blob = pickle.dumps(["secret", "w1", "w2"])
+        a.sendall(struct_mod.pack("<I", len(blob)) + blob)
+        a.close()
+        assert _recv_hello(b, "secret") is None
+        b.close()
+
+
+# ---------------------------------------------------------------------------
+# Plain cluster runs
+# ---------------------------------------------------------------------------
+
+class TestClusterRuns:
+    def test_value_barrier_on_two_nodes_matches_spec(self):
+        prog, streams, plan = vb_case()
+        run = ClusterLauncher(prog, plan, nodes=2).run(streams)
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )
+        assert run.transport == "tcp"
+        assert run.nodes == 2
+        assert run.n_workers == plan.size()
+
+    def test_single_node_cluster_degenerates_cleanly(self):
+        prog, streams, plan = vb_case(n_value_streams=2)
+        run = ClusterLauncher(prog, plan, nodes=1).run(streams)
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )
+        assert run.nodes == 1
+
+    def test_everything_pinned_to_one_of_two_nodes(self):
+        prog, streams, plan = vb_case(n_value_streams=2)
+        pins = {n.id: "node0" for n in plan.workers()}
+        run = ClusterLauncher(prog, plan, nodes=2, placement=pins).run(streams)
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )
+
+    def test_options_round_trip_through_registry(self):
+        prog, streams, plan = vb_case(n_value_streams=2)
+        opts = RunOptions(nodes=2, batch_size=4)
+        run = run_on_backend("process", prog, plan, streams, options=opts)
+        assert run.raw.transport == "tcp"
+        assert run.raw.nodes == 2
+        assert run.raw.batch == "fixed(4)"
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_all_apps_on_two_nodes_match_spec(self, app):
+        """The six-app differential suite, unchanged, over the cluster
+        data plane — Theorem 2.4's determinism up to reordering must
+        not care that channels cross (logical) machine boundaries."""
+        prog, streams, plan = _app_case(app)
+        run = run_on_backend("process", prog, plan, streams, nodes=2)
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        ), f"{app}: cluster outputs diverged from the sequential spec"
+
+
+# ---------------------------------------------------------------------------
+# Faults, recovery, reconfiguration over the cluster
+# ---------------------------------------------------------------------------
+
+class TestClusterFaultTolerance:
+    def test_crash_mid_frame_recovers_exactly_once(self):
+        prog, streams, plan = vb_case(
+            n_value_streams=3, values_per_barrier=30, n_barriers=4
+        )
+        leaf = plan.leaves()[0].id
+        run = run_on_backend(
+            "process", prog, plan, streams,
+            nodes=2,
+            batch_size=8,
+            fault_plan=FaultPlan(CrashFault(leaf, after_events=37)),
+            checkpoint_predicate=every_root_join(),
+        )
+        assert run.recovery is not None
+        assert len(run.recovery.crashes) == 1
+        assert run.recovery.attempts == 2
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        ), "crash over the cluster data plane broke exactly-once delivery"
+
+    def test_root_crash_recovers_on_cluster(self):
+        prog, streams, plan = vb_case(values_per_barrier=20, n_barriers=4)
+        run = run_on_backend(
+            "process", prog, plan, streams,
+            nodes=2,
+            fault_plan=FaultPlan(CrashFault(plan.root.id, after_events=2)),
+            checkpoint_predicate=every_root_join(),
+        )
+        assert len(run.recovery.crashes) == 1
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )
+
+    def test_reconfigure_mid_stream_on_cluster(self):
+        prog, streams, plan = _elastic_app_case("value_barrier")
+        w = plan_width(plan)
+        mid = max(1, w // 2)
+        points = [ReconfigPoint(after_joins=1, to_leaves=mid)]
+        if mid >= 2:
+            points.append(ReconfigPoint(after_joins=1, to_leaves=w))
+        run = run_on_backend(
+            "process", prog, plan, streams,
+            nodes=2,
+            reconfig_schedule=ReconfigSchedule(*points),
+            timeout_s=60.0,
+        )
+        assert run.reconfig.reconfigured
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )
+
+    def test_chaos_slice_over_tcp_cluster(self):
+        """A small seeded chaos slice on the cluster data plane — the
+        CI distributed-smoke lane runs the full smoke-sized version of
+        exactly this sweep (python -m repro.chaos --smoke --transport
+        tcp --nodes 2)."""
+        summary = run_chaos_suite(
+            n_cases=4, backends=("process",), transport="tcp", nodes=2
+        )
+        assert summary.ok, summary.describe()
+        assert "tcp" in summary.describe()
+
+
+class TestClusterLogs:
+    def test_agents_write_lifecycle_logs_when_enabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_LOG_DIR", str(tmp_path))
+        prog, streams, plan = vb_case(n_value_streams=2)
+        ClusterLauncher(prog, plan, nodes=2).run(streams)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"coordinator.log", "node0.log", "node1.log"} <= names
+        node_log = (tmp_path / "node0.log").read_text()
+        assert "registered" in node_log
+        assert "all workers done" in node_log
+
+
+# ---------------------------------------------------------------------------
+# TCP single-host transport: keycounter differential (random plan)
+# ---------------------------------------------------------------------------
+
+class TestTcpTransportDifferential:
+    def test_keycounter_random_plan_over_tcp(self):
+        from repro.plans import random_valid_plan
+
+        rng = random.Random(11)
+        prog = kc.make_program(2)
+        itags = []
+        for k in range(2):
+            itags.append(ImplTag(kc.inc_tag(k), f"i{k}"))
+            itags.append(ImplTag(kc.reset_tag(k), f"r{k}"))
+        events = {it: [] for it in itags}
+        for t in range(1, 100):
+            it = itags[rng.randrange(len(itags))]
+            events[it].append(Event(it.tag, it.stream, float(t)))
+        streams = [
+            InputStream(it, tuple(events[it]), heartbeat_interval=5.0)
+            for it in itags
+        ]
+        plan = random_valid_plan(prog, itags, random.Random(4))
+        run = run_on_backend("process", prog, plan, streams, transport="tcp")
+        assert run.raw.transport == "tcp"
+        assert output_multiset(run.outputs) == output_multiset(
+            run_sequential_reference(prog, streams)
+        )

@@ -25,6 +25,7 @@ Four concerns:
 
 import math
 import multiprocessing as mp
+import os
 import pickle
 import random
 
@@ -56,13 +57,22 @@ from repro.runtime.transport import (
     BatchPolicy,
     BatchingSender,
     ControlPlane,
+    FrameReceiver,
     PipeTransport,
     QueueTransport,
+    SocketTransport,
+    TRANSPORTS,
     make_transport,
     plan_edges,
     resolve_policy,
 )
-from repro.runtime.wire import decode_batch, encode_batch, pack_frame, unpack_frame
+from repro.runtime.wire import (
+    FRAME_LEN,
+    decode_batch,
+    encode_batch,
+    pack_frame,
+    unpack_frame,
+)
 
 
 def vb_case(n_value_streams=3, values_per_barrier=25, n_barriers=4):
@@ -85,6 +95,11 @@ def assert_same_messages(actual, expected):
 
 def roundtrip(msgs):
     return unpack_frame(pack_frame(msgs))
+
+
+class SubclassedTag(str):
+    """Module-level str subclass (the frame codec's pickle fallback
+    needs it importable): equal to its base value, distinct in type."""
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +198,22 @@ class TestFrameRoundTrips:
         assert type(back[1].event.stream) is bool
         assert type(back[2].event.stream) is int
         assert type(back[3].itag.stream) is bool
+
+    def test_str_subclass_tag_never_collides_with_str_tag(self):
+        # A str subclass compares (and hashes) equal to its base
+        # value: neither the route cache nor the columnar run scan may
+        # let it ride the plain-str fast path, which would decode it
+        # as plain str and break exact-type round-trips.
+        msgs = [
+            EventMsg(Event("v", "s", 1.0, payload=1)),
+            EventMsg(Event(SubclassedTag("v"), "s", 2.0, payload=2)),
+            EventMsg(Event("v", "s", 3.0, payload=3)),
+        ]
+        back = roundtrip(msgs)
+        assert_same_messages(back, msgs)
+        assert type(back[0].event.tag) is str
+        assert type(back[1].event.tag) is SubclassedTag
+        assert type(back[2].event.tag) is str
 
     def test_type_identity_of_exotic_payloads(self):
         msgs = [
@@ -425,6 +456,10 @@ class TestTransportFabric:
         edges = {"w1": [COORDINATOR]}
         assert isinstance(make_transport("pipe", ctx, edges), PipeTransport)
         assert isinstance(make_transport("queue", ctx, edges), QueueTransport)
+        tcp = make_transport("tcp", ctx, edges)
+        assert isinstance(tcp, SocketTransport)
+        tcp.close()
+        assert set(TRANSPORTS) == {"pipe", "queue", "tcp"}
         with pytest.raises(RuntimeFault):
             make_transport("carrier-pigeon", ctx, edges)
 
@@ -442,7 +477,7 @@ class TestTransportFabric:
                 for child in node.children:
                     assert child.id in srcs
 
-    @pytest.mark.parametrize("name", ["pipe", "queue"])
+    @pytest.mark.parametrize("name", ["pipe", "queue", "tcp"])
     def test_same_process_send_recv_stop(self, name):
         """Both fabrics deliver frames in order and honour stop_all
         (driven from one process: reader and writer share it)."""
@@ -471,11 +506,129 @@ class TestTransportFabric:
 
 
 # ---------------------------------------------------------------------------
+# Frame-over-socket torture: adversarial fragmentation on real TCP
+# ---------------------------------------------------------------------------
+
+def tcp_edge():
+    """One configured TCP loopback edge as (read fd, write fd), built
+    by the socket transport's own connection setup (NODELAY, widened
+    buffers, non-blocking write side)."""
+    return SocketTransport._open_edge(None)
+
+
+def feed(w_fd, data, rx, chunk=None):
+    """Write ``data`` to a non-blocking socket fd, interleaving
+    receiver polls — every partial write and every poll exercises the
+    reassembly path.  ``chunk`` caps the bytes per write so one frame
+    deterministically straddles many TCP segments."""
+    step = chunk or len(data)
+    for start in range(0, len(data), step):
+        view = memoryview(data)[start : start + step]
+        while view:
+            try:
+                n = os.write(w_fd, view)
+            except BlockingIOError:
+                rx.poll()
+                continue
+            view = view[n:]
+        rx.poll()
+
+
+class TestFrameOverSocketTorture:
+    """The socket receiver against adversarial stream fragmentation:
+    TCP delivers whatever segment boundaries it likes, so the frame
+    layer must reassemble across splits that land mid-length-prefix,
+    mid-frame, and across dozens of reads — and a peer that dies with
+    half a frame on the wire must raise, not truncate."""
+
+    def setup_method(self):
+        self.r, self.w = tcp_edge()
+
+    def teardown_method(self):
+        for fd in (self.r, self.w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def test_split_mid_length_prefix(self):
+        msgs = [EventMsg(Event("v", "s", float(i), payload=i)) for i in range(5)]
+        frame = pack_frame(msgs)
+        record = FRAME_LEN.pack(len(frame)) + frame
+        rx = FrameReceiver([self.r])
+        feed(self.w, record[:2], rx)  # half the length prefix
+        rx.poll()
+        assert not rx._ready, "half a length prefix must not decode"
+        feed(self.w, record[2:], rx)
+        rx.poll()
+        assert_same_messages(rx.recv(), msgs)
+
+    def test_split_mid_frame(self):
+        msgs = [EventMsg(Event("v", "s", float(i), payload=i)) for i in range(40)]
+        frame = pack_frame(msgs)
+        record = FRAME_LEN.pack(len(frame)) + frame
+        rx = FrameReceiver([self.r])
+        cut = 4 + len(frame) // 2
+        feed(self.w, record[:cut], rx)
+        rx.poll()
+        assert not rx._ready, "half a frame must not decode"
+        feed(self.w, record[cut:], rx)
+        rx.poll()
+        assert_same_messages(rx.recv(), msgs)
+
+    def test_large_frame_straddles_many_segments(self):
+        # A >64 KiB frame: far beyond one os.read(1 << 16), written in
+        # 997-byte slices so reassembly spans hundreds of feeds; two
+        # trailing frames in the same stream must still decode after it.
+        blob = {"state": b"x" * (200_000), "keys": list(range(100))}
+        big = [JoinResponse(("w1", 1), "left", blob, 1.0, 3)]
+        small = [EventMsg(Event("v", "s", 1.0, payload=7))]
+        records = b"".join(
+            FRAME_LEN.pack(len(f)) + f
+            for f in (pack_frame(big), pack_frame(small), pack_frame(small))
+        )
+        assert len(records) > 3 * (1 << 16)
+        rx = FrameReceiver([self.r])
+        feed(self.w, records, rx, chunk=997)
+        rx.poll()
+        got = rx.recv()
+        assert got[0].state == blob
+        assert_same_messages(rx.recv(), small)
+        assert_same_messages(rx.recv(), small)
+
+    def test_peer_close_mid_frame_raises(self):
+        msgs = [EventMsg(Event("v", "s", float(i), payload=i)) for i in range(30)]
+        frame = pack_frame(msgs)
+        record = FRAME_LEN.pack(len(frame)) + frame
+        rx = FrameReceiver([self.r])
+        feed(self.w, record[: len(record) - 11], rx)
+        os.close(self.w)  # peer dies mid-frame
+        with pytest.raises(RuntimeFault, match="mid-frame"):
+            rx.recv()  # blocks until the EOF event, which must raise
+
+    def test_peer_close_mid_length_prefix_raises(self):
+        rx = FrameReceiver([self.r])
+        feed(self.w, b"\x99\x00", rx)  # 2 of 4 prefix bytes
+        os.close(self.w)
+        with pytest.raises(RuntimeFault, match="mid-frame"):
+            rx.recv()
+
+    def test_clean_close_at_frame_boundary_is_eof_not_fault(self):
+        msgs = [EventMsg(Event("v", "s", 1.0, payload=1))]
+        frame = pack_frame(msgs)
+        rx = FrameReceiver([self.r])
+        feed(self.w, FRAME_LEN.pack(len(frame)) + frame, rx)
+        os.close(self.w)  # exits cleanly between frames
+        assert_same_messages(rx.recv(), msgs)
+        assert rx.recv() is STOP  # last live stream gone -> STOP
+
+
+# ---------------------------------------------------------------------------
 # End-to-end: differential across transports + crash-mid-frame recovery
 # ---------------------------------------------------------------------------
 
 class TestTransportDifferential:
-    @pytest.mark.parametrize("transport", ["pipe", "queue"])
+    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp"])
     @pytest.mark.parametrize("batch_size", [None, 1, 16])
     def test_value_barrier_matches_spec(self, transport, batch_size):
         prog, streams, plan = vb_case()
@@ -523,7 +676,7 @@ class TestTransportDifferential:
 
 
 class TestCrashMidFrame:
-    @pytest.mark.parametrize("transport", ["pipe", "queue"])
+    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp"])
     def test_crash_mid_frame_recovers_exactly_once(self, transport):
         """A leaf crashes on an event that sits mid-batch inside a
         framed channel (fixed batches guarantee the triggering event
