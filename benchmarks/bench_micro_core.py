@@ -13,9 +13,11 @@ import time
 
 from conftest import quick
 
+from repro import RunOptions
 from repro.apps import keycounter as kc
 from repro.apps import value_barrier as vb
 from repro.bench import (
+    BenchConfig,
     available_cores,
     backend_speedup,
     bench_record,
@@ -156,20 +158,20 @@ def test_threaded_vs_process_runtime(benchmark):
             values_per_barrier=100 if QUICK else 400,
             n_barriers=2 if QUICK else 3,
             spin=150 if QUICK else 600,
-            repeats=1 if QUICK else 2,
+            config=BenchConfig(repeats=1 if QUICK else 2),
         ),
         rounds=1,
         iterations=1,
     )
     apps = list(data)
-    speedups = {app: backend_speedup(data[app]) for app in apps}
+    speedups = {app: backend_speedup(data[app].points) for app in apps}
     text = render_table(
         "Threaded vs process runtime: wall-clock throughput (events/s)",
         "app",
         apps,
         {
-            "threaded ev/s": [data[a]["threaded"].events_per_s for a in apps],
-            "process ev/s": [data[a]["process"].events_per_s for a in apps],
+            "threaded ev/s": [data[a].events_per_s("threaded") for a in apps],
+            "process ev/s": [data[a].events_per_s("process") for a in apps],
             "speedup": [speedups[a]["process"] for a in apps],
         },
         note=(
@@ -191,8 +193,8 @@ def test_threaded_vs_process_runtime(benchmark):
             },
             metrics={
                 app: {
-                    "threaded_events_per_s": round(data[app]["threaded"].events_per_s),
-                    "process_events_per_s": round(data[app]["process"].events_per_s),
+                    "threaded_events_per_s": round(data[app].events_per_s("threaded")),
+                    "process_events_per_s": round(data[app].events_per_s("process")),
                     "speedup": round(speedups[app]["process"], 3),
                 }
                 for app in apps
@@ -231,20 +233,22 @@ def test_pipe_vs_queue_transport(benchmark):
     streams = vb.make_streams(wl)
     plan = vb.make_plan(prog, wl)
     configs = {
-        "queue fixed(64)": {"transport": "queue", "batch_size": 64},
-        "pipe fixed(64)": {"transport": "pipe", "batch_size": 64},
-        "pipe adaptive": {"transport": "pipe", "batch_size": None},
+        "queue fixed(64)": RunOptions(transport="queue", batch_size=64),
+        "pipe fixed(64)": RunOptions(transport="pipe", batch_size=64),
+        "pipe adaptive": RunOptions(transport="pipe"),
     }
-    points = benchmark.pedantic(
+    res = benchmark.pedantic(
         lambda: compare_transports(
             # Best-of-2 even under --smoke: the pipe-adaptive number is
             # CI's gated metric, so one unlucky scheduler slice must
             # not become the recorded capability.
-            prog, plan, streams, configs=configs, repeats=2 if QUICK else 3
+            prog, plan, streams, configs=configs,
+            config=BenchConfig(repeats=2 if QUICK else 3),
         ),
         rounds=1,
         iterations=1,
     )
+    points = res.points
     labels = list(points)
     queue_eps = points["queue fixed(64)"].events_per_s
     pipe_eps = points["pipe adaptive"].events_per_s
@@ -273,7 +277,10 @@ def test_pipe_vs_queue_transport(benchmark):
             config={
                 "quick": QUICK,
                 "events": points["pipe adaptive"].events,
-                "configs": {k: str(v) for k, v in configs.items()},
+                "configs": {
+                    k: f"transport={v.transport} batch={v.batch_size}"
+                    for k, v in configs.items()
+                },
             },
             metrics={
                 "queue_events_per_s": round(queue_eps),

@@ -23,6 +23,7 @@ from conftest import quick
 
 from repro.apps import value_barrier as vb
 from repro.bench import (
+    BenchConfig,
     available_cores,
     bench_record,
     measure_reconfig_pause,
@@ -60,6 +61,8 @@ def test_reconfig_pause_by_backend(benchmark):
     schedule = ReconfigSchedule(ReconfigPoint(after_joins=2, to_leaves=width))
 
     def run():
+        # .detail: the ReconfigPausePoint (pause, phases); the common
+        # BenchResult shape carries the raw wall points.
         return {
             backend: measure_reconfig_pause(
                 prog,
@@ -67,8 +70,8 @@ def test_reconfig_pause_by_backend(benchmark):
                 streams,
                 backend=backend,
                 schedule=schedule,
-                repeats=1 if QUICK else 2,
-            )
+                config=BenchConfig(repeats=1 if QUICK else 2),
+            ).detail
             for backend in ("threaded", "process")
         }
 
@@ -140,8 +143,8 @@ def test_scale_out_throughput(benchmark):
             streams,
             backend="process",
             schedule=schedule,
-            repeats=1 if QUICK else 2,
-        )
+            config=BenchConfig(repeats=1 if QUICK else 2),
+        ).detail
 
     point = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(

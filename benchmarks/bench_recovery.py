@@ -13,6 +13,7 @@ from conftest import quick
 
 from repro.apps import value_barrier as vb
 from repro.bench import (
+    BenchConfig,
     bench_record,
     measure_recovery_overhead,
     publish,
@@ -50,6 +51,8 @@ def test_recovery_overhead_by_backend(benchmark):
         return FaultPlan(CrashFault(crashed_leaf, at_ts=barrier2))
 
     def run():
+        # .detail: the RecoveryOverheadPoint (ratio, replay counts);
+        # the common BenchResult shape carries the raw wall points.
         return {
             backend: measure_recovery_overhead(
                 prog,
@@ -57,8 +60,8 @@ def test_recovery_overhead_by_backend(benchmark):
                 streams,
                 backend=backend,
                 fault_plan_factory=fault_plan_factory,
-                repeats=1 if QUICK else 2,
-            )
+                config=BenchConfig(repeats=1 if QUICK else 2),
+            ).detail
             for backend in ("threaded", "process")
         }
 

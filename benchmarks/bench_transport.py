@@ -22,8 +22,10 @@ Writes two records:
 
 from conftest import quick
 
+from repro import RunOptions
 from repro.apps import value_barrier as vb
 from repro.bench import (
+    BenchConfig,
     available_cores,
     bench_record,
     compare_transports,
@@ -43,30 +45,35 @@ def _workload(QUICK: bool):
     return prog, vb.make_streams(wl), vb.make_plan(prog, wl)
 
 
+def _desc(opts: RunOptions) -> str:
+    return (
+        f"transport={opts.transport} batch={opts.batch_size} "
+        f"flush_ms={opts.flush_ms}"
+    )
+
+
 def test_transport_batching_matrix(benchmark):
     QUICK = quick()
     prog, streams, plan = _workload(QUICK)
     configs = {
-        "queue fixed(1)": {"transport": "queue", "batch_size": 1},
-        "queue fixed(64)": {"transport": "queue", "batch_size": 64},
-        "pipe fixed(1)": {"transport": "pipe", "batch_size": 1},
-        "pipe fixed(64)": {"transport": "pipe", "batch_size": 64},
-        "pipe adaptive": {"transport": "pipe", "batch_size": None},
-        "pipe adaptive 5ms": {
-            "transport": "pipe",
-            "batch_size": None,
-            "flush_ms": 5.0,
-        },
-        "tcp fixed(64)": {"transport": "tcp", "batch_size": 64},
-        "tcp adaptive": {"transport": "tcp", "batch_size": None},
+        "queue fixed(1)": RunOptions(transport="queue", batch_size=1),
+        "queue fixed(64)": RunOptions(transport="queue", batch_size=64),
+        "pipe fixed(1)": RunOptions(transport="pipe", batch_size=1),
+        "pipe fixed(64)": RunOptions(transport="pipe", batch_size=64),
+        "pipe adaptive": RunOptions(transport="pipe"),
+        "pipe adaptive 5ms": RunOptions(transport="pipe", flush_ms=5.0),
+        "tcp fixed(64)": RunOptions(transport="tcp", batch_size=64),
+        "tcp adaptive": RunOptions(transport="tcp"),
     }
-    points = benchmark.pedantic(
+    res = benchmark.pedantic(
         lambda: compare_transports(
-            prog, plan, streams, configs=configs, repeats=1 if QUICK else 2
+            prog, plan, streams, configs=configs,
+            config=BenchConfig(repeats=1 if QUICK else 2),
         ),
         rounds=1,
         iterations=1,
     )
+    points = res.points
     labels = list(points)
     base = points["queue fixed(64)"].events_per_s
     text = render_table(
@@ -93,7 +100,7 @@ def test_transport_batching_matrix(benchmark):
             config={
                 "quick": QUICK,
                 "events": points["pipe adaptive"].events,
-                "configs": {k: str(v) for k, v in configs.items()},
+                "configs": {k: _desc(v) for k, v in configs.items()},
             },
             metrics={
                 lb.replace(" ", "_"): round(points[lb].events_per_s)
@@ -124,20 +131,26 @@ def test_transport_modes(benchmark):
     QUICK = quick()
     prog, streams, plan = _workload(QUICK)
     configs = {
-        "queue": {"transport": "queue", "batch_size": 64},
-        "pipe": {"transport": "pipe", "batch_size": None},
-        "tcp": {"transport": "tcp", "batch_size": None},
+        "queue": RunOptions(transport="queue", batch_size=64),
+        "pipe": RunOptions(transport="pipe"),
+        "tcp": RunOptions(transport="tcp"),
     }
-    points = benchmark.pedantic(
+    res = benchmark.pedantic(
         # Best-of-2 even under --smoke: tcp_events_per_s is a gated
         # metric, so one unlucky scheduler slice must not become the
-        # recorded capability.
+        # recorded capability.  metrics=True rides on every config so
+        # the record carries p99 end-to-end latency per data plane.
         lambda: compare_transports(
-            prog, plan, streams, configs=configs, repeats=2 if QUICK else 3
+            prog, plan, streams, configs=configs,
+            config=BenchConfig(
+                options=RunOptions(metrics=True),
+                repeats=2 if QUICK else 3,
+            ),
         ),
         rounds=1,
         iterations=1,
     )
+    points = res.points
     labels = list(points)
     pipe_eps = points["pipe"].events_per_s
     tcp_eps = points["tcp"].events_per_s
@@ -166,15 +179,24 @@ def test_transport_modes(benchmark):
             config={
                 "quick": QUICK,
                 "events": points["tcp"].events,
-                "configs": {k: str(v) for k, v in configs.items()},
+                "configs": {k: _desc(v) for k, v in configs.items()},
             },
             metrics={
                 "queue_events_per_s": round(points["queue"].events_per_s),
                 "pipe_events_per_s": round(pipe_eps),
                 "tcp_events_per_s": round(tcp_eps),
                 "tcp_vs_pipe": round(ratio, 3),
+                # Closed-loop p99: committed-output time relative to the
+                # source timeline — a drift detector for the data plane's
+                # queueing behavior, not an offered-rate latency claim
+                # (that's BENCH_latency_openloop.json).
+                "pipe_p99_latency_s": round(res.metrics["pipe"]["p99_latency_s"], 4),
+                "tcp_p99_latency_s": round(res.metrics["tcp"]["p99_latency_s"], 4),
             },
-            gate={"tcp_events_per_s": "higher"},
+            gate={
+                "tcp_events_per_s": "higher",
+                "pipe_p99_latency_s": "lower",
+            },
         ),
     )
 

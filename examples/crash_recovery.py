@@ -14,6 +14,7 @@ from repro.core.semantics import output_multiset
 from repro.runtime import (
     CrashFault,
     FaultPlan,
+    RunOptions,
     every_root_join,
     run_on_backend,
     run_sequential_reference,
@@ -43,8 +44,10 @@ def main() -> None:
         prog,
         plan,
         streams,
-        fault_plan=faults,
-        checkpoint_predicate=every_root_join(),
+        options=RunOptions(
+            fault_plan=faults,
+            checkpoint_predicate=every_root_join(),
+        ),
     )
     rec = run.recovery
     print(f"attempts:           {rec.attempts}")

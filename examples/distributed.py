@@ -30,6 +30,7 @@ from collections import Counter
 from repro.apps import value_barrier as vb
 from repro.core.semantics import output_multiset
 from repro.runtime import (
+    RunOptions,
     local_nodes,
     resolve_placement,
     run_on_backend,
@@ -89,7 +90,8 @@ def main() -> None:
     all_ok = True
 
     run = run_on_backend(
-        "process", program, plan, streams, nodes=nodes, placement=pins
+        "process", program, plan, streams,
+        options=RunOptions(nodes=nodes, placement=pins),
     )
     ok = output_multiset(run.outputs) == want
     all_ok = all_ok and ok
@@ -101,7 +103,8 @@ def main() -> None:
     )
 
     run = run_on_backend(
-        "process", program, plan, streams, transport=args.transport
+        "process", program, plan, streams,
+        options=RunOptions(transport=args.transport),
     )
     ok = output_multiset(run.outputs) == want
     all_ok = all_ok and ok

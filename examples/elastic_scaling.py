@@ -25,6 +25,7 @@ from repro.runtime import (
     AutoScaler,
     ReconfigPoint,
     ReconfigSchedule,
+    RunOptions,
     run_on_backend,
     run_sequential_reference,
 )
@@ -66,7 +67,7 @@ def main() -> None:
         )
     )
     run = run_on_backend(
-        "threaded", prog, narrow, streams, reconfig_schedule=auto
+        "threaded", prog, narrow, streams, options=RunOptions(reconfig_schedule=auto)
     )
     describe("auto-scaler (queue-depth watermarks)", run, reference)
 
@@ -77,7 +78,7 @@ def main() -> None:
         ReconfigPoint(at_ts=streams[-1].events[3].ts - 0.001, to_leaves=6),
     )
     run2 = run_on_backend(
-        "threaded", prog, narrow, streams, reconfig_schedule=planned
+        "threaded", prog, narrow, streams, options=RunOptions(reconfig_schedule=planned)
     )
     describe("planned points (seeded-schedule form)", run2, reference)
 

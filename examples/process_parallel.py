@@ -20,7 +20,12 @@ import argparse
 from repro.apps import value_barrier as vb
 from repro.bench import available_cores
 from repro.core.semantics import output_multiset
-from repro.runtime import available_backends, run_on_backend, run_sequential_reference
+from repro.runtime import (
+    RunOptions,
+    available_backends,
+    run_on_backend,
+    run_sequential_reference,
+)
 
 
 def main() -> None:
@@ -71,11 +76,11 @@ def main() -> None:
     print(f"host cores: {cores}; per-event spin: {args.spin}\n")
     for name in backends:
         opts = (
-            {"batch_size": args.batch_size, "transport": args.transport}
+            RunOptions(batch_size=args.batch_size, transport=args.transport)
             if name == "process"
-            else {}
+            else RunOptions()
         )
-        run = run_on_backend(name, program, plan, streams, **opts)
+        run = run_on_backend(name, program, plan, streams, options=opts)
         ok = output_multiset(run.outputs) == want
         print(
             f"{name:9s} outputs match spec: {ok}   "

@@ -12,6 +12,36 @@ Public API lives in the subpackages:
 * :mod:`repro.apps`    — the paper's applications and case studies (§4.1, App. A).
 * :mod:`repro.data`    — synthetic workload generators.
 * :mod:`repro.bench`   — throughput/latency measurement harness (§4).
+
+The supported entry point for *running* a program is re-exported here:
+build a :class:`RunOptions`, call :func:`run_on_backend` (or
+``get_backend(name).run(..., options=opts)``), and read the returned
+:class:`BackendRun` — including its ``metrics`` field (a
+:class:`RunMetrics`) when ``RunOptions(metrics=True)``.  Everything
+else in the subpackages is stable-but-internal: importable, but not
+covered by the deprecation policy that guards the names in
+``__all__`` below.
 """
 
+from .runtime import (
+    BACKENDS,
+    BackendRun,
+    RunMetrics,
+    RunOptions,
+    available_backends,
+    get_backend,
+    run_on_backend,
+)
+
 __version__ = "0.1.0"
+
+__all__ = [
+    "BACKENDS",
+    "BackendRun",
+    "RunMetrics",
+    "RunOptions",
+    "available_backends",
+    "get_backend",
+    "run_on_backend",
+    "__version__",
+]

@@ -38,9 +38,10 @@ from ..timelylike import (
     build_pageview_job as tl_pageview,
 )
 from .harness import (
+    BenchConfig,
+    BenchResult,
     RatePoint,
     ScalingPoint,
-    WallClockPoint,
     compare_backends,
     latency_profile,
     max_throughput,
@@ -385,21 +386,18 @@ def runtime_backend_comparison(
     values_per_barrier: int = 200,
     n_barriers: int = 3,
     spin: int = 300,
-    batch_size: Optional[int] = None,
-    transport: Optional[str] = None,
-    repeats: int = 1,
     backends: Sequence[str] = ("threaded", "process"),
-    timeout_s: float = 120.0,
-) -> Dict[str, Dict[str, WallClockPoint]]:
+    config: Optional[BenchConfig] = None,
+) -> Dict[str, BenchResult]:
     """Wall-clock throughput of the threaded vs the process runtime on
     the value-barrier and fraud apps (real elapsed time, not simulated).
 
     ``spin`` sets per-event CPU work (see ``make_cpu_program``): with a
     trivial update the experiment measures message passing, with
     realistic per-event cost it measures how much of the hardware the
-    substrate can actually use.  ``transport`` / ``batch_size`` tune
-    the process runtime's data plane (defaults: pipe transport,
-    adaptive batching).  Outputs are multiset-compared across backends
+    substrate can actually use.  Run configuration (``transport=``,
+    ``batch_size=``, ``timeout_s=``, ``metrics=``) rides on
+    ``config.options``.  Outputs are multiset-compared across backends
     inside :func:`compare_backends`, so reported speedups are for
     verified-equivalent executions.
     """
@@ -407,7 +405,7 @@ def runtime_backend_comparison(
         "Event Win.": (vb_app.make_cpu_program, vb_app),
         "Fraud Dec.": (fraud_app.make_cpu_program, fraud_app),
     }
-    out: Dict[str, Dict[str, WallClockPoint]] = {}
+    out: Dict[str, BenchResult] = {}
     for app in apps:
         make_cpu, module = builders[app]
         prog = make_cpu(spin)
@@ -429,14 +427,7 @@ def runtime_backend_comparison(
             wl, heartbeat_interval=_hb(10.0, values_per_barrier)
         )
         out[app] = compare_backends(
-            prog,
-            plan,
-            streams,
-            backends=backends,
-            batch_size=batch_size,
-            transport=transport,
-            repeats=repeats,
-            timeout_s=timeout_s,
+            prog, plan, streams, backends=backends, config=config
         )
     return out
 

@@ -22,8 +22,10 @@ import math
 import os
 import platform
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from ..runtime.options import RunOptions  # leaf module; no import cycle
 
 
 class ResultLike(Protocol):  # pragma: no cover - structural typing only
@@ -132,6 +134,63 @@ class ScalingPoint:
 
 
 # ---------------------------------------------------------------------------
+# Open-loop arrival processes (latency measurement under offered load)
+# ---------------------------------------------------------------------------
+#
+# Closed-loop pumps (push the next event as soon as the channel takes
+# it) measure throughput but hide queueing delay: the producer slows
+# down with the system, so latency looks flat right up to collapse.
+# An *open-loop* process fixes arrival timestamps in advance; replayed
+# with RunOptions(pace=1000.0) they arrive on the wall clock at the
+# offered rate regardless of how the system keeps up — the latency
+# distribution then reflects genuine queueing (coordinated omission
+# avoided by construction).
+
+def fixed_rate_arrivals(
+    n: int, rate_per_s: float, *, start_ms: float = 0.0
+) -> List[float]:
+    """Timestamps (ms) of ``n`` arrivals at a constant offered rate."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0")
+    period_ms = 1000.0 / rate_per_s
+    return [start_ms + i * period_ms for i in range(n)]
+
+
+def bursty_arrivals(
+    n: int,
+    rate_per_s: float,
+    *,
+    burst: int = 10,
+    compression: float = 10.0,
+    start_ms: float = 0.0,
+) -> List[float]:
+    """Timestamps (ms) of ``n`` arrivals in bursts of ``burst`` events.
+
+    The long-run mean rate is still ``rate_per_s``: each burst's
+    events are squeezed ``compression``× closer together than the
+    fixed-rate spacing, followed by an idle gap until the next burst's
+    scheduled start.  ``compression`` must be > 1 (at 1.0 this
+    degenerates to :func:`fixed_rate_arrivals`)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0")
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    if compression < 1.0:
+        raise ValueError("compression must be >= 1.0")
+    period_ms = 1000.0 / rate_per_s
+    intra_ms = period_ms / compression
+    out: List[float] = []
+    for i in range(n):
+        k, j = divmod(i, burst)
+        out.append(start_ms + k * burst * period_ms + j * intra_ms)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Wall-clock backend comparison (threaded vs process vs ...)
 # ---------------------------------------------------------------------------
 
@@ -154,6 +213,61 @@ class WallClockPoint:
     @property
     def events_per_s(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class BenchConfig:
+    """Shared configuration for the wall-clock measurement functions
+    (:func:`compare_backends`, :func:`compare_transports`,
+    :func:`measure_recovery_overhead`, :func:`measure_reconfig_pause`).
+
+    ``options`` is the :class:`~repro.runtime.RunOptions` every run is
+    launched with — set ``metrics=True`` there and each measured run's
+    latency summary lands in :attr:`BenchResult.metrics`.  ``repeats``
+    selects best-of-N wall clock per measured label."""
+
+    options: RunOptions = field(default_factory=RunOptions)
+    repeats: int = 1
+
+
+@dataclass
+class BenchResult:
+    """Common result shape of the wall-clock measurement functions.
+
+    ``points`` maps each measured label (backend name, transport
+    config label, ``"clean"``/``"faulty"``/``"elastic"``) to its best
+    :class:`WallClockPoint`.  ``outputs_equal`` records the
+    differential check across labels.  ``metrics`` maps labels to a
+    flat latency/counter summary when the runs carried the metrics
+    plane (see :meth:`BenchConfig.options`).  ``detail`` keeps the
+    measurement-specific record (:class:`RecoveryOverheadPoint`,
+    :class:`ReconfigPausePoint`) for fields the common shape cannot
+    hold."""
+
+    kind: str
+    points: Dict[str, WallClockPoint]
+    outputs_equal: bool
+    detail: Any = None
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def events_per_s(self, label: str) -> float:
+        return self.points[label].events_per_s
+
+
+def _metrics_summary(run: Any) -> Optional[Dict[str, float]]:
+    """Flatten a run's RunMetrics into the numbers benchmarks gate on
+    (None when the run carried no metrics plane)."""
+    m = getattr(run, "metrics", None)
+    if m is None:
+        return None
+    merged = m.merged()
+    return {
+        "events_processed": float(merged.events_processed),
+        "joins_completed": float(merged.joins_completed),
+        "max_backlog": float(merged.max_backlog),
+        "p50_latency_s": float(m.latency_percentile(50)),
+        "p99_latency_s": float(m.latency_percentile(99)),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -204,56 +318,73 @@ def bench_record(
     }
 
 
+def _best_run(
+    backend: Any,
+    program: Any,
+    plan: Any,
+    streams: Sequence[Any],
+    opts: RunOptions,
+    repeats: int,
+    *,
+    fresh_options: Optional[Callable[[], RunOptions]] = None,
+) -> Any:
+    """Best-of-``repeats`` wall clock on one backend; ``fresh_options``
+    rebuilds the RunOptions per repeat when it carries stateful values
+    (fault plans record fired crashes, checkpoint predicates count)."""
+    best: Optional[Any] = None
+    for _ in range(max(1, repeats)):
+        run = backend.run(
+            program, plan, streams,
+            options=fresh_options() if fresh_options is not None else opts,
+        )
+        if best is None or run.wall_s < best.wall_s:
+            best = run
+    return best
+
+
 def compare_backends(
     program: Any,
     plan: Any,
     streams: Sequence[Any],
     *,
     backends: Sequence[str] = ("threaded", "process"),
-    batch_size: Optional[int] = None,
-    transport: Optional[str] = None,
-    repeats: int = 1,
-    timeout_s: float = 120.0,
-) -> Dict[str, WallClockPoint]:
+    config: Optional[BenchConfig] = None,
+) -> BenchResult:
     """Run the same program/plan/streams on several runtime backends
     and report each one's best wall-clock throughput.
 
     Unlike the offered-rate sweeps above (which measure the *simulated*
     clock), this measures real elapsed time — the basis for the
-    threaded-vs-process speedup claim.  ``transport`` / ``batch_size``
-    tune the process runtime's data plane (defaults: pipe transport,
-    adaptive batching); every backend's outputs are cross-checked
-    against the others (multiset equality) so a speedup can never come
-    from dropping work.
+    threaded-vs-process speedup claim.  ``config.options`` is shared by
+    every backend (each substrate consults only the fields it owns, so
+    one RunOptions serves the whole comparison); every backend's
+    outputs are cross-checked against the others (multiset equality) so
+    a speedup can never come from dropping work.
     """
     from ..runtime import get_backend  # runtime does not import bench; no cycle
 
+    cfg = config if config is not None else BenchConfig()
     points: Dict[str, WallClockPoint] = {}
+    metrics: Dict[str, Dict[str, float]] = {}
     reference: Optional[Any] = None
     for name in backends:
-        backend = get_backend(name)
-        opts: Dict[str, Any] = {}
-        if name in ("threaded", "process"):
-            opts["timeout_s"] = timeout_s
-        if name == "process":
-            opts["batch_size"] = batch_size
-            if transport is not None:
-                opts["transport"] = transport
-        best: Optional[WallClockPoint] = None
-        for _ in range(max(1, repeats)):
-            run = backend.run(program, plan, streams, **opts)
-            if reference is None:
-                reference = run.output_multiset()
-            elif run.output_multiset() != reference:
-                raise AssertionError(
-                    f"backend {name!r} produced different outputs than "
-                    f"{backends[0]!r}; refusing to report throughput"
-                )
-            point = WallClockPoint(name, run.events_in, run.wall_s)
-            if best is None or point.wall_s < best.wall_s:
-                best = point
-        points[name] = best  # type: ignore[assignment]
-    return points
+        run = _best_run(
+            get_backend(name), program, plan, streams, cfg.options, cfg.repeats
+        )
+        if reference is None:
+            reference = run.output_multiset()
+        elif run.output_multiset() != reference:
+            raise AssertionError(
+                f"backend {name!r} produced different outputs than "
+                f"{backends[0]!r}; refusing to report throughput"
+            )
+        points[name] = WallClockPoint(name, run.events_in, run.wall_s)
+        summary = _metrics_summary(run)
+        if summary is not None:
+            metrics[name] = summary
+    return BenchResult(
+        kind="backends", points=points, outputs_equal=True, metrics=metrics
+    )
 
 
 def compare_transports(
@@ -261,46 +392,61 @@ def compare_transports(
     plan: Any,
     streams: Sequence[Any],
     *,
-    configs: Mapping[str, Mapping[str, Any]],
-    repeats: int = 1,
-    timeout_s: float = 120.0,
-) -> Dict[str, WallClockPoint]:
+    configs: Mapping[str, RunOptions],
+    config: Optional[BenchConfig] = None,
+) -> BenchResult:
     """Run the same workload on the *process* backend under several
-    data-plane configurations (``label -> {transport=, batch_size=,
-    flush_ms=, nodes=, placement=}``) and report each one's best
-    wall-clock throughput.
+    data-plane configurations (``label -> RunOptions(transport=,
+    batch_size=, flush_ms=, nodes=, placement=, ...)``) and report each
+    one's best wall-clock throughput.
 
     The config axis spans every data plane the backend offers:
     ``transport="queue" | "pipe" | "tcp"`` for the one-process-per-
     worker runtime, and ``nodes=N`` for a cluster deployment across
     local node agents (see :mod:`repro.runtime.cluster`) — which is
     how the queue/pipe/tcp benchmark matrix and the distributed smoke
-    lane share one measurement path.  Outputs are multiset-verified
-    across configurations — a transport can never look fast by
-    corrupting or dropping messages."""
+    lane share one measurement path.  Each label's RunOptions is used
+    as given, except that fields left at their defaults inherit from
+    ``config.options`` (so a shared timeout or ``metrics=True`` need
+    not be repeated per label).  Outputs are multiset-verified across
+    configurations — a transport can never look fast by corrupting or
+    dropping messages."""
     from ..runtime import get_backend  # runtime does not import bench; no cycle
 
+    cfg = config if config is not None else BenchConfig()
     backend = get_backend("process")
     points: Dict[str, WallClockPoint] = {}
+    metrics: Dict[str, Dict[str, float]] = {}
     reference: Optional[Any] = None
     ref_label: Optional[str] = None
-    for label, cfg in configs.items():
-        best: Optional[WallClockPoint] = None
-        for _ in range(max(1, repeats)):
-            run = backend.run(program, plan, streams, timeout_s=timeout_s, **cfg)
-            if reference is None:
-                reference = run.output_multiset()
-                ref_label = label
-            elif run.output_multiset() != reference:
-                raise AssertionError(
-                    f"transport config {label!r} produced different outputs "
-                    f"than {ref_label!r}; refusing to report throughput"
+    for label, label_opts in configs.items():
+        merged = RunOptions.collect(
+            cfg.options,
+            **{
+                f: getattr(label_opts, f)
+                for f in (
+                    "transport", "batch_size", "flush_ms", "nodes",
+                    "placement", "timeout_s", "metrics_port", "pace",
                 )
-            point = WallClockPoint(label, run.events_in, run.wall_s)
-            if best is None or point.wall_s < best.wall_s:
-                best = point
-        points[label] = best  # type: ignore[assignment]
-    return points
+            },
+            metrics=label_opts.metrics or None,
+        )
+        run = _best_run(backend, program, plan, streams, merged, cfg.repeats)
+        if reference is None:
+            reference = run.output_multiset()
+            ref_label = label
+        elif run.output_multiset() != reference:
+            raise AssertionError(
+                f"transport config {label!r} produced different outputs "
+                f"than {ref_label!r}; refusing to report throughput"
+            )
+        points[label] = WallClockPoint(label, run.events_in, run.wall_s)
+        summary = _metrics_summary(run)
+        if summary is not None:
+            metrics[label] = summary
+    return BenchResult(
+        kind="transports", points=points, outputs_equal=True, metrics=metrics
+    )
 
 
 def backend_speedup(
@@ -352,16 +498,15 @@ def measure_recovery_overhead(
     backend: str = "threaded",
     fault_plan_factory: Callable[[], Any],
     checkpoint_predicate_factory: Optional[Callable[[], Any]] = None,
-    repeats: int = 1,
-    timeout_s: float = 120.0,
-    **opts: Any,
-) -> RecoveryOverheadPoint:
+    config: Optional[BenchConfig] = None,
+) -> BenchResult:
     """Measure the wall-clock cost of checkpoint-based crash recovery.
 
     Runs the workload fault-free and with the injected fault plan on
-    the same backend, best-of-``repeats`` each, and reports the ratio.
-    The clean baseline runs with the *same* checkpoint predicate armed,
-    so the ratio isolates the crash + restore + replay cost rather than
+    the same backend, best-of-``config.repeats`` each, and reports the
+    ratio (in ``detail``, a :class:`RecoveryOverheadPoint`).  The clean
+    baseline runs with the *same* checkpoint predicate armed, so the
+    ratio isolates the crash + restore + replay cost rather than
     folding the snapshotting itself into "overhead" (the paper's claim
     is precisely that the snapshots are free).
     ``fault_plan_factory`` (rather than a plan instance) because fault
@@ -371,39 +516,27 @@ def measure_recovery_overhead(
     from ..runtime import get_backend  # runtime does not import bench; no cycle
     from ..runtime.checkpoint import every_root_join
 
-    if checkpoint_predicate_factory is None:
-        checkpoint_predicate_factory = every_root_join
+    cfg = config if config is not None else BenchConfig()
+    predicate_factory = checkpoint_predicate_factory or every_root_join
     be = get_backend(backend)
 
-    clean_best: Optional[Any] = None
-    for _ in range(max(1, repeats)):
-        run = be.run(
-            program,
-            plan,
-            streams,
-            checkpoint_predicate=checkpoint_predicate_factory(),
-            timeout_s=timeout_s,
-            **opts,
-        )
-        if clean_best is None or run.wall_s < clean_best.wall_s:
-            clean_best = run
-
-    faulty_best: Optional[Any] = None
-    for _ in range(max(1, repeats)):
-        run = be.run(
-            program,
-            plan,
-            streams,
+    clean_best = _best_run(
+        be, program, plan, streams, cfg.options, cfg.repeats,
+        fresh_options=lambda: replace(
+            cfg.options, checkpoint_predicate=predicate_factory()
+        ),
+    )
+    faulty_best = _best_run(
+        be, program, plan, streams, cfg.options, cfg.repeats,
+        fresh_options=lambda: replace(
+            cfg.options,
+            checkpoint_predicate=predicate_factory(),
             fault_plan=fault_plan_factory(),
-            checkpoint_predicate=checkpoint_predicate_factory(),
-            timeout_s=timeout_s,
-            **opts,
-        )
-        if faulty_best is None or run.wall_s < faulty_best.wall_s:
-            faulty_best = run
+        ),
+    )
 
     rec = faulty_best.recovery
-    return RecoveryOverheadPoint(
+    detail = RecoveryOverheadPoint(
         backend=backend,
         clean_wall_s=clean_best.wall_s,
         faulty_wall_s=faulty_best.wall_s,
@@ -412,6 +545,23 @@ def measure_recovery_overhead(
         replayed_events=rec.replayed_events,
         checkpoints_taken=rec.checkpoints_taken,
         outputs_equal=faulty_best.output_multiset() == clean_best.output_multiset(),
+    )
+    points = {
+        "clean": WallClockPoint("clean", clean_best.events_in, clean_best.wall_s),
+        "faulty": WallClockPoint("faulty", faulty_best.events_in, faulty_best.wall_s),
+    }
+    metrics: Dict[str, Dict[str, float]] = {}
+    clean_summary = _metrics_summary(clean_best)
+    if clean_summary is not None:
+        # Faulty runs go through the recovery driver, which keeps
+        # metrics off (per-attempt metrics are a later extension).
+        metrics["clean"] = clean_summary
+    return BenchResult(
+        kind="recovery",
+        points=points,
+        outputs_equal=detail.outputs_equal,
+        detail=detail,
+        metrics=metrics,
     )
 
 
@@ -467,13 +617,12 @@ def measure_reconfig_pause(
     *,
     backend: str = "threaded",
     schedule: Any,
-    repeats: int = 1,
-    timeout_s: float = 120.0,
-    **opts: Any,
-) -> ReconfigPausePoint:
+    config: Optional[BenchConfig] = None,
+) -> BenchResult:
     """Measure the cost of elastic reconfiguration against a clean run
-    of the *initial* plan on the same backend (best-of-``repeats``
-    each).
+    of the *initial* plan on the same backend (best-of-
+    ``config.repeats`` each; the :class:`ReconfigPausePoint` lands in
+    ``detail``).
 
     Schedules are pure data (firing state lives in the driver), so one
     ``schedule`` instance serves every repeat.  The elastic run's
@@ -481,29 +630,18 @@ def measure_reconfig_pause(
     the pause nor a throughput gain can come from dropping work."""
     from ..runtime import get_backend  # runtime does not import bench; no cycle
 
+    cfg = config if config is not None else BenchConfig()
     be = get_backend(backend)
 
-    clean_best: Optional[Any] = None
-    for _ in range(max(1, repeats)):
-        run = be.run(program, plan, streams, timeout_s=timeout_s, **opts)
-        if clean_best is None or run.wall_s < clean_best.wall_s:
-            clean_best = run
-
-    elastic_best: Optional[Any] = None
-    for _ in range(max(1, repeats)):
-        run = be.run(
-            program,
-            plan,
-            streams,
-            reconfig_schedule=schedule,
-            timeout_s=timeout_s,
-            **opts,
-        )
-        if elastic_best is None or run.wall_s < elastic_best.wall_s:
-            elastic_best = run
+    clean_best = _best_run(be, program, plan, streams, cfg.options, cfg.repeats)
+    elastic_best = _best_run(
+        be, program, plan, streams,
+        replace(cfg.options, reconfig_schedule=schedule),
+        cfg.repeats,
+    )
 
     rec = elastic_best.reconfig
-    return ReconfigPausePoint(
+    detail = ReconfigPausePoint(
         backend=backend,
         clean_wall_s=clean_best.wall_s,
         elastic_wall_s=elastic_best.wall_s,
@@ -513,6 +651,25 @@ def measure_reconfig_pause(
         phase_widths=tuple(p.leaves for p in rec.phases),
         phase_throughputs_eps=tuple(p.throughput_events_per_s for p in rec.phases),
         outputs_equal=elastic_best.output_multiset() == clean_best.output_multiset(),
+    )
+    points = {
+        "clean": WallClockPoint("clean", clean_best.events_in, clean_best.wall_s),
+        "elastic": WallClockPoint(
+            "elastic", elastic_best.events_in, elastic_best.wall_s
+        ),
+    }
+    metrics: Dict[str, Dict[str, float]] = {}
+    clean_summary = _metrics_summary(clean_best)
+    if clean_summary is not None:
+        # Elastic runs go through the reconfiguration driver, which
+        # keeps metrics off (per-attempt metrics are a later extension).
+        metrics["clean"] = clean_summary
+    return BenchResult(
+        kind="reconfig",
+        points=points,
+        outputs_equal=detail.outputs_equal,
+        detail=detail,
+        metrics=metrics,
     )
 
 

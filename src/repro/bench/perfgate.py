@@ -18,7 +18,8 @@ the CI runner class).  Refresh them whenever the hot path genuinely
 changes or CI hardware shifts::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
-        benchmarks/bench_transport.py --smoke -q
+        benchmarks/bench_transport.py \\
+        benchmarks/bench_latency_openloop.py --smoke -q
     PYTHONPATH=src python benchmarks/perf_gate.py rebase
 
 and commit the updated ``benchmarks/baselines/*.json``.
@@ -159,7 +160,8 @@ def check_dirs(
                 "changed), refresh the baselines:",
                 "    PYTHONPATH=src python -m pytest "
                 "benchmarks/bench_micro_core.py \\",
-                "        benchmarks/bench_transport.py --smoke -q",
+                "        benchmarks/bench_transport.py \\",
+                "        benchmarks/bench_latency_openloop.py --smoke -q",
                 "    PYTHONPATH=src python benchmarks/perf_gate.py rebase",
                 "and commit benchmarks/baselines/*.json.",
             ]

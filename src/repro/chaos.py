@@ -69,6 +69,7 @@ from .runtime import (
     InputStream,
     ReconfigPoint,
     ReconfigSchedule,
+    RunOptions,
     every_root_join,
     run_on_backend,
     run_sequential_reference,
@@ -334,12 +335,14 @@ def run_chaos_case(
         prog,
         plan,
         streams,
-        fault_plan=fault_plan,
-        reconfig_schedule=reconfig_schedule,
-        checkpoint_predicate=every_root_join(),
-        timeout_s=timeout_s,
-        transport=transport,
-        nodes=nodes,
+        options=RunOptions(
+            fault_plan=fault_plan,
+            reconfig_schedule=reconfig_schedule,
+            checkpoint_predicate=every_root_join(),
+            timeout_s=timeout_s,
+            transport=transport,
+            nodes=nodes,
+        ),
     )
     reference = run_sequential_reference(prog, streams)
     mismatch = compare_outputs(reference, run.outputs, case.case_id)
@@ -437,6 +440,63 @@ class ChaosSummary:
             lines.append(f"  FAIL {o.case.case_id}: {o.mismatch}")
         return "\n".join(lines)
 
+    def metrics_record(self) -> Dict[str, Any]:
+        """Machine-readable sweep metrics, one snapshot per case plus
+        sweep-level totals — what the nightly CI job uploads as an
+        artifact so fault/recovery behaviour is trendable over time.
+
+        Chaos cases are recovering/elastic runs, so the per-worker
+        metrics plane stays off (``BackendRun.metrics is None`` by
+        design); the snapshot here is the recovery/reconfig ledger."""
+        return {
+            "schema": 1,
+            "kind": "chaos_metrics",
+            "transport": self.transport,
+            "nodes": self.nodes,
+            "totals": {
+                "cases": len(self.outcomes),
+                "failures": len(self.failures),
+                "crashes": sum(o.crashes for o in self.outcomes),
+                "replayed_events": sum(
+                    o.replayed_events for o in self.outcomes
+                ),
+                "checkpoints_taken": sum(
+                    o.checkpoints_taken for o in self.outcomes
+                ),
+                "reconfigs": sum(o.reconfigs for o in self.outcomes),
+            },
+            "cases": [
+                {
+                    "case_id": o.case.case_id,
+                    "backend": o.case.backend,
+                    "app": o.case.app,
+                    "mode": o.case.mode,
+                    "ok": o.ok,
+                    "attempts": o.attempts,
+                    "crashes": o.crashes,
+                    "drops_scheduled": o.drops_scheduled,
+                    "checkpoints_taken": o.checkpoints_taken,
+                    "replayed_events": o.replayed_events,
+                    "reconfigs": o.reconfigs,
+                    "plan_widths": list(o.plan_widths),
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def write_metrics(self, directory: str) -> str:
+        """Write :meth:`metrics_record` as JSON under ``directory``;
+        returns the written path."""
+        import json
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "chaos_metrics.json")
+        with open(path, "w") as f:
+            json.dump(self.metrics_record(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
 
 def run_chaos_suite(
     *,
@@ -509,6 +569,12 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         "--smoke", action="store_true",
         help="CI-sized sweep (12 cases) unless --cases is given explicitly",
     )
+    ap.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write a machine-readable chaos_metrics.json snapshot of "
+        "the sweep (per-case recovery/reconfig counters) under DIR — "
+        "uploaded as an artifact by the nightly CI job",
+    )
     args = ap.parse_args(argv)
     n_cases = args.cases
     if n_cases is None:
@@ -525,6 +591,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         nodes=args.nodes,
     )
     print(summary.describe())
+    if args.metrics_out is not None:
+        print(f"metrics snapshot: {summary.write_metrics(args.metrics_out)}")
     return 0 if summary.ok else 1
 
 

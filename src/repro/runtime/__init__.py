@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import copy
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
@@ -66,6 +67,15 @@ from .reconfigure import (
     run_with_reconfig,
 )
 from .mailbox import Buffered, Mailbox
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    LatencyHistogram,
+    MetricsConfig,
+    MetricsExporter,
+    MetricsSnapshot,
+    RunMetrics,
+    WorkerMetrics,
+)
 from .messages import (
     EventMsg,
     ForkStateMsg,
@@ -126,6 +136,10 @@ class BackendRun(RunStatsMixin):
     #: The ReconfiguredRun when the execution ran with
     #: reconfig_schedule= (migrations, phases, plan history).
     reconfig: Any = None
+    #: The RunMetrics snapshot when the execution ran with
+    #: ``metrics=True`` (plain runs only; recovering/elastic runs keep
+    #: this None — per-attempt metrics are a later extension).
+    metrics: Any = None
 
 
 class RuntimeBackend:
@@ -158,6 +172,16 @@ class RuntimeBackend:
         options: Any = None,
         **kwargs: Any,
     ) -> BackendRun:
+        if kwargs:
+            # One release of compatibility: loose keywords still
+            # collect into RunOptions, but options= is the API.
+            warnings.warn(
+                f"passing loose keyword arguments ({sorted(kwargs)}) to "
+                "backend.run()/run_on_backend() is deprecated; build a "
+                "RunOptions and pass options=",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         opts = RunOptions.collect(options, **kwargs)
         if opts.reconfig_schedule is not None:
             return self._run_elastic(program, plan, streams, opts)
@@ -241,6 +265,7 @@ class SimBackend(RuntimeBackend):
             program, plan,
             checkpoint_predicate=opts.checkpoint_predicate,
             record_keys=opts.record_keys,
+            metrics=opts.metrics_config(),
             **opts.extra,
         ).run(streams)
         return BackendRun(
@@ -251,6 +276,7 @@ class SimBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=time.perf_counter() - t0,
             raw=res,
+            metrics=res.metrics,
         )
 
     def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
@@ -289,6 +315,8 @@ class ThreadedBackend(RuntimeBackend):
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
             checkpoint_predicate=opts.checkpoint_predicate,
             record_keys=opts.record_keys,
+            metrics=opts.metrics_config(),
+            pace=opts.pace,
         )
         return BackendRun(
             backend=self.name,
@@ -298,6 +326,7 @@ class ThreadedBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=res.wall_s,
             raw=res,
+            metrics=res.metrics,
         )
 
     def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
@@ -363,6 +392,7 @@ class ProcessBackend(RuntimeBackend):
             placement=opts.placement,
             batch_size=opts.batch_size,
             flush_ms=opts.flush_ms,
+            metrics_port=opts.metrics_port,
         )
 
     def _run_plain(self, program, plan, streams, opts):
@@ -372,6 +402,8 @@ class ProcessBackend(RuntimeBackend):
             timeout_s=opts.with_timeout_default(self.default_timeout_s),
             checkpoint_predicate=opts.checkpoint_predicate,
             record_keys=opts.record_keys,
+            metrics=opts.metrics_config(),
+            pace=opts.pace,
         )
         return BackendRun(
             backend=self.name,
@@ -381,6 +413,7 @@ class ProcessBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=res.wall_s,
             raw=res,
+            metrics=res.metrics,
         )
 
     def _attempt(self, program, plan, streams, initial_state, opts, reconfig_view):
@@ -433,7 +466,12 @@ def run_on_backend(
     **opts: Any,
 ) -> BackendRun:
     """Run a program + plan on the named backend (uniform entry point
-    for benchmarks, examples, and tests)."""
+    for benchmarks, examples, and tests).
+
+    Pass run configuration as ``options=RunOptions(...)``; loose
+    keyword arguments are deprecated (they still work for one release,
+    with a DeprecationWarning).
+    """
     return get_backend(name).run(program, plan, streams, **opts)
 
 
@@ -449,6 +487,7 @@ __all__ = [
     "ClusterLauncher",
     "CrashFault",
     "CrashRecord",
+    "DEFAULT_LATENCY_BUCKETS",
     "DropHeartbeats",
     "EventMsg",
     "EveryNthJoin",
@@ -460,7 +499,11 @@ __all__ = [
     "InputStream",
     "JoinRequest",
     "JoinResponse",
+    "LatencyHistogram",
     "Mailbox",
+    "MetricsConfig",
+    "MetricsExporter",
+    "MetricsSnapshot",
     "NoCheckpointError",
     "NodeSpec",
     "PhaseRecord",
@@ -480,6 +523,7 @@ __all__ = [
     "RecoveryUnsoundError",
     "RootReconfigView",
     "RunCollector",
+    "RunMetrics",
     "RunOptions",
     "RunResult",
     "RuntimeBackend",
@@ -491,6 +535,7 @@ __all__ = [
     "ThreadedRuntime",
     "WorkerActor",
     "WorkerCrash",
+    "WorkerMetrics",
     "assert_recovery_sound",
     "available_backends",
     "by_timestamp_interval",

@@ -63,13 +63,19 @@ class JoinResponse:
     at the instant it surrendered its state.  Summed up the tree, the
     root observes the cluster-wide queue depth at every join, which is
     the load signal the elastic auto-scaler thresholds on
-    (:mod:`repro.runtime.reconfigure`)."""
+    (:mod:`repro.runtime.reconfigure`).
+
+    ``metrics`` piggybacks worker metrics snapshots the same way when
+    the metrics plane is enabled (:mod:`repro.runtime.metrics`): a
+    tuple of per-worker wire snapshots from the answering subtree, or
+    ``None`` (the default, and always when metrics are off)."""
 
     req_id: Tuple[str, int]
     side: str
     state: Any
     state_size: float
     backlog: int = 0
+    metrics: Any = None
 
 
 @dataclass(frozen=True)

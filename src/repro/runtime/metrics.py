@@ -1,0 +1,462 @@
+"""Per-worker metrics plane (ISSUE 6 / ROADMAP item 4).
+
+The runtime measures itself with near-zero hot-path cost: each worker
+owns a :class:`WorkerMetrics` with plain-int counters and two
+fixed-bucket :class:`LatencyHistogram`\\ s (join/fork round-trip and
+end-to-end event latency).  Snapshots travel to the root piggybacked on
+the join-response path — exactly like ``backlog`` already does — so the
+metrics plane adds no new message types and costs a single ``is None``
+check when disabled.
+
+Latency units are **seconds** throughout.  End-to-end latency is
+``wall_now - (epoch + ts_ms / 1000)``: timestamps double as arrival
+offsets (milliseconds), and the substrate stamps ``epoch`` (wall-clock
+``time.time()``) just before releasing producers, so under open-loop
+pacing (``RunOptions.pace``) the histogram measures true source-to-commit
+latency.  Without pacing it measures pipeline residency relative to the
+run start — still useful for regression gating, and documented as such.
+
+The sim substrate reports a single ``"sim"`` pseudo-worker whose
+end-to-end histogram is fed from simulated-time latencies (ms / 1000);
+its wall-clock meaning differs but percentile math is identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsConfig",
+    "LatencyHistogram",
+    "WorkerMetrics",
+    "MetricsSnapshot",
+    "RunMetrics",
+    "MetricsExporter",
+]
+
+
+def _geometric_buckets(lo: float, hi: float, per_decade: int = 4) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds from ``lo`` to ``hi`` seconds."""
+    out: List[float] = []
+    b = lo
+    ratio = 10.0 ** (1.0 / per_decade)
+    while b < hi * (1.0 + 1e-9):
+        out.append(b)
+        b *= ratio
+    return tuple(out)
+
+
+# 100 us .. 100 s, four buckets per decade (24 bounds + overflow).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = _geometric_buckets(1e-4, 100.0)
+
+
+@dataclass(frozen=True)
+class MetricsConfig:
+    """Immutable per-run metrics configuration.
+
+    ``epoch`` is the wall-clock instant (``time.time()``) when producers
+    were released; substrates stamp it just before starting workers so
+    every process/node shares the same latency origin.
+    """
+
+    latency_buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    epoch: Optional[float] = None
+
+    def with_epoch(self, epoch: float) -> "MetricsConfig":
+        return MetricsConfig(latency_buckets=self.latency_buckets, epoch=epoch)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds).
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything above the last edge.  ``observe`` is a
+    ``bisect`` plus two adds — cheap enough for the worker hot path.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (0..100) by linear interpolation
+        inside the bucket containing the target rank; 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                frac = (rank - seen) / c
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            seen += c
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # -- wire form: compact sparse tuple of plain scalars so snapshots
+    # ride the fast scalar-tuple frame codec (wire._pack_scalar).
+    def to_wire(self) -> Tuple[Any, ...]:
+        sparse: List[Any] = []
+        for i, c in enumerate(self.counts):
+            if c:
+                sparse.extend((i, c))
+        return (self.count, float(self.sum), tuple(sparse))
+
+    @classmethod
+    def from_wire(
+        cls, wire: Tuple[Any, ...], bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> "LatencyHistogram":
+        h = cls(bounds)
+        h.count = int(wire[0])
+        h.sum = float(wire[1])
+        sparse = wire[2]
+        for j in range(0, len(sparse), 2):
+            h.counts[int(sparse[j])] = int(sparse[j + 1])
+        return h
+
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable point-in-time copy of one worker's metrics."""
+
+    worker: str
+    events_processed: int = 0
+    joins_completed: int = 0
+    batches_sent: int = 0
+    messages_sent: int = 0
+    frames_received: int = 0
+    max_backlog: int = 0
+    join_rtt: Optional[LatencyHistogram] = None
+    event_latency: Optional[LatencyHistogram] = None
+
+    _COUNTERS = (
+        "events_processed",
+        "joins_completed",
+        "batches_sent",
+        "messages_sent",
+        "frames_received",
+    )
+
+    def to_wire(self) -> Tuple[Any, ...]:
+        return (
+            self.worker,
+            self.events_processed,
+            self.joins_completed,
+            self.batches_sent,
+            self.messages_sent,
+            self.frames_received,
+            self.max_backlog,
+            self.join_rtt.to_wire() if self.join_rtt else None,
+            self.event_latency.to_wire() if self.event_latency else None,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, wire: Tuple[Any, ...], bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> "MetricsSnapshot":
+        return cls(
+            worker=str(wire[0]),
+            events_processed=int(wire[1]),
+            joins_completed=int(wire[2]),
+            batches_sent=int(wire[3]),
+            messages_sent=int(wire[4]),
+            frames_received=int(wire[5]),
+            max_backlog=int(wire[6]),
+            join_rtt=LatencyHistogram.from_wire(wire[7], bounds) if wire[7] else None,
+            event_latency=(
+                LatencyHistogram.from_wire(wire[8], bounds) if wire[8] else None
+            ),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"worker": self.worker, "max_backlog": self.max_backlog}
+        for k in self._COUNTERS:
+            d[k] = getattr(self, k)
+        for name, h in (("join_rtt", self.join_rtt), ("event_latency", self.event_latency)):
+            if h is not None and h.count:
+                d[name] = {
+                    "count": h.count,
+                    "mean_s": h.mean,
+                    "p50_s": h.percentile(50),
+                    "p99_s": h.percentile(99),
+                }
+        return d
+
+
+class WorkerMetrics:
+    """Mutable per-worker metrics; owned by exactly one worker loop.
+
+    Hot-path hooks are attribute bumps or a single histogram observe.
+    The root's instance additionally accumulates subtree snapshots that
+    arrive piggybacked on join responses (``note_subtree``).
+    """
+
+    __slots__ = (
+        "worker",
+        "config",
+        "events_processed",
+        "joins_completed",
+        "batches_sent",
+        "messages_sent",
+        "frames_received",
+        "max_backlog",
+        "join_rtt",
+        "event_latency",
+        "subtree",
+        "_last_ship",
+    )
+
+    def __init__(self, worker: str, config: Optional[MetricsConfig] = None):
+        self.worker = worker
+        self.config = config or MetricsConfig()
+        self.events_processed = 0
+        self.joins_completed = 0
+        self.batches_sent = 0
+        self.messages_sent = 0
+        self.frames_received = 0
+        self.max_backlog = 0
+        self.join_rtt = LatencyHistogram(self.config.latency_buckets)
+        self.event_latency = LatencyHistogram(self.config.latency_buckets)
+        # Root side: latest wire snapshot per descendant worker.
+        self.subtree: Dict[str, Tuple[Any, ...]] = {}
+        self._last_ship = 0.0
+
+    # -- hot-path hooks -------------------------------------------------
+    def note_backlog(self, depth: int) -> None:
+        if depth > self.max_backlog:
+            self.max_backlog = depth
+
+    def observe_event_latency(self, now_wall: float, ts_ms: float) -> None:
+        epoch = self.config.epoch
+        if epoch is None:
+            return
+        lat = now_wall - (epoch + ts_ms / 1000.0)
+        self.event_latency.observe(lat if lat > 0.0 else 0.0)
+
+    # -- piggyback plumbing ---------------------------------------------
+    def wire_snapshot(self) -> Tuple[Any, ...]:
+        return self.snapshot().to_wire()
+
+    def maybe_wire_snapshot(self, now: float, interval: float = 0.25) -> Optional[tuple]:
+        """Rate-limited snapshot for piggybacking: at most one every
+        ``interval`` seconds, else None (costs one float compare)."""
+        if now - self._last_ship < interval:
+            return None
+        self._last_ship = now
+        return (self.wire_snapshot(),)
+
+    def note_subtree(self, wires: Optional[Iterable[Tuple[Any, ...]]]) -> None:
+        if not wires:
+            return
+        for w in wires:
+            self.subtree[str(w[0])] = w
+
+    def snapshot(self) -> MetricsSnapshot:
+        snap = MetricsSnapshot(worker=self.worker, max_backlog=self.max_backlog)
+        for k in MetricsSnapshot._COUNTERS:
+            setattr(snap, k, getattr(self, k))
+        if self.join_rtt.count:
+            snap.join_rtt = self.join_rtt
+        if self.event_latency.count:
+            snap.event_latency = self.event_latency
+        return snap
+
+    def all_snapshots(self) -> List[MetricsSnapshot]:
+        """Own snapshot plus the latest piggybacked subtree snapshots."""
+        bounds = self.config.latency_buckets
+        out = [self.snapshot()]
+        for w in self.subtree.values():
+            out.append(MetricsSnapshot.from_wire(w, bounds))
+        return out
+
+
+@dataclass
+class RunMetrics:
+    """Cross-worker metrics for one run, attached to run results."""
+
+    per_worker: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+    latency_buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+
+    def absorb(self, snap: MetricsSnapshot) -> None:
+        """Keep the richer snapshot when a worker reports twice (live
+        piggyback then end-of-run report)."""
+        prev = self.per_worker.get(snap.worker)
+        if prev is None or snap.events_processed >= prev.events_processed:
+            self.per_worker[snap.worker] = snap
+
+    def merged(self) -> MetricsSnapshot:
+        total = MetricsSnapshot(worker="all")
+        jr = LatencyHistogram(self.latency_buckets)
+        el = LatencyHistogram(self.latency_buckets)
+        for snap in self.per_worker.values():
+            for k in MetricsSnapshot._COUNTERS:
+                setattr(total, k, getattr(total, k) + getattr(snap, k))
+            total.max_backlog = max(total.max_backlog, snap.max_backlog)
+            if snap.join_rtt:
+                jr.merge(snap.join_rtt)
+            if snap.event_latency:
+                el.merge(snap.event_latency)
+        total.join_rtt = jr if jr.count else None
+        total.event_latency = el if el.count else None
+        return total
+
+    # Convenience accessors used by the perf gate / bench records.
+    def latency_percentile(self, q: float) -> float:
+        m = self.merged()
+        return m.event_latency.percentile(q) if m.event_latency else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    def to_json(self) -> Dict[str, Any]:
+        m = self.merged()
+        return {
+            "merged": m.to_json(),
+            "per_worker": {w: s.to_json() for w, s in sorted(self.per_worker.items())},
+        }
+
+    def prometheus_text(self) -> str:
+        """Render in Prometheus text exposition format."""
+        lines: List[str] = []
+
+        def gauge(name: str, help_: str, rows: List[Tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} gauge")
+            for labels, v in rows:
+                lines.append(f"{name}{{{labels}}} {v}")
+
+        for counter, help_ in (
+            ("events_processed", "Events processed by the worker loop"),
+            ("joins_completed", "Join/fork rounds completed"),
+            ("batches_sent", "Transport batches flushed"),
+            ("messages_sent", "Messages sent inside batches"),
+            ("frames_received", "Wire frames received"),
+            ("max_backlog", "High-water mailbox/backlog depth"),
+        ):
+            gauge(
+                f"repro_worker_{counter}",
+                help_,
+                [
+                    (f'worker="{w}"', float(getattr(s, counter)))
+                    for w, s in sorted(self.per_worker.items())
+                ],
+            )
+        for hname, attr in (("join_rtt", "join_rtt"), ("event_latency", "event_latency")):
+            base = f"repro_{hname}_seconds"
+            lines.append(f"# HELP {base} Latency histogram ({hname})")
+            lines.append(f"# TYPE {base} histogram")
+            for w, s in sorted(self.per_worker.items()):
+                h: Optional[LatencyHistogram] = getattr(s, attr)
+                if h is None:
+                    continue
+                cum = 0
+                for i, bound in enumerate(h.bounds):
+                    cum += h.counts[i]
+                    lines.append(f'{base}_bucket{{worker="{w}",le="{bound:g}"}} {cum}')
+                lines.append(f'{base}_bucket{{worker="{w}",le="+Inf"}} {h.count}')
+                lines.append(f'{base}_sum{{worker="{w}"}} {h.sum}')
+                lines.append(f'{base}_count{{worker="{w}"}} {h.count}')
+        return "\n".join(lines) + "\n"
+
+
+class MetricsExporter:
+    """Tiny stdlib HTTP server publishing Prometheus text on /metrics.
+
+    The coordinator updates the store with whatever snapshots have
+    arrived; scrapes never block the data plane.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        import http.server
+
+        exporter = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib API name)
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_response(404)
+                    self.end_headers()
+                    return
+                body = exporter.render().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr spam
+                pass
+
+        self._lock = threading.Lock()
+        self._metrics = RunMetrics()
+        self._server = http.server.ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="metrics-exporter", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsExporter":
+        self._thread.start()
+        return self
+
+    def update(self, snap: MetricsSnapshot) -> None:
+        with self._lock:
+            self._metrics.absorb(snap)
+
+    def update_wire(
+        self, wire: Tuple[Any, ...], bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        self.update(MetricsSnapshot.from_wire(wire, bounds))
+
+    def render(self) -> str:
+        with self._lock:
+            return self._metrics.prometheus_text()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+
+def metrics_to_json_str(metrics: Optional[RunMetrics]) -> str:
+    """Stable JSON rendering for artifacts (chaos snapshots)."""
+    return json.dumps(metrics.to_json() if metrics else {}, indent=2, sort_keys=True)

@@ -54,6 +54,21 @@ class RunOptions:
     * ``placement`` — worker-id -> node-name pins for ``nodes=``
       deployments (unpinned workers are spread round-robin).
 
+    The metrics plane (:mod:`repro.runtime.metrics`):
+
+    * ``metrics`` — enable per-worker counters and latency histograms;
+      the run result's ``metrics`` field carries the merged
+      :class:`~repro.runtime.metrics.RunMetrics`;
+    * ``latency_buckets`` — histogram upper bounds in seconds
+      (``None`` selects the default geometric buckets);
+    * ``metrics_port`` — in cluster (``nodes=``) mode, serve live
+      Prometheus text on ``http://127.0.0.1:<port>/metrics`` from the
+      coordinator (``0`` picks a free port);
+    * ``pace`` — open-loop producer pacing: timestamp units replayed
+      per wall-clock second (timestamps are milliseconds, so
+      ``pace=1000.0`` replays in real time; ``None`` keeps the
+      closed-loop as-fast-as-possible pump).
+
     ``extra`` holds substrate-specific passthrough kwargs (e.g. the
     sim's ``track_event_latency=``)."""
 
@@ -67,6 +82,10 @@ class RunOptions:
     nodes: Any = None
     placement: Any = None
     record_keys: bool = False
+    metrics: bool = False
+    latency_buckets: Any = None
+    metrics_port: Any = None
+    pace: Optional[float] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -89,6 +108,19 @@ class RunOptions:
 
     def with_timeout_default(self, default_s: float) -> float:
         return self.timeout_s if self.timeout_s is not None else default_s
+
+    def metrics_config(self) -> Any:
+        """The run's :class:`~repro.runtime.metrics.MetricsConfig`, or
+        ``None`` when the metrics plane is off.  The substrate stamps
+        the epoch just before releasing producers."""
+        if not self.metrics:
+            return None
+        from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsConfig
+
+        buckets = (
+            tuple(self.latency_buckets) if self.latency_buckets else DEFAULT_LATENCY_BUCKETS
+        )
+        return MetricsConfig(latency_buckets=buckets)
 
     def transport_kwargs(self) -> Dict[str, Any]:
         """The process substrate's transport configuration (compact

@@ -55,6 +55,7 @@ from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
 from .checkpoint import Checkpoint, CheckpointPredicate
 from .faults import CrashRecord, FaultPlan, WorkerCrash, WorkerFaultView
+from .metrics import MetricsConfig, MetricsSnapshot, RunMetrics, WorkerMetrics
 from .quiesce import QuiesceRecord, QuiesceSignal, RootReconfigView
 from .protocol import (
     INIT_STATE,
@@ -63,6 +64,7 @@ from .protocol import (
     WorkerCore,
     end_timestamp,
     initial_leaf_states,
+    paced_producer_schedule,
     producer_messages,
 )
 from .runtime import InputStream
@@ -99,6 +101,8 @@ class ProcessResult(RunStatsMixin):
     crashes: List[CrashRecord] = field(default_factory=list)
     #: Set when the root quiesced for elastic reconfiguration.
     quiesce: Optional[QuiesceRecord] = None
+    #: Merged per-worker metrics when the metrics plane was enabled.
+    metrics: Optional[RunMetrics] = None
 
 
 @dataclass
@@ -119,6 +123,8 @@ class _WorkerReport:
     leftover: int
     crash: Optional[CrashRecord] = None
     quiesce: Optional[QuiesceRecord] = None
+    #: The worker's final MetricsSnapshot (metrics plane on), else None.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 def _drive_worker(
@@ -133,6 +139,7 @@ def _drive_worker(
     fault_view: Optional[WorkerFaultView],
     record_keys: bool,
     reconfig_view: Optional[RootReconfigView],
+    metrics_cfg: Optional[MetricsConfig] = None,
 ) -> None:
     """Drive one WorkerCore from its inbox until the stop frame, then
     ship its report — the substrate-independent worker loop shared by
@@ -151,6 +158,13 @@ def _drive_worker(
     unprocessed until the stop frame, when the report ships.
     """
     sink = OutputSink(record_keys=record_keys)
+    wm = WorkerMetrics(node_id, metrics_cfg) if metrics_cfg is not None else None
+    if wm is not None:
+        # Transport endpoints count batches/frames into the same
+        # per-worker metrics object (settable post-construction so the
+        # transport signatures stay metrics-agnostic).
+        receiver.metrics = wm
+        batcher.metrics = wm
     core = WorkerCore(
         plan.node(node_id),
         plan,
@@ -161,12 +175,14 @@ def _drive_worker(
         faults=fault_view,
         reconfig=reconfig_view,
         flush_hint=batcher.flush,
+        metrics=wm,
     )
     if init_state is not None:
         core.state = init_state[0]
         core.has_state = True
     crash: Optional[CrashRecord] = None
     quiesce: Optional[QuiesceRecord] = None
+    last_push = time.monotonic()
     while True:
         msgs = receiver.recv()
         if msgs is STOP:
@@ -200,6 +216,17 @@ def _drive_worker(
         # worker still owes messages to others.
         batcher.flush()
         control.mark_done(len(msgs))
+        if wm is not None:
+            # Low-rate live feed for the coordinator's Prometheus
+            # exporter; best-effort (a full queue is never worth
+            # stalling the data plane for).
+            now = time.monotonic()
+            if now - last_push >= 0.25:
+                last_push = now
+                try:
+                    control.metrics.put_nowait((node_id, wm.wire_snapshot()))
+                except Exception:  # pragma: no cover - full queue
+                    pass
     control.results.put(
         _WorkerReport(
             node_id,
@@ -211,6 +238,7 @@ def _drive_worker(
             core.unprocessed(),
             crash,
             quiesce,
+            wm.snapshot() if wm is not None else None,
         )
     )
 
@@ -227,6 +255,7 @@ def _worker_main(
     fault_view: Optional[WorkerFaultView],
     record_keys: bool,
     reconfig_view: Optional[RootReconfigView] = None,
+    metrics_cfg: Optional[MetricsConfig] = None,
 ) -> None:
     """Child-process entry point of the one-process-per-worker runtime:
     bind this worker's transport endpoints, then run the shared loop."""
@@ -250,6 +279,7 @@ def _worker_main(
             fault_view,
             record_keys,
             reconfig_view,
+            metrics_cfg,
         )
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
         control.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
@@ -303,6 +333,8 @@ class ProcessRuntime:
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
         reconfig: Optional[RootReconfigView] = None,
+        metrics: Optional[MetricsConfig] = None,
+        pace: Optional[float] = None,
     ) -> ProcessResult:
         """Execute one attempt (see :meth:`ThreadedRuntime.run` for the
         fault-injection / reconfiguration parameter contract: a crashed
@@ -314,6 +346,10 @@ class ProcessRuntime:
         )
         control = ControlPlane(self._ctx)
         leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
+        if metrics is not None and metrics.epoch is None:
+            # Stamp the latency origin before forking so every worker
+            # process shares the same epoch.
+            metrics = metrics.with_epoch(time.time())
         procs = [
             self._ctx.Process(
                 target=_worker_main,
@@ -329,6 +365,7 @@ class ProcessRuntime:
                     faults.view_for(n.id) if faults is not None else None,
                     record_keys,
                     reconfig if n.id == self.plan.root.id else None,
+                    metrics,
                 ),
                 daemon=True,
                 name=f"worker:{n.id}",
@@ -359,17 +396,32 @@ class ProcessRuntime:
                 COORDINATOR, control, self.policy, on_block=pump_guard
             )
             end_ts = end_timestamp(streams)
-            for stream in streams:
-                owner = self.plan.owner_of(stream.itag).id
-                for msg in producer_messages(stream, end_ts):
+            if pace is not None:
+                # Open-loop pump: replay the merged schedule against
+                # the wall clock at `pace` timestamp-units per second.
+                sched = paced_producer_schedule(
+                    streams, lambda s: self.plan.owner_of(s.itag).id, end_ts
+                )
+                start = time.monotonic()
+                for ts, owner, msg in sched:
+                    delay = start + ts / pace - time.monotonic()
+                    if delay > 0:
+                        batcher.flush()
+                        time.sleep(delay)
                     batcher.post(owner, msg)
-                result.events_in += len(stream.events)
+                result.events_in += sum(len(s.events) for s in streams)
+            else:
+                for stream in streams:
+                    owner = self.plan.owner_of(stream.itag).id
+                    for msg in producer_messages(stream, end_ts):
+                        batcher.post(owner, msg)
+                    result.events_in += len(stream.events)
             batcher.flush()
             aborted = self._await_idle(control, procs, timeout_s)
             result.wall_s = time.perf_counter() - t0
 
             transport.stop_all()
-            self._collect(control, result, timeout_s)
+            self._collect(control, result, timeout_s, metrics)
             if aborted:
                 transport.drain()
         finally:
@@ -429,7 +481,10 @@ class ProcessRuntime:
 
     @staticmethod
     def _collect(
-        control: ControlPlane, result: ProcessResult, timeout_s: float
+        control: ControlPlane,
+        result: ProcessResult,
+        timeout_s: float,
+        metrics_cfg: Optional[MetricsConfig] = None,
     ) -> None:
         deadline = time.monotonic() + timeout_s
         reports: List[_WorkerReport] = []
@@ -471,3 +526,20 @@ class ProcessRuntime:
             result.events_processed += report.events_processed
             result.joins += report.joins
         result.checkpoints.sort(key=lambda c: c.key)
+        if metrics_cfg is not None:
+            rm = RunMetrics(latency_buckets=metrics_cfg.latency_buckets)
+            for report in reports:
+                if report.metrics is not None:
+                    rm.absorb(report.metrics)
+            # Drain the live feed too: workers that only ever answered
+            # joins piggybacked snapshots there (absorb keeps the
+            # richest copy per worker).
+            try:
+                while True:
+                    node_id, wire = control.metrics.get_nowait()
+                    rm.absorb(
+                        MetricsSnapshot.from_wire(wire, metrics_cfg.latency_buckets)
+                    )
+            except queue_mod.Empty:
+                pass
+            result.metrics = rm

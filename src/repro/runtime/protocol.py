@@ -30,6 +30,9 @@ owns a private one).
 from __future__ import annotations
 
 from collections import Counter
+from time import monotonic as _mono
+from time import perf_counter as _perf
+from time import time as _wall
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import RuntimeFault
@@ -137,6 +140,7 @@ class WorkerCore:
         faults: Optional[WorkerFaultView] = None,
         reconfig: Optional[Any] = None,
         flush_hint: Optional[Callable[[], None]] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.node = node
         self.plan = plan
@@ -156,6 +160,11 @@ class WorkerCore:
         #: is the root of an elastically-reconfigurable run; its
         #: maybe_quiesce hook may raise QuiesceSignal at a root join.
         self.reconfig = reconfig
+        #: A WorkerMetrics (repro.runtime.metrics) when the metrics
+        #: plane is on, else None.  Every hot-path hook below guards on
+        #: it, so the disabled cost is one ``is None`` check.
+        self.metrics = metrics
+        self._join_t0 = 0.0
 
         ancestors = plan.ancestors_of(node.id)
         known = set(node.itags)
@@ -218,6 +227,8 @@ class WorkerCore:
         self.pending.extend(released)
 
     def _drain(self) -> None:
+        if self.metrics is not None:
+            self.metrics.note_backlog(len(self.pending))
         while self.pending and not self.blocked:
             buffered = self.pending.pop(0)
             self._inflight_tags[buffered.itag] -= 1
@@ -233,18 +244,25 @@ class WorkerCore:
             # nothing of this event has been applied yet).
             self.faults.note_event(event.ts)
         self.sink.count_event()
+        m = self.metrics
+        if m is not None:
+            m.events_processed += 1
         if self.is_leaf:
             self.state, outs = self.update(self.state, event)
             self.sink.emit(outs, key=event.order_key)
+            if m is not None:
+                m.observe_event_latency(_wall(), event.ts)
         else:
             self._start_join(("event", event))
 
     def _process_join_request(self, req: JoinRequest) -> None:
         if self.is_leaf:
+            m = self.metrics
+            piggy = m.maybe_wire_snapshot(_mono()) if m is not None else None
             self.post(
                 req.reply_to,
                 JoinResponse(
-                    req.req_id, req.side, self.state, 1.0, self.unprocessed()
+                    req.req_id, req.side, self.state, 1.0, self.unprocessed(), piggy
                 ),
             )
             self.state = None
@@ -264,6 +282,8 @@ class WorkerCore:
             self.post(child, JoinRequest(req_id, itag, key, self.node.id, side))
         self.blocked = True
         self._current = (req_id, ctx, {})
+        if self.metrics is not None:
+            self._join_t0 = _perf()
         if self.flush_hint is not None:
             self.flush_hint()
 
@@ -277,11 +297,19 @@ class WorkerCore:
         subtree_backlog = states["left"].backlog + states["right"].backlog
         self.sink.count_join()
         self._current = None
+        m = self.metrics
+        if m is not None:
+            m.joins_completed += 1
+            m.join_rtt.observe(_perf() - self._join_t0)
+            m.note_subtree(states["left"].metrics)
+            m.note_subtree(states["right"].metrics)
         if ctx[0] == "event":
             event: Event = ctx[1]
             self.sink.count_event()
             joined, outs = self.update(joined, event)
             self.sink.emit(outs, key=event.order_key)
+            if m is not None:
+                m.observe_event_latency(_wall(), event.ts)
             if (
                 self.parent_id is None
                 and self.checkpoint_predicate is not None
@@ -306,6 +334,16 @@ class WorkerCore:
             self.blocked = False
         else:
             req: JoinRequest = ctx[1]
+            fwd = None
+            if m is not None:
+                # Relay everything collected from below plus (rate
+                # limited) our own snapshot; the root absorbs these
+                # into its live per-worker view.
+                own = m.maybe_wire_snapshot(_mono())
+                acc = tuple(m.subtree.values()) + (own or ())
+                if acc:
+                    fwd = acc
+                    m.subtree.clear()
             self.post(
                 req.reply_to,
                 JoinResponse(
@@ -314,6 +352,7 @@ class WorkerCore:
                     joined,
                     1.0,
                     subtree_backlog + self.unprocessed(),
+                    fwd,
                 ),
             )
             self._absorb_restore = req_id
@@ -425,3 +464,26 @@ def producer_messages(stream: Any, end_ts: float) -> List[Any]:
         items.append((hb.order_key, HeartbeatMsg(stream.itag, hb.order_key)))
     items.sort(key=lambda kv: kv[0])
     return [msg for _, msg in items]
+
+
+def paced_producer_schedule(
+    streams: Sequence[Any],
+    owner_of: Callable[[Any], str],
+    end_ts: float,
+) -> List[Tuple[float, str, Any]]:
+    """Merge every stream's producer traffic into one open-loop
+    schedule of ``(ts, owner_id, msg)`` triples.
+
+    The sort is stable on ``(ts, stream_index, seq)``, so per-stream
+    FIFO (a mailbox invariant) is preserved while a single paced pump
+    thread replays the merged schedule against the wall clock
+    (``RunOptions.pace`` timestamp-units per second).
+    """
+    sched: List[Tuple[float, int, int, str, Any]] = []
+    for idx, stream in enumerate(streams):
+        owner = owner_of(stream)
+        for seq, msg in enumerate(producer_messages(stream, end_ts)):
+            ts = msg.event.ts if isinstance(msg, EventMsg) else msg.key[0]
+            sched.append((ts, idx, seq, owner, msg))
+    sched.sort(key=lambda t: (t[0], t[1], t[2]))
+    return [(ts, owner, msg) for ts, _i, _s, owner, msg in sched]

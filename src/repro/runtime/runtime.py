@@ -33,6 +33,7 @@ from ..sim.params import DEFAULT_PARAMS, SimParams
 from .checkpoint import Checkpoint
 from .faults import CrashRecord, FaultPlan
 from .messages import EventMsg, HeartbeatMsg
+from .metrics import LatencyHistogram, MetricsConfig, MetricsSnapshot, RunMetrics
 from .protocol import INIT_STATE
 from .quiesce import QuiesceRecord
 from .worker import RunCollector, StateSizeFn, WorkerActor, default_state_size
@@ -76,6 +77,9 @@ class RunResult:
     crashes: List[CrashRecord] = field(default_factory=list)
     #: Set when the root quiesced for elastic reconfiguration.
     quiesce: Optional[QuiesceRecord] = None
+    #: Metrics-plane snapshot (one "sim" pseudo-worker; latencies are
+    #: simulated ms scaled to seconds) when metrics were enabled.
+    metrics: Optional[RunMetrics] = None
 
     def event_latency_percentiles(
         self, qs: Sequence[float] = (10, 50, 90)
@@ -127,6 +131,7 @@ class FluminaRuntime:
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
         reconfig: Optional[Any] = None,
+        metrics: Optional[MetricsConfig] = None,
         validate: bool = True,
     ) -> None:
         self.program = program
@@ -152,6 +157,9 @@ class FluminaRuntime:
         self.record_keys = record_keys
         #: RootReconfigView handed to the root worker (elastic runs).
         self.reconfig = reconfig
+        #: MetricsConfig when the metrics plane is on (the simulated
+        #: substrate reports a single "sim" pseudo-worker).
+        self.metrics = metrics
 
     # -- setup ----------------------------------------------------------------
     @staticmethod
@@ -294,6 +302,25 @@ class FluminaRuntime:
             name: host.utilization(duration) if duration > 0 else 0.0
             for name, host in self.topology.hosts.items()
         }
+        run_metrics: Optional[RunMetrics] = None
+        if self.metrics is not None:
+            # One pseudo-worker for the whole simulated cluster:
+            # counters from the collector, the end-to-end histogram
+            # fed from per-output latencies (simulated ms -> seconds).
+            buckets = self.metrics.latency_buckets
+            snap = MetricsSnapshot(
+                worker="sim",
+                events_processed=collector.events_processed,
+                joins_completed=collector.joins,
+            )
+            lats = [lat for _, _, lat in collector.outputs]
+            if lats:
+                h = LatencyHistogram(buckets)
+                for lat in lats:
+                    h.observe(max(lat, 0.0) / 1000.0)
+                snap.event_latency = h
+            run_metrics = RunMetrics(latency_buckets=buckets)
+            run_metrics.absorb(snap)
         return RunResult(
             outputs=list(collector.outputs),
             duration_ms=duration,
@@ -309,6 +336,7 @@ class FluminaRuntime:
             keyed_outputs=list(collector.keyed_outputs),
             crashes=list(collector.crashes),
             quiesce=collector.quiesce,
+            metrics=run_metrics,
         )
 
 

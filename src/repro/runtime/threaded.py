@@ -32,6 +32,7 @@ from ..plans.plan import SyncPlan
 from ..plans.validity import assert_p_valid
 from .checkpoint import Checkpoint, CheckpointPredicate
 from .faults import CrashRecord, FaultPlan, WorkerCrash
+from .metrics import MetricsConfig, RunMetrics, WorkerMetrics
 from .quiesce import QuiesceRecord, QuiesceSignal
 from .protocol import (
     INIT_STATE,
@@ -40,6 +41,7 @@ from .protocol import (
     WorkerCore,
     end_timestamp,
     initial_leaf_states,
+    paced_producer_schedule,
     producer_messages,
 )
 from .runtime import InputStream
@@ -60,6 +62,8 @@ class ThreadedResult(RunStatsMixin):
     crashes: List[CrashRecord] = field(default_factory=list)
     #: Set when the root quiesced for elastic reconfiguration.
     quiesce: Optional[QuiesceRecord] = None
+    #: Merged per-worker metrics when the metrics plane was enabled.
+    metrics: Optional[RunMetrics] = None
 
 
 class _Router:
@@ -201,6 +205,8 @@ class ThreadedRuntime:
         faults: Optional[FaultPlan] = None,
         record_keys: bool = False,
         reconfig: Any = None,
+        metrics: Optional[MetricsConfig] = None,
+        pace: Optional[float] = None,
     ) -> ThreadedResult:
         """Execute one attempt.
 
@@ -222,6 +228,9 @@ class ThreadedRuntime:
         result = ThreadedResult()
         lock = threading.Lock()
         sink = _SharedSink(result, lock, record_keys=record_keys)
+        if metrics is not None and metrics.epoch is None:
+            # Latency origin: producers are released (just) below.
+            metrics = metrics.with_epoch(time.time())
         workers = {
             n.id: _ThreadedWorker(
                 WorkerCore(
@@ -233,6 +242,7 @@ class ThreadedRuntime:
                     checkpoint_predicate=checkpoint_predicate,
                     faults=faults.view_for(n.id) if faults is not None else None,
                     reconfig=reconfig if n.id == self.plan.root.id else None,
+                    metrics=WorkerMetrics(n.id, metrics) if metrics is not None else None,
                 ),
                 router,
             )
@@ -250,11 +260,26 @@ class ThreadedRuntime:
         # per-itag FIFO into the owner's queue is what matters).
         t0 = time.perf_counter()
         end_ts = end_timestamp(streams)
-        for stream in streams:
-            owner = self.plan.owner_of(stream.itag).id
-            for msg in producer_messages(stream, end_ts):
+        if pace is not None:
+            # Open-loop pump: replay the merged schedule against the
+            # wall clock at `pace` timestamp-units per second.
+            sched = paced_producer_schedule(
+                streams, lambda s: self.plan.owner_of(s.itag).id, end_ts
+            )
+            start = time.monotonic()
+            for ts, owner, msg in sched:
+                due = start + ts / pace
+                delay = due - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
                 router.post(owner, msg)
-            result.events_in += len(stream.events)
+            result.events_in += sum(len(s.events) for s in streams)
+        else:
+            for stream in streams:
+                owner = self.plan.owner_of(stream.itag).id
+                for msg in producer_messages(stream, end_ts):
+                    router.post(owner, msg)
+                result.events_in += len(stream.events)
 
         deadline = time.monotonic() + timeout_s
         while True:
@@ -271,6 +296,12 @@ class ThreadedRuntime:
             w.join(timeout=5.0)
         result.crashes = list(router.crashes)
         result.quiesce = router.quiesce
+        if metrics is not None:
+            rm = RunMetrics(latency_buckets=metrics.latency_buckets)
+            for w in workers.values():
+                for snap in w.core.metrics.all_snapshots():
+                    rm.absorb(snap)
+            result.metrics = rm
         if not result.crashes and result.quiesce is None:
             for w in workers.values():
                 if w.core.unprocessed():

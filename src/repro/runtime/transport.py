@@ -233,6 +233,12 @@ class ControlPlane:
         self.errors = ctx.Queue()
         self.crashes = ctx.Queue()
         self.quiesces = ctx.Queue()
+        #: Live metrics feed: workers push (node_id, wire snapshot)
+        #: tuples at a low rate when the metrics plane is on; the
+        #: coordinator (cluster mode) drains it into the Prometheus
+        #: exporter.  Unused — never even written — when metrics are
+        #: off.
+        self.metrics = ctx.Queue()
         self.inflight = ctx.Value("q", 0, lock=True)
         # Raw ctypes view: reading `inflight.value` acquires the shared
         # lock; the adaptive policy's backlog heuristic must not add a
@@ -271,7 +277,15 @@ class BatchingSender:
     finishes it — so quiescence implies empty channels *and* empty
     buffers."""
 
-    __slots__ = ("_send", "control", "policy", "_buffers", "_first_ts", "_targets")
+    __slots__ = (
+        "_send",
+        "control",
+        "policy",
+        "_buffers",
+        "_first_ts",
+        "_targets",
+        "metrics",
+    )
 
     def __init__(
         self,
@@ -285,6 +299,9 @@ class BatchingSender:
         self._buffers: Dict[str, List[Any]] = {}
         self._first_ts: Dict[str, float] = {}
         self._targets: Dict[str, int] = {}
+        #: Optional WorkerMetrics assigned by the worker loop after
+        #: construction (metrics plane on); counts flushed batches.
+        self.metrics = None
 
     def post(self, dst: str, msg: Any) -> None:
         buf = self._buffers.get(dst)
@@ -308,6 +325,10 @@ class BatchingSender:
             return
         self._first_ts.pop(dst, None)
         self.control.add_inflight(len(batch))
+        m = self.metrics
+        if m is not None:
+            m.batches_sent += 1
+            m.messages_sent += len(batch)
         self._send(dst, batch)
         if self.policy.adaptive:
             # Per-channel target tracking the observed global backlog:
@@ -332,15 +353,18 @@ class BatchingSender:
 # ---------------------------------------------------------------------------
 
 class _QueueReceiver:
-    __slots__ = ("_q",)
+    __slots__ = ("_q", "metrics")
 
     def __init__(self, q) -> None:
         self._q = q
+        self.metrics = None
 
     def recv(self) -> Any:
         batch = self._q.get()
         if batch == _QUEUE_STOP:
             return STOP
+        if self.metrics is not None:
+            self.metrics.frames_received += 1
         return decode_batch(batch)
 
     def poll(self) -> None:  # pragma: no cover - queue puts never block
@@ -422,7 +446,7 @@ class FrameReceiver:
     :class:`RuntimeFault` immediately — a half-delivered batch must
     never decode as a shorter one."""
 
-    __slots__ = ("_poller", "_n_live", "_asm", "_ready")
+    __slots__ = ("_poller", "_n_live", "_asm", "_ready", "metrics")
 
     def __init__(self, rfds: List[int]) -> None:
         self._poller = select.poll()
@@ -432,6 +456,9 @@ class FrameReceiver:
             self._asm[fd] = FrameAssembler()
         self._n_live = len(rfds)
         self._ready: Deque[Any] = deque()
+        #: Optional WorkerMetrics assigned by the worker loop after
+        #: construction (metrics plane on); counts completed frames.
+        self.metrics = None
 
     def recv(self) -> Any:
         while not self._ready:
@@ -466,10 +493,13 @@ class FrameReceiver:
             if self._n_live == 0:
                 self._ready.append(STOP)
             return
+        m = self.metrics
         for frame in self._asm[fd].feed(data):
             if not frame:
                 self._ready.append(STOP)
             else:
+                if m is not None:
+                    m.frames_received += 1
                 self._ready.append(unpack_frame(frame))
 
 

@@ -77,7 +77,15 @@ def encode_msg(msg: Any) -> WireMsg:
             msg.side,
         )
     if isinstance(msg, JoinResponse):
-        return (_JOIN_RESP, msg.req_id, msg.side, msg.state, msg.state_size, msg.backlog)
+        return (
+            _JOIN_RESP,
+            msg.req_id,
+            msg.side,
+            msg.state,
+            msg.state_size,
+            msg.backlog,
+            msg.metrics,
+        )
     if isinstance(msg, ForkStateMsg):
         return (_FORK, msg.req_id, msg.state, msg.state_size)
     raise RuntimeFault(f"cannot wire-encode {msg!r}")
@@ -95,9 +103,11 @@ def decode_msg(wire: WireMsg) -> Any:
             tuple(wire[1]), ImplTag(wire[2], wire[3]), tuple(wire[4]), wire[5], wire[6]
         )
     if code == _JOIN_RESP:
-        # len guard: tolerate pre-backlog encodings (recorded traces).
+        # len guards: tolerate pre-backlog / pre-metrics encodings
+        # (recorded traces).
         backlog = wire[5] if len(wire) > 5 else 0
-        return JoinResponse(tuple(wire[1]), wire[2], wire[3], wire[4], backlog)
+        metrics = wire[6] if len(wire) > 6 else None
+        return JoinResponse(tuple(wire[1]), wire[2], wire[3], wire[4], backlog, metrics)
     if code == _FORK:
         return ForkStateMsg(tuple(wire[1]), wire[2], wire[3])
     raise RuntimeFault(f"unknown wire type code {code!r}")

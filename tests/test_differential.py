@@ -21,6 +21,7 @@ from repro.runtime import (
     InputStream,
     ReconfigPoint,
     ReconfigSchedule,
+    RunOptions,
     run_on_backend,
 )
 from repro.runtime.threaded import ThreadedRuntime
@@ -172,7 +173,7 @@ class TestCrossRuntimeDifferential:
             for backend in ("threaded", "process")
         }
         impls["process-tcp"] = lambda: run_on_backend(
-            "process", prog, plan, streams, transport="tcp"
+            "process", prog, plan, streams, options=RunOptions(transport="tcp")
         ).outputs
         report = diff_against_spec(prog, streams, impls)
         assert report.ok, [str(m) for m in report.mismatches]
@@ -244,8 +245,10 @@ class TestElasticDifferential:
                     prog,
                     plan,
                     streams,
-                    reconfig_schedule=ReconfigSchedule(*points),
-                    timeout_s=60.0,
+                    options=RunOptions(
+                        reconfig_schedule=ReconfigSchedule(*points),
+                        timeout_s=60.0,
+                    ),
                 ).outputs
             },
         )
@@ -263,10 +266,12 @@ class TestElasticDifferential:
             prog,
             plan,
             streams,
-            reconfig_schedule=ReconfigSchedule(
-                ReconfigPoint(after_joins=1, to_leaves=mid)
+            options=RunOptions(
+                reconfig_schedule=ReconfigSchedule(
+                    ReconfigPoint(after_joins=1, to_leaves=mid)
+                ),
+                timeout_s=60.0,
             ),
-            timeout_s=60.0,
         )
         rec = run.reconfig
         assert rec.reconfigured, f"{app}: reconfiguration point never fired"

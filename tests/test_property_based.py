@@ -35,6 +35,7 @@ from repro.runtime import (
     Mailbox,
     ReconfigPoint,
     ReconfigSchedule,
+    RunOptions,
     run_on_backend,
     run_sequential_reference,
 )
@@ -201,7 +202,9 @@ def _seeded_keycounter_case(seed: int):
 @pytest.mark.parametrize("seed", [2, 71, 1009, 20260728])
 def test_randomized_sweep_on_real_backends(backend, seed):
     prog, streams, plan = _seeded_keycounter_case(seed)
-    run = run_on_backend(backend, prog, plan, streams, timeout_s=60.0)
+    run = run_on_backend(
+        backend, prog, plan, streams, options=RunOptions(timeout_s=60.0)
+    )
     assert output_multiset(run.outputs) == output_multiset(
         run_sequential_reference(prog, streams)
     ), f"{backend} diverged from spec for seed {seed}"
@@ -294,7 +297,8 @@ def _build_schedule(spec) -> ReconfigSchedule:
 def test_random_reconfig_schedules_match_spec(spec, seed):
     prog, streams, plan, _ = _rooted_keycounter_case(seed)
     run = run_on_backend(
-        "sim", prog, plan, streams, reconfig_schedule=_build_schedule(spec)
+        "sim", prog, plan, streams,
+        options=RunOptions(reconfig_schedule=_build_schedule(spec)),
     )
     assert output_multiset(run.outputs) == output_multiset(
         run_sequential_reference(prog, streams)
@@ -323,8 +327,9 @@ def test_seeded_reconfig_sweep_on_process_backend(seed):
         prog,
         plan,
         streams,
-        reconfig_schedule=_build_schedule(spec),
-        timeout_s=60.0,
+        options=RunOptions(
+            reconfig_schedule=_build_schedule(spec), timeout_s=60.0
+        ),
     )
     assert output_multiset(run.outputs) == output_multiset(
         run_sequential_reference(prog, streams)

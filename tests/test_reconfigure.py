@@ -181,7 +181,8 @@ class TestSchedulesAndTriggers:
         sched = ReconfigSchedule(ReconfigPoint(after_joins=1, to_leaves=2))
         for backend in ("threaded", "sim"):
             run = run_on_backend(
-                backend, prog, plan, streams, reconfig_schedule=sched
+                backend, prog, plan, streams,
+                options=RunOptions(reconfig_schedule=sched),
             )
             assert run.reconfig.reconfigured, f"{backend}: schedule was consumed"
             assert output_multiset(run.outputs) == output_multiset(
@@ -215,7 +216,8 @@ class TestElasticDriver:
         narrow = repartition_plan(prog, plan, 2)
         sched = ReconfigSchedule(ReconfigPoint(after_joins=2, to_leaves=4))
         run = run_on_backend(
-            backend, prog, narrow, streams, reconfig_schedule=sched, timeout_s=60.0
+            backend, prog, narrow, streams,
+            options=RunOptions(reconfig_schedule=sched, timeout_s=60.0),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -236,7 +238,8 @@ class TestElasticDriver:
             ReconfigPoint(after_joins=3, to_leaves=3),
         )
         run = run_on_backend(
-            "threaded", prog, plan, streams, reconfig_schedule=sched
+            "threaded", prog, plan, streams,
+            options=RunOptions(reconfig_schedule=sched),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -250,7 +253,8 @@ class TestElasticDriver:
             autoscaler=AutoScaler(high_watermark=20, factor=2, max_reconfigs=2)
         )
         run = run_on_backend(
-            "threaded", prog, narrow, streams, reconfig_schedule=sched
+            "threaded", prog, narrow, streams,
+            options=RunOptions(reconfig_schedule=sched),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -282,9 +286,11 @@ class TestElasticDriver:
             prog,
             narrow,
             streams,
-            reconfig_schedule=sched,
-            fault_plan=fp,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                reconfig_schedule=sched,
+                fault_plan=fp,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -310,8 +316,7 @@ class TestElasticDriver:
             prog,
             narrow,
             streams,
-            reconfig_schedule=sched,
-            fault_plan=fp,
+            options=RunOptions(reconfig_schedule=sched, fault_plan=fp),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -336,8 +341,7 @@ class TestElasticDriver:
                 prog,
                 plan,
                 streams,
-                reconfig_schedule=sched,
-                fault_plan=fp,
+                options=RunOptions(reconfig_schedule=sched, fault_plan=fp),
             )
 
     def test_sim_reconfiguration_is_deterministic(self):
@@ -347,7 +351,8 @@ class TestElasticDriver:
         def once():
             sched = ReconfigSchedule(ReconfigPoint(after_joins=2, to_leaves=4))
             run = run_on_backend(
-                "sim", prog, narrow, streams, reconfig_schedule=sched
+                "sim", prog, narrow, streams,
+                options=RunOptions(reconfig_schedule=sched),
             )
             return (
                 tuple(map(repr, run.outputs)),
@@ -428,7 +433,9 @@ class TestBacklogSignal:
         instantaneous backlog — assert it is recorded and plausible."""
         prog, streams, plan = vb_case(n_value_streams=4, values_per_barrier=30)
         sched = ReconfigSchedule(ReconfigPoint(after_joins=2, to_leaves=2))
-        run = run_on_backend("sim", prog, plan, streams, reconfig_schedule=sched)
+        run = run_on_backend(
+            "sim", prog, plan, streams, options=RunOptions(reconfig_schedule=sched)
+        )
         rec = run.reconfig
         assert rec.reconfigured
         total_events = sum(len(s.events) for s in streams)

@@ -103,7 +103,8 @@ class TestPlacement:
         prog, streams, plan = vb_case(n_value_streams=2)
         with pytest.raises(RuntimeFault, match="TCP"):
             run_on_backend(
-                "process", prog, plan, streams, nodes=2, transport="queue"
+                "process", prog, plan, streams,
+                options=RunOptions(nodes=2, transport="queue"),
             )
 
     def test_placement_without_nodes_rejected(self):
@@ -112,7 +113,8 @@ class TestPlacement:
         prog, streams, plan = vb_case(n_value_streams=2)
         with pytest.raises(RuntimeFault, match="needs\\s+nodes="):
             run_on_backend(
-                "process", prog, plan, streams, placement={"w1": "node0"}
+                "process", prog, plan, streams,
+                options=RunOptions(placement={"w1": "node0"}),
             )
 
     def test_nodes_reject_unknown_extra_kwargs(self):
@@ -122,7 +124,8 @@ class TestPlacement:
         prog, streams, plan = vb_case(n_value_streams=2)
         with pytest.raises(RuntimeFault, match="extra substrate kwargs"):
             run_on_backend(
-                "process", prog, plan, streams, nodes=2, bacth_size=8
+                "process", prog, plan, streams,
+                options=RunOptions(nodes=2, extra={"bacth_size": 8}),
             )
 
 
@@ -232,7 +235,9 @@ class TestClusterRuns:
         data plane — Theorem 2.4's determinism up to reordering must
         not care that channels cross (logical) machine boundaries."""
         prog, streams, plan = _app_case(app)
-        run = run_on_backend("process", prog, plan, streams, nodes=2)
+        run = run_on_backend(
+            "process", prog, plan, streams, options=RunOptions(nodes=2)
+        )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
         ), f"{app}: cluster outputs diverged from the sequential spec"
@@ -250,10 +255,12 @@ class TestClusterFaultTolerance:
         leaf = plan.leaves()[0].id
         run = run_on_backend(
             "process", prog, plan, streams,
-            nodes=2,
-            batch_size=8,
-            fault_plan=FaultPlan(CrashFault(leaf, after_events=37)),
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                nodes=2,
+                batch_size=8,
+                fault_plan=FaultPlan(CrashFault(leaf, after_events=37)),
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         assert run.recovery is not None
         assert len(run.recovery.crashes) == 1
@@ -266,9 +273,11 @@ class TestClusterFaultTolerance:
         prog, streams, plan = vb_case(values_per_barrier=20, n_barriers=4)
         run = run_on_backend(
             "process", prog, plan, streams,
-            nodes=2,
-            fault_plan=FaultPlan(CrashFault(plan.root.id, after_events=2)),
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                nodes=2,
+                fault_plan=FaultPlan(CrashFault(plan.root.id, after_events=2)),
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         assert len(run.recovery.crashes) == 1
         assert output_multiset(run.outputs) == output_multiset(
@@ -284,9 +293,11 @@ class TestClusterFaultTolerance:
             points.append(ReconfigPoint(after_joins=1, to_leaves=w))
         run = run_on_backend(
             "process", prog, plan, streams,
-            nodes=2,
-            reconfig_schedule=ReconfigSchedule(*points),
-            timeout_s=60.0,
+            options=RunOptions(
+                nodes=2,
+                reconfig_schedule=ReconfigSchedule(*points),
+                timeout_s=60.0,
+            ),
         )
         assert run.reconfig.reconfigured
         assert output_multiset(run.outputs) == output_multiset(
@@ -340,7 +351,9 @@ class TestTcpTransportDifferential:
             for it in itags
         ]
         plan = random_valid_plan(prog, itags, random.Random(4))
-        run = run_on_backend("process", prog, plan, streams, transport="tcp")
+        run = run_on_backend(
+            "process", prog, plan, streams, options=RunOptions(transport="tcp")
+        )
         assert run.raw.transport == "tcp"
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)

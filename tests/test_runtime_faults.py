@@ -22,6 +22,7 @@ from repro.runtime import (
     DropHeartbeats,
     FaultPlan,
     InputStream,
+    RunOptions,
     assert_recovery_sound,
     every_root_join,
     run_on_backend,
@@ -113,8 +114,10 @@ class TestCrashRecoveryAcrossBackends:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
@@ -136,8 +139,10 @@ class TestCrashRecoveryAcrossBackends:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
@@ -156,8 +161,10 @@ class TestCrashRecoveryAcrossBackends:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
@@ -176,8 +183,10 @@ class TestCrashRecoveryAcrossBackends:
                 prog,
                 plan,
                 streams,
-                fault_plan=faults,
-                timeout_s=30.0,
+                options=RunOptions(
+                    fault_plan=faults,
+                    timeout_s=30.0,
+                ),
             )
 
     def test_crash_before_first_snapshot_is_clean_error(self, backend):
@@ -192,9 +201,11 @@ class TestCrashRecoveryAcrossBackends:
                 prog,
                 plan,
                 streams,
-                fault_plan=faults,
-                checkpoint_predicate=every_root_join(),
-                timeout_s=30.0,
+                options=RunOptions(
+                    fault_plan=faults,
+                    checkpoint_predicate=every_root_join(),
+                    timeout_s=30.0,
+                ),
             )
 
     def test_heartbeat_drops_are_masked(self, backend):
@@ -206,7 +217,9 @@ class TestCrashRecoveryAcrossBackends:
             DropHeartbeats(plan.root.id, before_ts=last_ts * 0.8),
             DropHeartbeats(plan.leaves()[0].id, before_ts=last_ts * 0.5, count=3),
         )
-        run = run_on_backend(backend, prog, plan, streams, fault_plan=faults)
+        run = run_on_backend(
+            backend, prog, plan, streams, options=RunOptions(fault_plan=faults)
+        )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
         assert run.recovery.attempts == 1
@@ -226,8 +239,10 @@ class TestCrashRecoveryAcrossBackends:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
@@ -250,8 +265,10 @@ class TestStatefulPredicates:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=pred,
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=pred,
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)
@@ -300,8 +317,10 @@ class TestRecoverySoundness:
                 prog,
                 plan,
                 streams,
-                fault_plan=faults,
-                checkpoint_predicate=every_root_join(),
+                options=RunOptions(
+                    fault_plan=faults,
+                    checkpoint_predicate=every_root_join(),
+                ),
             )
 
 
@@ -322,8 +341,10 @@ class TestDeterminism:
                 prog,
                 plan,
                 streams,
-                fault_plan=faults,
-                checkpoint_predicate=every_root_join(),
+                options=RunOptions(
+                    fault_plan=faults,
+                    checkpoint_predicate=every_root_join(),
+                ),
             )
             rec = run.recovery
             return run.outputs, rec.attempts, [
@@ -355,8 +376,10 @@ class TestDeterminism:
             prog,
             plan,
             streams,
-            fault_plan=faults,
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                fault_plan=faults,
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         ref = run_sequential_reference(prog, streams)
         assert output_multiset(run.outputs) == output_multiset(ref)

@@ -1,0 +1,325 @@
+"""The per-worker metrics plane: histogram math, wire round-trips,
+cross-worker merging, the piggyback relay, the RunOptions entry points,
+and the cluster coordinator's Prometheus endpoint.
+
+The differential class is the plane's most important property: turning
+metrics **on changes nothing** — every app produces the same output
+multiset with and without instrumentation, on every backend.
+"""
+
+import socket
+import threading
+import time
+import urllib.request
+import warnings
+
+import pytest
+
+from test_differential import ALL_APPS, _app_case
+
+from repro.apps import value_barrier as vb
+from repro.core.semantics import output_multiset
+from repro.runtime import (
+    DEFAULT_LATENCY_BUCKETS,
+    CrashFault,
+    FaultPlan,
+    LatencyHistogram,
+    MetricsConfig,
+    MetricsSnapshot,
+    RunMetrics,
+    RunOptions,
+    WorkerMetrics,
+    every_root_join,
+    get_backend,
+    local_nodes,
+    run_on_backend,
+)
+
+BACKENDS = ("sim", "threaded", "process")
+
+
+def _small_case(values_per_barrier=40, n_barriers=3, n_value_streams=2):
+    prog = vb.make_program()
+    wl = vb.make_workload(
+        n_value_streams=n_value_streams,
+        values_per_barrier=values_per_barrier,
+        n_barriers=n_barriers,
+    )
+    return prog, vb.make_streams(wl), vb.make_plan(prog, wl)
+
+
+class TestLatencyHistogram:
+    def test_bucket_placement_and_overflow(self):
+        h = LatencyHistogram((0.001, 0.01, 0.1))
+        for v in (0.0005, 0.001):  # inclusive upper edges
+            h.observe(v)
+        h.observe(0.05)
+        h.observe(99.0)  # overflow bucket
+        assert h.counts == [2, 0, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.0005 + 0.001 + 0.05 + 99.0)
+
+    def test_bounds_must_be_sorted_and_non_empty(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(())
+        with pytest.raises(ValueError):
+            LatencyHistogram((0.1, 0.01))
+
+    def test_percentiles_are_monotone_and_bracketed(self):
+        h = LatencyHistogram(DEFAULT_LATENCY_BUCKETS)
+        for i in range(1, 1001):
+            h.observe(i / 1000.0)  # 1ms .. 1s
+        qs = [h.percentile(q) for q in (10, 50, 90, 99, 100)]
+        assert qs == sorted(qs)
+        assert 0.0 < h.percentile(50) < h.percentile(99)
+        # p50 of a uniform 1ms..1s sample sits near .5s, within the
+        # coarse-bucket quantization (4 buckets/decade).
+        assert 0.2 < h.percentile(50) < 0.9
+        assert h.mean == pytest.approx(0.5005, rel=1e-6)
+
+    def test_empty_histogram_is_all_zero(self):
+        h = LatencyHistogram()
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+
+    def test_merge_requires_same_bounds_and_adds_counts(self):
+        a, b = LatencyHistogram((1.0, 2.0)), LatencyHistogram((1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1] and a.count == 3
+        with pytest.raises(ValueError):
+            a.merge(LatencyHistogram((1.0, 3.0)))
+
+    def test_wire_round_trip_is_exact(self):
+        h = LatencyHistogram(DEFAULT_LATENCY_BUCKETS)
+        for v in (1e-5, 0.003, 0.003, 0.4, 1e4):
+            h.observe(v)
+        back = LatencyHistogram.from_wire(h.to_wire(), DEFAULT_LATENCY_BUCKETS)
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.sum == pytest.approx(h.sum)
+        # The wire form is a sparse scalar tuple (rides the fast frame
+        # codec): zero buckets must not appear.
+        count, total, sparse = h.to_wire()
+        assert len(sparse) == 2 * sum(1 for c in h.counts if c)
+
+
+class TestSnapshotsAndMerge:
+    def _snap(self, worker, events, backlog=0, with_hist=True):
+        s = MetricsSnapshot(worker=worker, events_processed=events, max_backlog=backlog)
+        if with_hist:
+            h = LatencyHistogram(DEFAULT_LATENCY_BUCKETS)
+            h.observe(0.01 * (1 + events % 3))
+            s.event_latency = h
+        return s
+
+    def test_snapshot_wire_round_trip(self):
+        s = self._snap("w3", 17, backlog=5)
+        s.joins_completed = 4
+        back = MetricsSnapshot.from_wire(s.to_wire(), DEFAULT_LATENCY_BUCKETS)
+        assert back.worker == "w3"
+        assert back.events_processed == 17
+        assert back.joins_completed == 4
+        assert back.max_backlog == 5
+        assert back.event_latency.count == 1
+        assert back.join_rtt is None  # None histograms survive as None
+
+    def test_absorb_keeps_the_richer_snapshot(self):
+        rm = RunMetrics()
+        rm.absorb(self._snap("w1", 100))
+        rm.absorb(self._snap("w1", 40))  # stale live piggyback: ignored
+        assert rm.per_worker["w1"].events_processed == 100
+        rm.absorb(self._snap("w1", 250))  # end-of-run report: wins
+        assert rm.per_worker["w1"].events_processed == 250
+
+    def test_merged_totals_counters_and_histograms(self):
+        rm = RunMetrics()
+        rm.absorb(self._snap("w1", 10, backlog=3))
+        rm.absorb(self._snap("w2", 20, backlog=7))
+        m = rm.merged()
+        assert m.events_processed == 30
+        assert m.max_backlog == 7  # high-water, not a sum
+        assert m.event_latency.count == 2
+        assert rm.p50_latency_s <= rm.p99_latency_s
+
+    def test_prometheus_text_shape(self):
+        rm = RunMetrics()
+        rm.absorb(self._snap("w1", 10))
+        text = rm.prometheus_text()
+        assert '# TYPE repro_worker_events_processed gauge' in text
+        assert 'repro_worker_events_processed{worker="w1"} 10.0' in text
+        assert '# TYPE repro_event_latency_seconds histogram' in text
+        assert 'le="+Inf"' in text
+        # Cumulative bucket counts end at the total count.
+        inf_line = [
+            ln for ln in text.splitlines()
+            if ln.startswith('repro_event_latency_seconds_bucket{worker="w1",le="+Inf"')
+        ]
+        assert inf_line and inf_line[0].endswith(" 1")
+
+
+class TestWorkerMetrics:
+    def test_event_latency_needs_an_epoch_and_clamps_negative(self):
+        m = WorkerMetrics("w1", MetricsConfig())
+        m.observe_event_latency(time.time(), 5.0)  # no epoch: dropped
+        assert m.event_latency.count == 0
+        cfg = MetricsConfig().with_epoch(100.0)
+        m = WorkerMetrics("w1", cfg)
+        m.observe_event_latency(100.25, 50.0)  # 0.25s - 0.05s = 0.2s
+        m.observe_event_latency(100.0, 900.0)  # arrived "early": clamp to 0
+        assert m.event_latency.count == 2
+        assert m.event_latency.sum == pytest.approx(0.2)
+
+    def test_maybe_wire_snapshot_is_rate_limited(self):
+        m = WorkerMetrics("w1")
+        assert m.maybe_wire_snapshot(10.0, interval=0.25) is not None
+        assert m.maybe_wire_snapshot(10.1, interval=0.25) is None
+        assert m.maybe_wire_snapshot(10.3, interval=0.25) is not None
+
+    def test_subtree_relay_keeps_latest_per_worker(self):
+        root = WorkerMetrics("root")
+        leaf = WorkerMetrics("w1")
+        leaf.events_processed = 5
+        root.note_subtree((leaf.wire_snapshot(),))
+        leaf.events_processed = 9
+        root.note_subtree((leaf.wire_snapshot(),))
+        root.note_subtree(None)  # piggyback absent: no-op
+        snaps = {s.worker: s for s in root.all_snapshots()}
+        assert set(snaps) == {"root", "w1"}
+        assert snaps["w1"].events_processed == 9
+
+
+class TestRunEntryPoints:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_metrics_off_by_default(self, backend):
+        prog, streams, plan = _small_case()
+        run = run_on_backend(backend, prog, plan, streams)
+        assert run.metrics is None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_metrics_on_reports_every_worker(self, backend):
+        prog, streams, plan = _small_case()
+        run = run_on_backend(
+            backend, prog, plan, streams, options=RunOptions(metrics=True)
+        )
+        m = run.metrics
+        assert m is not None
+        merged = m.merged()
+        assert merged.events_processed > 0
+        assert merged.event_latency is not None and merged.event_latency.count > 0
+        if backend == "sim":
+            assert set(m.per_worker) == {"sim"}
+        else:
+            # The real substrates report the whole tree (root + leaves),
+            # assembled from piggybacked and end-of-run snapshots.
+            assert set(m.per_worker) == {n.id for n in plan.workers()}
+            assert merged.joins_completed > 0
+
+    def test_recovering_run_keeps_metrics_none(self):
+        """Per-attempt metrics are a later extension: fault/reconfig
+        runs deliberately report ``metrics=None`` even when asked."""
+        prog, streams, plan = _small_case()
+        victim = plan.leaves()[0].id
+        fp = FaultPlan(CrashFault(victim, at_ts=streams[-1].events[1].ts + 0.01))
+        run = run_on_backend(
+            "threaded",
+            prog,
+            plan,
+            streams,
+            options=RunOptions(
+                metrics=True,
+                fault_plan=fp,
+                checkpoint_predicate=every_root_join(),
+            ),
+        )
+        assert run.recovery is not None and run.recovery.attempts == 2
+        assert run.metrics is None
+
+    def test_loose_kwargs_warn_and_options_do_not(self):
+        prog, streams, plan = _small_case(values_per_barrier=10, n_barriers=2)
+        with pytest.warns(DeprecationWarning, match="loose keyword arguments"):
+            run_on_backend("threaded", prog, plan, streams, timeout_s=60.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_on_backend(
+                "threaded", prog, plan, streams, options=RunOptions(timeout_s=60.0)
+            )
+            get_backend("threaded").run(prog, plan, streams)  # no kwargs: silent
+
+
+class TestMetricsChangeNothing:
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_outputs_identical_with_metrics_on(self, app):
+        prog, streams, plan = _app_case(app)
+        plain = run_on_backend("threaded", prog, plan, streams)
+        metered = run_on_backend(
+            "threaded", prog, plan, streams, options=RunOptions(metrics=True)
+        )
+        assert output_multiset(metered.outputs) == output_multiset(plain.outputs)
+        assert metered.metrics is not None
+
+    def test_process_backend_differential(self):
+        prog, streams, plan = _app_case("value_barrier")
+        plain = run_on_backend("process", prog, plan, streams)
+        metered = run_on_backend(
+            "process", prog, plan, streams, options=RunOptions(metrics=True)
+        )
+        assert output_multiset(metered.outputs) == output_multiset(plain.outputs)
+
+
+class TestClusterPrometheusEndpoint:
+    def test_coordinator_serves_live_scrapes(self):
+        """A cluster-mode run with ``metrics_port=`` serves Prometheus
+        text from the coordinator *while the run is live*: a background
+        poller must see per-worker counters before the run finishes."""
+        prog, streams, plan = _small_case(
+            values_per_barrier=30, n_barriers=5, n_value_streams=2
+        )
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+        s.close()
+
+        scrapes = []
+        stop = threading.Event()
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    body = urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/metrics", timeout=1
+                    ).read().decode()
+                    scrapes.append(body)
+                except Exception:
+                    pass
+                time.sleep(0.05)
+
+        t = threading.Thread(target=poll, daemon=True)
+        t.start()
+        try:
+            # pace=20 stretches the ~150ms-of-timestamps input to a few
+            # wall seconds so the poller reliably lands mid-run.
+            run = run_on_backend(
+                "process",
+                prog,
+                plan,
+                streams,
+                options=RunOptions(
+                    metrics=True,
+                    nodes=local_nodes(2),
+                    metrics_port=port,
+                    pace=20.0,
+                    timeout_s=120.0,
+                ),
+            )
+        finally:
+            stop.set()
+            t.join(timeout=2)
+
+        assert len(run.outputs) == 5
+        assert run.metrics is not None
+        good = [b for b in scrapes if "repro_worker_events_processed" in b]
+        assert good, f"no live scrape carried worker counters ({len(scrapes)} scrapes)"
+        assert 'le="+Inf"' in good[-1]  # histograms exported too

@@ -40,6 +40,7 @@ from repro.core.semantics import output_multiset
 from repro.runtime import (
     CrashFault,
     FaultPlan,
+    RunOptions,
     every_root_join,
     run_on_backend,
     run_sequential_reference,
@@ -634,7 +635,7 @@ class TestTransportDifferential:
         prog, streams, plan = vb_case()
         run = run_on_backend(
             "process", prog, plan, streams,
-            transport=transport, batch_size=batch_size,
+            options=RunOptions(transport=transport, batch_size=batch_size),
         )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
@@ -660,14 +661,14 @@ class TestTransportDifferential:
             for it in itags
         ]
         plan = random_valid_plan(prog, itags, random.Random(4))
-        run = run_on_backend("process", prog, plan, streams, flush_ms=0.5)
+        run = run_on_backend(
+            "process", prog, plan, streams, options=RunOptions(flush_ms=0.5)
+        )
         assert output_multiset(run.outputs) == output_multiset(
             run_sequential_reference(prog, streams)
         )
 
     def test_transport_option_round_trips_through_options(self):
-        from repro.runtime import RunOptions
-
         prog, streams, plan = vb_case(n_value_streams=2)
         opts = RunOptions(transport="queue", batch_size=4)
         run = run_on_backend("process", prog, plan, streams, options=opts)
@@ -696,10 +697,12 @@ class TestCrashMidFrame:
         # batch, modulo heartbeats interleaved in the frame.
         run = run_on_backend(
             "process", prog, plan, streams,
-            transport=transport,
-            batch_size=8,
-            fault_plan=FaultPlan(CrashFault(leaf, after_events=37)),
-            checkpoint_predicate=every_root_join(),
+            options=RunOptions(
+                transport=transport,
+                batch_size=8,
+                fault_plan=FaultPlan(CrashFault(leaf, after_events=37)),
+                checkpoint_predicate=every_root_join(),
+            ),
         )
         assert run.recovery is not None
         assert len(run.recovery.crashes) == 1
@@ -722,8 +725,10 @@ class TestCrashMidFrame:
         for k in range(25, 25 + 6):
             run = run_on_backend(
                 "process", prog, plan, streams,
-                batch_size=6,
-                fault_plan=FaultPlan(CrashFault(leaf, after_events=k)),
-                checkpoint_predicate=every_root_join(),
+                options=RunOptions(
+                    batch_size=6,
+                    fault_plan=FaultPlan(CrashFault(leaf, after_events=k)),
+                    checkpoint_predicate=every_root_join(),
+                ),
             )
             assert output_multiset(run.outputs) == spec, f"crash at event {k}"
