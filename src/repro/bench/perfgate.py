@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import glob
 import json
+import math
 import os
 import shutil
 from dataclasses import dataclass
@@ -116,6 +117,17 @@ def compare(
                 problems.append(
                     f"{name!r}.{metric}: not a number in baseline/result "
                     f"({baseline_value!r} vs {measured!r})"
+                )
+                continue
+            if not math.isfinite(baseline_value) or not math.isfinite(measured):
+                # Latency percentiles read +inf when the tail escaped
+                # the histogram's top bucket; a non-finite baseline
+                # would also make every later comparison vacuous.
+                problems.append(
+                    f"{name!r}.{metric}: non-finite value "
+                    f"(baseline {baseline_value!r}, measured {measured!r}); "
+                    "a percentile of inf means the latency histogram "
+                    "overflowed — widen the buckets or fix the regression"
                 )
                 continue
             if direction == "higher":

@@ -143,6 +143,9 @@ class ChaosOutcome:
     #: through (reconfig modes only; () / 0 for pure-fault cases).
     reconfigs: int = 0
     plan_widths: tuple = ()
+    #: The run's merged RunMetrics when the sweep ran with the metrics
+    #: plane on (``--metrics-out``); None otherwise.
+    metrics: Any = None
 
     @property
     def recovered(self) -> bool:
@@ -312,10 +315,13 @@ def run_chaos_case(
     timeout_s: float = 60.0,
     transport: Optional[str] = None,
     nodes: Optional[int] = None,
+    metrics: bool = False,
 ) -> ChaosOutcome:
     """Run one case; ``transport``/``nodes`` select the process
     backend's data plane (ignored by the threaded backend) without
-    entering the case derivation — see the module docstring."""
+    entering the case derivation — see the module docstring.
+    ``metrics=True`` arms the per-worker metrics plane: the outcome
+    then carries the run's merged per-attempt :class:`RunMetrics`."""
     prog, streams, plan, sync_ts = build_workload(case)
     fault_plan = None
     reconfig_schedule = None
@@ -342,6 +348,7 @@ def run_chaos_case(
             timeout_s=timeout_s,
             transport=transport,
             nodes=nodes,
+            metrics=metrics,
         ),
     )
     reference = run_sequential_reference(prog, streams)
@@ -363,6 +370,7 @@ def run_chaos_case(
             len(run.reconfig.reconfigurations) if run.reconfig is not None else 0
         ),
         plan_widths=widths,
+        metrics=run.metrics,
     )
 
 
@@ -445,9 +453,12 @@ class ChaosSummary:
         sweep-level totals — what the nightly CI job uploads as an
         artifact so fault/recovery behaviour is trendable over time.
 
-        Chaos cases are recovering/elastic runs, so the per-worker
-        metrics plane stays off (``BackendRun.metrics is None`` by
-        design); the snapshot here is the recovery/reconfig ledger."""
+        Each case's entry pairs the recovery/reconfig ledger with the
+        run's merged per-attempt :class:`RunMetrics` (``"metrics"``,
+        via ``to_json()``) when the sweep ran with the metrics plane
+        armed — ``--metrics-out`` arms it — so latency/backlog under
+        injected faults and migrations is trendable, not just the
+        attempt counts."""
         return {
             "schema": 1,
             "kind": "chaos_metrics",
@@ -479,6 +490,9 @@ class ChaosSummary:
                     "replayed_events": o.replayed_events,
                     "reconfigs": o.reconfigs,
                     "plan_widths": list(o.plan_widths),
+                    "metrics": (
+                        o.metrics.to_json() if o.metrics is not None else None
+                    ),
                 }
                 for o in self.outcomes
             ],
@@ -508,6 +522,7 @@ def run_chaos_suite(
     timeout_s: float = 60.0,
     transport: Optional[str] = None,
     nodes: Optional[int] = None,
+    metrics: bool = False,
 ) -> ChaosSummary:
     cases = generate_cases(
         seed=seed, n_cases=n_cases, backends=backends, modes=modes
@@ -518,7 +533,13 @@ def run_chaos_suite(
             raise SystemExit(f"no case {only!r} in this sweep (seed={seed})")
     return ChaosSummary(
         [
-            run_chaos_case(c, timeout_s=timeout_s, transport=transport, nodes=nodes)
+            run_chaos_case(
+                c,
+                timeout_s=timeout_s,
+                transport=transport,
+                nodes=nodes,
+                metrics=metrics,
+            )
             for c in cases
         ],
         transport=transport,
@@ -571,9 +592,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     )
     ap.add_argument(
         "--metrics-out", default=None, metavar="DIR",
-        help="write a machine-readable chaos_metrics.json snapshot of "
-        "the sweep (per-case recovery/reconfig counters) under DIR — "
-        "uploaded as an artifact by the nightly CI job",
+        help="arm the per-worker metrics plane and write a "
+        "machine-readable chaos_metrics.json snapshot of the sweep "
+        "(per-case recovery/reconfig counters plus each case's merged "
+        "per-attempt RunMetrics) under DIR — uploaded as an artifact "
+        "by the nightly CI job",
     )
     args = ap.parse_args(argv)
     n_cases = args.cases
@@ -589,6 +612,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         only=args.only,
         transport=args.transport,
         nodes=args.nodes,
+        metrics=args.metrics_out is not None,
     )
     print(summary.describe())
     if args.metrics_out is not None:

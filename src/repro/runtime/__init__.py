@@ -136,9 +136,16 @@ class BackendRun(RunStatsMixin):
     #: The ReconfiguredRun when the execution ran with
     #: reconfig_schedule= (migrations, phases, plan history).
     reconfig: Any = None
-    #: The RunMetrics snapshot when the execution ran with
-    #: ``metrics=True`` (plain runs only; recovering/elastic runs keep
-    #: this None — per-attempt metrics are a later extension).
+    #: The RunMetrics when the execution ran with ``metrics=True``.
+    #: Plain runs carry the single attempt's metrics; recovering and
+    #: elastic runs carry the merge across attempts with the
+    #: recovery/elasticity counters stamped (attempts, replayed
+    #: events, checkpoints restored, migration pause) — per-attempt
+    #: snapshots stay accessible on ``recovery.attempt_metrics`` and
+    #: ``reconfig.phases[i].metrics``.  Each attempt has its own
+    #: latency epoch, so a replayed event's latency is its true
+    #: recovery delay (restart to re-commit), not time-since-original-
+    #: release.
     metrics: Any = None
 
 
@@ -217,6 +224,7 @@ class RuntimeBackend:
             wall_s=rec.wall_s,
             raw=rec,
             recovery=rec,
+            metrics=rec.metrics,
         )
 
     def _run_elastic(self, program, plan, streams, opts: RunOptions) -> BackendRun:
@@ -240,6 +248,7 @@ class RuntimeBackend:
             raw=rec,
             recovery=rec,
             reconfig=rec,
+            metrics=rec.metrics,
         )
 
     # -- substrate hooks -------------------------------------------------
@@ -288,6 +297,7 @@ class SimBackend(RuntimeBackend):
             faults=opts.fault_plan,
             record_keys=True,
             reconfig=reconfig_view,
+            metrics=opts.metrics_config(),
             **opts.extra,
         ).run(streams, initial_state=initial_state)
         return AttemptOutcome(
@@ -300,6 +310,7 @@ class SimBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=time.perf_counter() - t0,
             quiesce=res.quiesce,
+            metrics=res.metrics,
         )
 
 
@@ -338,6 +349,7 @@ class ThreadedBackend(RuntimeBackend):
             faults=opts.fault_plan,
             record_keys=True,
             reconfig=reconfig_view,
+            metrics=opts.metrics_config(),
         )
         return AttemptOutcome(
             outputs=res.outputs,
@@ -349,6 +361,7 @@ class ThreadedBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=res.wall_s,
             quiesce=res.quiesce,
+            metrics=res.metrics,
         )
 
 
@@ -426,6 +439,7 @@ class ProcessBackend(RuntimeBackend):
             faults=opts.fault_plan,
             record_keys=True,
             reconfig=reconfig_view,
+            metrics=opts.metrics_config(),
         )
         return AttemptOutcome(
             outputs=res.outputs,
@@ -437,7 +451,42 @@ class ProcessBackend(RuntimeBackend):
             joins=res.joins,
             wall_s=res.wall_s,
             quiesce=res.quiesce,
+            metrics=res.metrics,
         )
+
+    def _shared_exporter(self, opts: RunOptions):
+        # Cluster attempts each construct a fresh ClusterLauncher, so a
+        # per-run exporter would bind, serve one attempt, and vanish —
+        # exactly when a scrape wants to watch a recovery.  Own one
+        # exporter here for the whole recovering/elastic run and hand
+        # the live instance down through metrics_port; the launcher
+        # reuses it, opening a new attempt="N" label group per attempt,
+        # and leaves stopping it to us.
+        if opts.nodes is None or not opts.metrics or opts.metrics_port is None:
+            return None
+        return MetricsExporter(port=int(opts.metrics_port)).start()
+
+    def _run_recovering(self, program, plan, streams, opts):
+        exporter = self._shared_exporter(opts)
+        if exporter is None:
+            return super()._run_recovering(program, plan, streams, opts)
+        opts = copy.copy(opts)
+        opts.metrics_port = exporter
+        try:
+            return super()._run_recovering(program, plan, streams, opts)
+        finally:
+            exporter.stop()
+
+    def _run_elastic(self, program, plan, streams, opts):
+        exporter = self._shared_exporter(opts)
+        if exporter is None:
+            return super()._run_elastic(program, plan, streams, opts)
+        opts = copy.copy(opts)
+        opts.metrics_port = exporter
+        try:
+            return super()._run_elastic(program, plan, streams, opts)
+        finally:
+            exporter.stop()
 
 
 BACKENDS: Dict[str, RuntimeBackend] = {

@@ -37,6 +37,8 @@ __all__ = [
     "MetricsSnapshot",
     "RunMetrics",
     "MetricsExporter",
+    "merge_attempt_metrics",
+    "prometheus_render",
 ]
 
 
@@ -104,7 +106,12 @@ class LatencyHistogram:
 
     def percentile(self, q: float) -> float:
         """Approximate percentile (0..100) by linear interpolation
-        inside the bucket containing the target rank; 0.0 when empty."""
+        inside the bucket containing the target rank; 0.0 when empty.
+
+        A rank landing in the overflow bucket returns ``+inf``: the
+        true value is above the last edge and unbounded, and clamping
+        it to ``bounds[-1]`` would let a latency gate read an
+        overflowed tail as "in range"."""
         if self.count == 0:
             return 0.0
         rank = q / 100.0 * self.count
@@ -113,16 +120,30 @@ class LatencyHistogram:
             if c == 0:
                 continue
             if seen + c >= rank:
+                if i == len(self.bounds):
+                    return float("inf")
                 lo = self.bounds[i - 1] if i > 0 else 0.0
-                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                hi = self.bounds[i]
                 frac = (rank - seen) / c
                 return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
             seen += c
-        return self.bounds[-1]
+        return float("inf") if self.counts[-1] else self.bounds[-1]
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bucket edge."""
+        return self.counts[-1]
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def copy(self) -> "LatencyHistogram":
+        h = LatencyHistogram(self.bounds)
+        h.counts = list(self.counts)
+        h.count = self.count
+        h.sum = self.sum
+        return h
 
     # -- wire form: compact sparse tuple of plain scalars so snapshots
     # ride the fast scalar-tuple frame codec (wire._pack_scalar).
@@ -207,11 +228,39 @@ class MetricsSnapshot:
             if h is not None and h.count:
                 d[name] = {
                     "count": h.count,
+                    "overflow": h.overflow,
                     "mean_s": h.mean,
                     "p50_s": h.percentile(50),
                     "p99_s": h.percentile(99),
                 }
         return d
+
+    def copy(self) -> "MetricsSnapshot":
+        snap = MetricsSnapshot(worker=self.worker, max_backlog=self.max_backlog)
+        for k in self._COUNTERS:
+            setattr(snap, k, getattr(self, k))
+        snap.join_rtt = self.join_rtt.copy() if self.join_rtt else None
+        snap.event_latency = self.event_latency.copy() if self.event_latency else None
+        return snap
+
+    def add(self, other: "MetricsSnapshot") -> None:
+        """Accumulate ``other`` into this snapshot: counters sum,
+        backlogs take the high-water, histograms merge (bucket-checked).
+        This is the cross-*attempt* combinator — unlike
+        :meth:`RunMetrics.absorb`, which keeps the richest of several
+        reports of the *same* attempt."""
+        for k in self._COUNTERS:
+            setattr(self, k, getattr(self, k) + getattr(other, k))
+        self.max_backlog = max(self.max_backlog, other.max_backlog)
+        for attr in ("join_rtt", "event_latency"):
+            theirs: Optional[LatencyHistogram] = getattr(other, attr)
+            if theirs is None:
+                continue
+            mine: Optional[LatencyHistogram] = getattr(self, attr)
+            if mine is None:
+                setattr(self, attr, theirs.copy())
+            else:
+                mine.merge(theirs)
 
 
 class WorkerMetrics:
@@ -231,6 +280,7 @@ class WorkerMetrics:
         "messages_sent",
         "frames_received",
         "max_backlog",
+        "backlog_window",
         "join_rtt",
         "event_latency",
         "subtree",
@@ -246,6 +296,7 @@ class WorkerMetrics:
         self.messages_sent = 0
         self.frames_received = 0
         self.max_backlog = 0
+        self.backlog_window = 0
         self.join_rtt = LatencyHistogram(self.config.latency_buckets)
         self.event_latency = LatencyHistogram(self.config.latency_buckets)
         # Root side: latest wire snapshot per descendant worker.
@@ -256,6 +307,17 @@ class WorkerMetrics:
     def note_backlog(self, depth: int) -> None:
         if depth > self.max_backlog:
             self.max_backlog = depth
+        if depth > self.backlog_window:
+            self.backlog_window = depth
+
+    def take_backlog_window(self) -> int:
+        """High-water backlog since the last call, then reset — the
+        windowed load signal the root feeds the auto-scaler (a spike
+        between two joins is visible even if the queue drained by the
+        instant of the join itself)."""
+        hw = self.backlog_window
+        self.backlog_window = 0
+        return hw
 
     def observe_event_latency(self, now_wall: float, ts_ms: float) -> None:
         epoch = self.config.epoch
@@ -303,10 +365,38 @@ class WorkerMetrics:
 
 @dataclass
 class RunMetrics:
-    """Cross-worker metrics for one run, attached to run results."""
+    """Cross-worker metrics for one run, attached to run results.
+
+    For a plain run the recovery/elasticity counters below stay zero.
+    For a recovering or elastic run the drivers build one
+    ``RunMetrics`` per *attempt* (each with its own latency epoch,
+    stamped when that attempt's producers were released — so a
+    replayed event's latency measures its true recovery delay, from
+    restart to re-commit) and fold them into a whole-run total with
+    :func:`merge_attempt_metrics`, stamping ``attempts``,
+    ``replayed_events``, ``checkpoints_restored``,
+    ``reconfigurations``, and ``migration_pause_s``."""
 
     per_worker: Dict[str, MetricsSnapshot] = field(default_factory=dict)
     latency_buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    #: Execution attempts the metrics cover (0 = single plain run).
+    attempts: int = 0
+    #: Events re-fed through the protocol by crash recoveries.
+    replayed_events: int = 0
+    #: Checkpoint restores performed (one per recovery step).
+    checkpoints_restored: int = 0
+    #: Completed plan migrations (elastic runs).
+    reconfigurations: int = 0
+    #: Total driver-side migration pause across all reconfigurations.
+    migration_pause_s: float = 0.0
+
+    _RECOVERY_COUNTERS = (
+        "attempts",
+        "replayed_events",
+        "checkpoints_restored",
+        "reconfigurations",
+        "migration_pause_s",
+    )
 
     def absorb(self, snap: MetricsSnapshot) -> None:
         """Keep the richer snapshot when a worker reports twice (live
@@ -314,6 +404,18 @@ class RunMetrics:
         prev = self.per_worker.get(snap.worker)
         if prev is None or snap.events_processed >= prev.events_processed:
             self.per_worker[snap.worker] = snap
+
+    def accumulate(self, other: "RunMetrics") -> None:
+        """Fold another attempt's metrics into this one as totals:
+        per-worker counters sum and histograms merge
+        (:meth:`MetricsSnapshot.add`); ``other`` is left untouched, so
+        per-attempt snapshots stay inspectable after the merge."""
+        for w, snap in other.per_worker.items():
+            mine = self.per_worker.get(w)
+            if mine is None:
+                self.per_worker[w] = snap.copy()
+            else:
+                mine.add(snap)
 
     def merged(self) -> MetricsSnapshot:
         total = MetricsSnapshot(worker="all")
@@ -345,61 +447,122 @@ class RunMetrics:
         return self.latency_percentile(99)
 
     def to_json(self) -> Dict[str, Any]:
-        m = self.merged()
-        return {
-            "merged": m.to_json(),
+        out = {
+            "merged": self.merged().to_json(),
             "per_worker": {w: s.to_json() for w, s in sorted(self.per_worker.items())},
         }
+        if self.attempts:
+            out["recovery"] = {k: getattr(self, k) for k in self._RECOVERY_COUNTERS}
+        return out
 
-    def prometheus_text(self) -> str:
-        """Render in Prometheus text exposition format."""
-        lines: List[str] = []
+    def prometheus_text(self, extra_labels: str = "") -> str:
+        """Render in Prometheus text exposition format.
 
-        def gauge(name: str, help_: str, rows: List[Tuple[str, float]]) -> None:
-            lines.append(f"# HELP {name} {help_}")
-            lines.append(f"# TYPE {name} gauge")
-            for labels, v in rows:
-                lines.append(f"{name}{{{labels}}} {v}")
+        ``extra_labels`` (e.g. ``attempt="2"``) is prefixed to every
+        sample's label set — how the cluster exporter distinguishes
+        attempts of a recovering/elastic run on one endpoint."""
+        return prometheus_render([(extra_labels, self)])
 
-        for counter, help_ in (
-            ("events_processed", "Events processed by the worker loop"),
-            ("joins_completed", "Join/fork rounds completed"),
-            ("batches_sent", "Transport batches flushed"),
-            ("messages_sent", "Messages sent inside batches"),
-            ("frames_received", "Wire frames received"),
-            ("max_backlog", "High-water mailbox/backlog depth"),
-        ):
-            gauge(
-                f"repro_worker_{counter}",
-                help_,
-                [
-                    (f'worker="{w}"', float(getattr(s, counter)))
-                    for w, s in sorted(self.per_worker.items())
-                ],
-            )
-        for hname, attr in (("join_rtt", "join_rtt"), ("event_latency", "event_latency")):
-            base = f"repro_{hname}_seconds"
-            lines.append(f"# HELP {base} Latency histogram ({hname})")
-            lines.append(f"# TYPE {base} histogram")
-            for w, s in sorted(self.per_worker.items()):
+
+def prometheus_render(groups: Sequence[Tuple[str, RunMetrics]]) -> str:
+    """Prometheus text for one or more label-prefixed metric groups.
+
+    Each group is ``(extra_labels, metrics)``; ``extra_labels`` (e.g.
+    ``attempt="1"``) is prefixed to every sample from that group.  HELP
+    and TYPE headers are emitted once per metric name even when several
+    groups carry it, keeping multi-attempt exposition valid."""
+    lines: List[str] = []
+
+    def lbl(extra: str, labels: str) -> str:
+        if extra and labels:
+            return f"{extra},{labels}"
+        return extra or labels
+
+    for counter, help_ in (
+        ("events_processed", "Events processed by the worker loop"),
+        ("joins_completed", "Join/fork rounds completed"),
+        ("batches_sent", "Transport batches flushed"),
+        ("messages_sent", "Messages sent inside batches"),
+        ("frames_received", "Wire frames received"),
+        ("max_backlog", "High-water mailbox/backlog depth"),
+    ):
+        name = f"repro_worker_{counter}"
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} gauge")
+        for extra, rm in groups:
+            for w, s in sorted(rm.per_worker.items()):
+                labels = lbl(extra, f'worker="{w}"')
+                lines.append(f"{name}{{{labels}}} {float(getattr(s, counter))}")
+    for hname, attr in (("join_rtt", "join_rtt"), ("event_latency", "event_latency")):
+        base = f"repro_{hname}_seconds"
+        lines.append(f"# HELP {base} Latency histogram ({hname})")
+        lines.append(f"# TYPE {base} histogram")
+        for extra, rm in groups:
+            for w, s in sorted(rm.per_worker.items()):
                 h: Optional[LatencyHistogram] = getattr(s, attr)
                 if h is None:
                     continue
                 cum = 0
+                wl = lbl(extra, f'worker="{w}"')
                 for i, bound in enumerate(h.bounds):
                     cum += h.counts[i]
-                    lines.append(f'{base}_bucket{{worker="{w}",le="{bound:g}"}} {cum}')
-                lines.append(f'{base}_bucket{{worker="{w}",le="+Inf"}} {h.count}')
-                lines.append(f'{base}_sum{{worker="{w}"}} {h.sum}')
-                lines.append(f'{base}_count{{worker="{w}"}} {h.count}')
-        return "\n".join(lines) + "\n"
+                    bl = lbl(wl, f'le="{bound:g}"')
+                    lines.append(f"{base}_bucket{{{bl}}} {cum}")
+                bl = lbl(wl, 'le="+Inf"')
+                lines.append(f"{base}_bucket{{{bl}}} {h.count}")
+                lines.append(f"{base}_sum{{{wl}}} {h.sum}")
+                lines.append(f"{base}_count{{{wl}}} {h.count}")
+    for counter, help_ in (
+        ("attempts", "Execution attempts the metrics cover"),
+        ("replayed_events", "Events replayed by crash recoveries"),
+        ("checkpoints_restored", "Checkpoint restores performed"),
+        ("reconfigurations", "Completed plan migrations"),
+        ("migration_pause_s", "Total driver-side migration pause (s)"),
+    ):
+        rows = [
+            (extra, rm) for extra, rm in groups if rm.attempts
+        ]
+        if not rows:
+            continue
+        name = f"repro_run_{counter}"
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} gauge")
+        for extra, rm in rows:
+            labels = f"{{{extra}}}" if extra else ""
+            lines.append(f"{name}{labels} {float(getattr(rm, counter))}")
+    return "\n".join(lines) + "\n"
+
+
+def merge_attempt_metrics(
+    per_attempt: Sequence[Optional[RunMetrics]],
+) -> Optional[RunMetrics]:
+    """Whole-run totals from per-attempt :class:`RunMetrics`: counters
+    sum, backlogs take the high-water, and latency histograms merge
+    across attempts (each attempt's epoch is its own producer-release
+    instant, so replayed events contribute their true recovery delay).
+    ``None`` entries (attempts that reported no metrics) are skipped;
+    all-``None`` input — the metrics plane was off — yields ``None``."""
+    real = [m for m in per_attempt if m is not None]
+    if not real:
+        return None
+    total = RunMetrics(latency_buckets=real[0].latency_buckets)
+    for m in real:
+        total.accumulate(m)
+    total.attempts = len(real)
+    return total
 
 
 class MetricsExporter:
     """Tiny stdlib HTTP server publishing Prometheus text on /metrics.
 
     The coordinator updates the store with whatever snapshots have
-    arrived; scrapes never block the data plane.
+    arrived; scrapes never block the data plane.  A plain run uses the
+    default attempt bucket (no ``attempt`` label); the recovering and
+    elastic cluster paths call :meth:`begin_attempt` before each
+    attempt, which keeps every prior attempt's final state scrapeable
+    under its ``attempt="n"`` label while the live attempt updates —
+    the exporter stays up across the whole multi-attempt run instead
+    of going dark at every crash or migration.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0):
@@ -424,7 +587,10 @@ class MetricsExporter:
                 pass
 
         self._lock = threading.Lock()
-        self._metrics = RunMetrics()
+        #: attempt index -> that attempt's live/final RunMetrics; key 0
+        #: is the unlabeled bucket plain (single-attempt) runs use.
+        self._attempt = 0
+        self._by_attempt: Dict[int, RunMetrics] = {0: RunMetrics()}
         self._server = http.server.ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self._thread = threading.Thread(
@@ -439,9 +605,17 @@ class MetricsExporter:
         self._thread.start()
         return self
 
+    def begin_attempt(self) -> int:
+        """Open a new ``attempt="n"`` bucket (1-based) for subsequent
+        updates; earlier attempts' final state stays scrapeable."""
+        with self._lock:
+            self._attempt += 1
+            self._by_attempt[self._attempt] = RunMetrics()
+            return self._attempt
+
     def update(self, snap: MetricsSnapshot) -> None:
         with self._lock:
-            self._metrics.absorb(snap)
+            self._by_attempt[self._attempt].absorb(snap)
 
     def update_wire(
         self, wire: Tuple[Any, ...], bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
@@ -450,7 +624,14 @@ class MetricsExporter:
 
     def render(self) -> str:
         with self._lock:
-            return self._metrics.prometheus_text()
+            if self._attempt == 0:
+                return self._by_attempt[0].prometheus_text()
+            groups = [
+                (f'attempt="{a}"', rm)
+                for a, rm in sorted(self._by_attempt.items())
+                if a > 0
+            ]
+        return prometheus_render(groups)
 
     def stop(self) -> None:
         self._server.shutdown()

@@ -65,6 +65,7 @@ from .protocol import (
     end_timestamp,
     initial_leaf_states,
     paced_producer_schedule,
+    paced_schedule_anchor,
     producer_messages,
 )
 from .runtime import InputStream
@@ -403,8 +404,13 @@ class ProcessRuntime:
                     streams, lambda s: self.plan.owner_of(s.itag).id, end_ts
                 )
                 start = time.monotonic()
+                # Anchor at the first event timestamp: workloads whose
+                # timestamps start at T >> 0 would otherwise stall
+                # T/pace seconds (heartbeating dead time) before the
+                # first event.
+                ts0 = paced_schedule_anchor(sched)
                 for ts, owner, msg in sched:
-                    delay = start + ts / pace - time.monotonic()
+                    delay = start + (ts - ts0) / pace - time.monotonic()
                     if delay > 0:
                         batcher.flush()
                         time.sleep(delay)

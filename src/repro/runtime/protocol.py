@@ -324,11 +324,18 @@ class WorkerCore:
             if self.parent_id is None and self.reconfig is not None:
                 # Elastic reconfiguration hook: the joined state is a
                 # consistent snapshot, and the summed backlogs are the
-                # cluster-wide queue depth at this instant.  May raise
+                # cluster-wide queue depth at this instant.  When the
+                # metrics plane is on, also hand over its backlog
+                # high-water since the last join — the AutoScaler's
+                # watermarks read the windowed peak, not just the
+                # instant the join happened to sample.  May raise
                 # QuiesceSignal (the substrate stops the attempt and
                 # the driver migrates; the fork below never happens).
                 self.reconfig.maybe_quiesce(
-                    event, subtree_backlog + self.unprocessed(), joined
+                    event,
+                    subtree_backlog + self.unprocessed(),
+                    joined,
+                    backlog_hw=m.take_backlog_window() if m is not None else 0,
                 )
             self._fork_down(req_id, joined)
             self.blocked = False
@@ -487,3 +494,16 @@ def paced_producer_schedule(
             sched.append((ts, idx, seq, owner, msg))
     sched.sort(key=lambda t: (t[0], t[1], t[2]))
     return [(ts, owner, msg) for ts, _i, _s, owner, msg in sched]
+
+
+def paced_schedule_anchor(sched: Sequence[Tuple[float, str, Any]]) -> float:
+    """The pacing origin for a merged schedule: its first *event*
+    timestamp.  A workload whose timestamps start at T >> 0 must not
+    stall T/pace seconds before its first event — anchoring here gives
+    everything earlier (the periodic heartbeats that pad out the dead
+    interval) a negative due time, so the pump releases it immediately
+    and starts pacing at the first event."""
+    for ts, _owner, msg in sched:
+        if isinstance(msg, EventMsg):
+            return ts
+    return sched[0][0] if sched else 0.0

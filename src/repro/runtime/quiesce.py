@@ -124,12 +124,23 @@ class WatermarkTrigger:
     low_watermark: Optional[int] = None
     cooldown_joins: int = 1
 
-    def reason_for(self, queue_depth: int, joins_seen: int) -> Optional[str]:
+    def reason_for(
+        self, queue_depth: int, joins_seen: int, backlog_hw: int = 0
+    ) -> Optional[str]:
+        """``queue_depth`` is the instantaneous cluster-wide depth at
+        the join; ``backlog_hw`` is the metrics-plane backlog
+        high-water since the previous decision (0 when the plane is
+        off).  Scale-out fires when *either* crosses the high
+        watermark — a burst that drained before the join still counts
+        as load; scale-in needs *both* at or below the low watermark,
+        so a bursty-but-currently-empty queue does not shed width it
+        is about to need."""
         if joins_seen < self.cooldown_joins:
             return None
-        if self.high_watermark is not None and queue_depth >= self.high_watermark:
+        load = max(queue_depth, backlog_hw)
+        if self.high_watermark is not None and load >= self.high_watermark:
             return SCALE_OUT
-        if self.low_watermark is not None and queue_depth <= self.low_watermark:
+        if self.low_watermark is not None and load <= self.low_watermark:
             return SCALE_IN
         return None
 
@@ -156,9 +167,15 @@ class RootReconfigView:
         self._watermarks = watermarks
         self.joins_seen = 0
 
-    def maybe_quiesce(self, event: Any, queue_depth: int, state: Any) -> None:
+    def maybe_quiesce(
+        self, event: Any, queue_depth: int, state: Any, backlog_hw: int = 0
+    ) -> None:
         """Called by the root at every completed event-join; raises
-        :class:`QuiesceSignal` when a reconfiguration trigger is due."""
+        :class:`QuiesceSignal` when a reconfiguration trigger is due.
+        ``backlog_hw`` is the metrics-plane backlog high-water since
+        the last join (see :meth:`WatermarkTrigger.reason_for`);
+        substrates without the plane leave it 0 and the watermarks
+        fall back to the instantaneous depth alone."""
         self.joins_seen += 1
         for trig in self._points:
             if trig.due(self.joins_seen, event.ts):
@@ -175,7 +192,9 @@ class RootReconfigView:
                     )
                 )
         if self._watermarks is not None:
-            reason = self._watermarks.reason_for(queue_depth, self.joins_seen)
+            reason = self._watermarks.reason_for(
+                queue_depth, self.joins_seen, backlog_hw
+            )
             if reason is not None:
                 raise QuiesceSignal(
                     QuiesceRecord(

@@ -60,6 +60,7 @@ from .quiesce import (
 from .recovery import (
     AttemptOutcome,
     RecoveryStep,
+    _stamp_run_metrics,
     assert_recovery_sound,
     restart_from_crash,
     suffix_streams,
@@ -276,6 +277,10 @@ class PhaseRecord:
     events_processed: int
     joins: int
     wall_s: float
+    #: The phase's RunMetrics when the metrics plane was on — the
+    #: per-shape load/latency signal metrics-driven scaling reads
+    #: (each phase has its own latency epoch); None otherwise.
+    metrics: Any = None
 
     @property
     def throughput_events_per_s(self) -> float:
@@ -300,6 +305,13 @@ class ReconfiguredRun(RunStatsMixin):
     phases: List[PhaseRecord] = field(default_factory=list)
     #: Every plan shape the execution ran through, initial one first.
     plan_history: List[SyncPlan] = field(default_factory=list)
+    #: One RunMetrics per attempt that reported metrics — crashed
+    #: attempts included (phases cover only clean attempts), in attempt
+    #: order; empty when the metrics plane was off.
+    attempt_metrics: List[Any] = field(default_factory=list)
+    #: Whole-run merge of attempt_metrics with the recovery and
+    #: elasticity counters stamped; None when the plane was off.
+    metrics: Any = None
 
     @property
     def recovered(self) -> bool:
@@ -385,6 +397,8 @@ def run_with_reconfig(
         run.events_processed += out.events_processed
         run.joins += out.joins
         run.wall_s += out.wall_s
+        if out.metrics is not None:
+            run.attempt_metrics.append(out.metrics)
         if attempt == 1:
             run.events_in = out.events_in
 
@@ -420,6 +434,7 @@ def run_with_reconfig(
                 events_processed=out.events_processed,
                 joins=out.joins,
                 wall_s=out.wall_s,
+                metrics=out.metrics,
             )
         )
         if out.quiesce is not None:
@@ -461,6 +476,7 @@ def run_with_reconfig(
             continue
 
         run.outputs = committed + list(out.outputs)
+        _stamp_run_metrics(run)
         return run
     raise RuntimeFault(
         f"elastic execution did not converge after {cap} attempts "

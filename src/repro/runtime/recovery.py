@@ -42,6 +42,7 @@ from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
 from .checkpoint import Checkpoint
 from .faults import CrashRecord, FaultPlan
+from .metrics import merge_attempt_metrics
 from .protocol import INIT_STATE, RunStatsMixin
 from .runtime import InputStream
 
@@ -61,6 +62,13 @@ class AttemptOutcome:
     #: QuiesceRecord when the attempt stopped at a reconfiguration
     #: point (see repro.runtime.reconfigure); None otherwise.
     quiesce: Any = None
+    #: The attempt's RunMetrics when the metrics plane was on (crashed
+    #: and quiesced attempts report too — fault-path latency/backlog is
+    #: exactly what the plane exists to see); None otherwise.  Each
+    #: attempt carries its own latency epoch (stamped at that attempt's
+    #: producer release), so a replayed event's recorded latency is its
+    #: true recovery delay: restart to re-commit.
+    metrics: Any = None
 
 
 #: (streams, initial_state) -> AttemptOutcome; the fault plan and the
@@ -91,6 +99,12 @@ class RecoveredRun(RunStatsMixin):
     crashes: List[CrashRecord] = field(default_factory=list)
     recoveries: List[RecoveryStep] = field(default_factory=list)
     checkpoints_taken: int = 0
+    #: One RunMetrics per attempt that reported metrics, in attempt
+    #: order (empty when the metrics plane was off).
+    attempt_metrics: List[Any] = field(default_factory=list)
+    #: Whole-run merge of attempt_metrics with the recovery counters
+    #: stamped (see metrics.merge_attempt_metrics); None when off.
+    metrics: Any = None
 
     @property
     def recovered(self) -> bool:
@@ -199,6 +213,25 @@ def restart_from_crash(
     )
 
 
+def _stamp_run_metrics(run: Any) -> None:
+    """Merge ``run.attempt_metrics`` into a whole-run
+    :class:`~repro.runtime.metrics.RunMetrics` and stamp the
+    recovery/elasticity counters onto it; shared by the recovery and
+    reconfiguration drivers (the latter additionally carries
+    ``reconfigurations``).  No-op when the metrics plane was off."""
+    merged = merge_attempt_metrics(run.attempt_metrics)
+    if merged is None:
+        return
+    merged.attempts = run.attempts
+    merged.replayed_events = run.replayed_events
+    merged.checkpoints_restored = len(run.recoveries)
+    steps = getattr(run, "reconfigurations", None)
+    if steps:
+        merged.reconfigurations = len(steps)
+        merged.migration_pause_s = sum(s.pause_s for s in steps)
+    run.metrics = merged
+
+
 def run_with_recovery(
     attempt_fn: AttemptFn,
     program: DGSProgram,
@@ -226,10 +259,13 @@ def run_with_recovery(
         run.events_processed += out.events_processed
         run.joins += out.joins
         run.wall_s += out.wall_s
+        if out.metrics is not None:
+            run.attempt_metrics.append(out.metrics)
         if attempt == 1:
             run.events_in = out.events_in
         if not out.crashes:
             run.outputs = committed + list(out.outputs)
+            _stamp_run_metrics(run)
             return run
         run.crashes.extend(out.crashes)
         for crash in out.crashes:

@@ -217,9 +217,10 @@ class TestRunEntryPoints:
             assert set(m.per_worker) == {n.id for n in plan.workers()}
             assert merged.joins_completed > 0
 
-    def test_recovering_run_keeps_metrics_none(self):
-        """Per-attempt metrics are a later extension: fault/reconfig
-        runs deliberately report ``metrics=None`` even when asked."""
+    def test_recovering_run_merges_per_attempt_metrics(self):
+        """A fault run with ``metrics=True`` reports a merged
+        RunMetrics with the recovery counters stamped, and keeps one
+        snapshot per attempt on ``recovery.attempt_metrics``."""
         prog, streams, plan = _small_case()
         victim = plan.leaves()[0].id
         fp = FaultPlan(CrashFault(victim, at_ts=streams[-1].events[1].ts + 0.01))
@@ -234,8 +235,14 @@ class TestRunEntryPoints:
                 checkpoint_predicate=every_root_join(),
             ),
         )
-        assert run.recovery is not None and run.recovery.attempts == 2
-        assert run.metrics is None
+        rec = run.recovery
+        assert rec is not None and rec.attempts == 2
+        assert run.metrics is not None and run.metrics is rec.metrics
+        assert len(rec.attempt_metrics) == rec.attempts
+        assert run.metrics.attempts == 2
+        assert run.metrics.checkpoints_restored == len(rec.recoveries) == 1
+        assert run.metrics.replayed_events == rec.replayed_events > 0
+        assert run.metrics.to_json()["recovery"]["attempts"] == 2
 
     def test_loose_kwargs_warn_and_options_do_not(self):
         prog, streams, plan = _small_case(values_per_barrier=10, n_barriers=2)
