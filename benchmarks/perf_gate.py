@@ -9,7 +9,8 @@ Regenerate the committed baselines after an intentional perf change
 (run the smoke benchmarks first so fresh results exist)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
-        benchmarks/bench_transport.py --smoke -q
+        benchmarks/bench_transport.py \\
+        benchmarks/bench_adversarial.py --smoke -q
     PYTHONPATH=src python benchmarks/perf_gate.py rebase
 
 See :mod:`repro.bench.perfgate` for the comparison rules (directional

@@ -14,16 +14,27 @@ Modules: :mod:`keycounter` (the Figure-1 running example),
 :mod:`value_barrier` (event-based windowing), :mod:`pageview`
 (page-view join), :mod:`fraud` (fraud detection), :mod:`outlier`
 (Reloaded outlier detection, A.1), :mod:`smarthome` (DEBS'14 power
-prediction, A.2).
+prediction, A.2), :mod:`sessionize` (per-key sessionization with
+timeout-triggered flushes — beyond the paper's six, exercising
+time-gap state machines under the same verification matrix).
 """
 
-from . import fraud, keycounter, outlier, pageview, smarthome, value_barrier
+from . import (
+    fraud,
+    keycounter,
+    outlier,
+    pageview,
+    sessionize,
+    smarthome,
+    value_barrier,
+)
 
 __all__ = [
     "fraud",
     "keycounter",
     "outlier",
     "pageview",
+    "sessionize",
     "smarthome",
     "value_barrier",
 ]

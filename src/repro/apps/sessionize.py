@@ -1,0 +1,279 @@
+"""Per-key sessionization with timeout-triggered flushes — the seventh
+app family (ROADMAP item 5), stressing a synchronization shape the
+paper's six do not: *time-gap* state machines per key, closed either by
+the key's own next activity or by a global flush tick.
+
+Input: one *activity* stream per key and one *flush* stream of timer
+ticks.  A session is a maximal run of same-key activities in which no
+gap between consecutive events strictly exceeds the timeout.  A closed
+session is emitted **exactly once** as ``("session", key, start_ts,
+end_ts, count)``, in one of two ways:
+
+* *lazily*, when the key's next activity arrives more than ``timeout``
+  after the session's last event (the new activity opens a fresh
+  session), or
+* *eagerly*, when a flush tick arrives and the session has been idle
+  strictly longer than the timeout (timeout-triggered flush — the
+  reason real sessionizers need timers at all: a key that goes quiet
+  forever would otherwise never emit).
+
+The boundary is strict on both paths: a gap of **exactly** ``timeout``
+keeps the session open.  Sessions still open when the input ends are
+never emitted (there is no end-of-stream hook in the DGS model; the
+generator ends with a closing flush past the horizon so finite
+workloads drain completely).
+
+Dependence: ``act(k)`` depends on itself (gap logic is order-sensitive
+within a key) and on the flush tag; activities of different keys are
+independent (the per-key parallelism); the flush tag depends on
+everything — it is the globally-synchronizing tag, so rooted plans are
+sound for checkpoint recovery and live reconfiguration.  ``fork``
+splits open sessions by key ownership; ``join`` merges the disjoint
+maps — the re-shardable shape (:func:`make_plan` builds it via
+:func:`~repro.plans.generation.rooted_shards_plan`, and
+:func:`~repro.plans.morph.repartition_plan` regroups the same per-key
+components at any width in ``[1, n_keys]`` mid-run).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..core.dependence import DependenceRelation
+from ..core.events import Event, ImplTag
+from ..core.predicates import TagPredicate
+from ..core.program import DGSProgram, single_state_program
+from ..data.adversarial import zipf_weights
+from ..plans.generation import rooted_shards_plan
+from ..plans.plan import SyncPlan
+from ..runtime.runtime import InputStream
+
+FLUSH_TAG = "flush"
+
+#: key -> (start_ts, last_ts, count) of the key's open session.
+SessionState = Dict[int, Tuple[float, float, int]]
+
+
+def act_tag(key: int):
+    return ("act", key)
+
+
+def tag_universe(n_keys: int) -> List[Any]:
+    return [act_tag(k) for k in range(n_keys)] + [FLUSH_TAG]
+
+
+def depends_fn(t1, t2) -> bool:
+    if FLUSH_TAG in (t1, t2):
+        return True
+    return t1 == t2  # same key: self-dependent (gap logic is ordered)
+
+
+def _closed(key: int, session: Tuple[float, float, int]) -> Tuple:
+    start, last, count = session
+    return ("session", key, start, last, count)
+
+
+def make_update(timeout_ms: float):
+    """The sequential update for a given timeout (pure; state is never
+    mutated in place)."""
+
+    def update(state: SessionState, event: Event) -> Tuple[SessionState, List[Any]]:
+        if event.tag == FLUSH_TAG:
+            outs: List[Any] = []
+            new: SessionState = {}
+            for key in sorted(state):
+                session = state[key]
+                if event.ts - session[1] > timeout_ms:
+                    outs.append(_closed(key, session))
+                else:
+                    new[key] = session
+            return new, outs
+        _, key = event.tag
+        open_session = state.get(key)
+        new = dict(state)
+        if open_session is None:
+            new[key] = (event.ts, event.ts, 1)
+            return new, []
+        start, last, count = open_session
+        if event.ts - last > timeout_ms:
+            # Strictly past the timeout: the old session closes once,
+            # here; the new activity opens a fresh one.
+            new[key] = (event.ts, event.ts, 1)
+            return new, [_closed(key, open_session)]
+        new[key] = (start, event.ts, count + 1)
+        return new, []
+
+    return update
+
+
+def _fork(
+    state: SessionState, pred1: TagPredicate, pred2: TagPredicate
+) -> Tuple[SessionState, SessionState]:
+    """The side able to process a key's activities takes that key's
+    open session; keys owned by neither default right (mirroring the
+    paper's Figure-1 pseudocode convention)."""
+    s1: SessionState = {}
+    s2: SessionState = {}
+    for key, session in state.items():
+        if act_tag(key) in pred1:
+            s1[key] = session
+        else:
+            s2[key] = session
+    return s1, s2
+
+
+def _join(s1: SessionState, s2: SessionState) -> SessionState:
+    # Forks split keys disjointly, so the merge is a disjoint union
+    # (left-biased for safety, like pageview's metadata merge).
+    out = dict(s2)
+    out.update(s1)
+    return out
+
+
+def state_eq(a: SessionState, b: SessionState) -> bool:
+    return a == b
+
+
+def make_program(n_keys: int = 4, *, timeout_ms: float = 5.0) -> DGSProgram:
+    tags = tag_universe(n_keys)
+    return single_state_program(
+        name=f"sessionize[{n_keys},timeout={timeout_ms}]",
+        tags=tags,
+        depends=DependenceRelation.from_function(tags, depends_fn),
+        init=dict,
+        update=make_update(timeout_ms),
+        fork=_fork,
+        join=_join,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionizeWorkload:
+    """Per-key activity streams + the flush-tick stream."""
+
+    act_streams: Dict[ImplTag, Tuple[Event, ...]]
+    flush_stream: Tuple[Event, ...]
+    flush_itag: ImplTag
+    timeout_ms: float
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(v) for v in self.act_streams.values()) + len(
+            self.flush_stream
+        )
+
+    def all_streams(self) -> List[Tuple[ImplTag, Tuple[Event, ...]]]:
+        pairs = list(self.act_streams.items())
+        pairs.append((self.flush_itag, self.flush_stream))
+        return pairs
+
+
+def make_workload(
+    *,
+    n_keys: int = 4,
+    events_per_key: int = 30,
+    timeout_units: int = 4,
+    rate_per_ms: float = 10.0,
+    n_flushes: int = 3,
+    seed: int = 0,
+    skew_alpha: float | None = None,
+) -> SessionizeWorkload:
+    """A seeded sessionization workload on the collision-free lattice.
+
+    All activity gaps are whole multiples of the event period: a
+    within-session gap draws ``1..timeout_units`` periods (a draw of
+    exactly ``timeout_units`` lands *on* the boundary — gap == timeout
+    keeps the session open, so the boundary path is exercised by
+    construction) and a session break draws strictly more.  The timeout
+    is ``timeout_units * period`` exactly.  Key ``k``'s timestamps sit
+    on ``{m * period + phase_k}`` with distinct fractional phases;
+    flush ticks sit on whole multiples of the period — no two events in
+    the workload ever collide.  The final flush lands past every
+    session's timeout horizon, so a finite workload drains completely
+    (every session is emitted exactly once).
+
+    ``skew_alpha`` skews the per-key event counts by a Zipf draw (head
+    keys get most of the traffic) while keeping every key non-empty.
+    """
+    if n_keys < 1:
+        raise ValueError(f"need at least one key, got {n_keys}")
+    if events_per_key < 1:
+        raise ValueError(f"events_per_key must be >= 1, got {events_per_key}")
+    if timeout_units < 2:
+        raise ValueError(
+            f"timeout_units must be >= 2, got {timeout_units} — with 1 the "
+            "within-session gap and the boundary coincide"
+        )
+    rng = random.Random(seed)
+    period = 1.0 / rate_per_ms
+    timeout_ms = timeout_units * period
+    counts = [events_per_key] * n_keys
+    if skew_alpha is not None:
+        total = events_per_key * n_keys
+        weights = zipf_weights(n_keys, skew_alpha)
+        counts = [max(1, round(w * total)) for w in weights]
+    streams: Dict[ImplTag, Tuple[Event, ...]] = {}
+    last_ts = 0.0
+    for k in range(n_keys):
+        itag = ImplTag(act_tag(k), f"a{k}")
+        phase = (k + 1) * period / (n_keys + 2)
+        events = []
+        units = rng.randint(1, timeout_units)
+        for i in range(counts[k]):
+            if i > 0:
+                if rng.random() < 0.25:
+                    units += timeout_units + rng.randint(1, 3)  # break
+                else:
+                    units += rng.randint(1, timeout_units)  # same session
+            ts = 1.0 + units * period + phase
+            events.append(Event(itag.tag, itag.stream, ts, None))
+        streams[itag] = tuple(events)
+        last_ts = max(last_ts, events[-1].ts)
+    flush_itag = ImplTag(FLUSH_TAG, "f")
+    span_units = int(last_ts / period) + 1
+    gap = max(1, span_units // (n_flushes + 1))
+    flushes = [
+        Event(FLUSH_TAG, "f", (m + 1) * gap * period) for m in range(n_flushes)
+    ]
+    # The closing flush: strictly past every open session's horizon.
+    flushes.append(
+        Event(FLUSH_TAG, "f", (span_units + timeout_units + 2) * period)
+    )
+    return SessionizeWorkload(streams, tuple(flushes), flush_itag, timeout_ms)
+
+
+def make_streams(
+    workload: SessionizeWorkload, *, heartbeat_interval: float | None = 1.0
+) -> List[InputStream]:
+    return [
+        InputStream(itag, events, heartbeat_interval=heartbeat_interval)
+        for itag, events in workload.all_streams()
+    ]
+
+
+def make_plan(
+    program: DGSProgram,
+    workload: SessionizeWorkload,
+    *,
+    n_shards: int | None = None,
+    shape: str = "balanced",
+) -> SyncPlan:
+    """The rooted re-shardable instance: flush ticks at the root, the
+    per-key activity streams dealt across ``n_shards`` leaves (default
+    one leaf per key).  Because flushes synchronize globally and each
+    key is its own dependence component, the plan checkpoints at root
+    joins and re-shards to any width in ``[1, n_keys]`` mid-run."""
+    return rooted_shards_plan(
+        program,
+        [workload.flush_itag],
+        [[itag] for itag in workload.act_streams],
+        n_shards=n_shards,
+        shape=shape,
+    )

@@ -19,7 +19,8 @@ changes or CI hardware shifts::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
         benchmarks/bench_transport.py \\
-        benchmarks/bench_latency_openloop.py --smoke -q
+        benchmarks/bench_latency_openloop.py \\
+        benchmarks/bench_adversarial.py --smoke -q
     PYTHONPATH=src python benchmarks/perf_gate.py rebase
 
 and commit the updated ``benchmarks/baselines/*.json``.
@@ -173,7 +174,8 @@ def check_dirs(
                 "    PYTHONPATH=src python -m pytest "
                 "benchmarks/bench_micro_core.py \\",
                 "        benchmarks/bench_transport.py \\",
-                "        benchmarks/bench_latency_openloop.py --smoke -q",
+                "        benchmarks/bench_latency_openloop.py \\",
+                "        benchmarks/bench_adversarial.py --smoke -q",
                 "    PYTHONPATH=src python benchmarks/perf_gate.py rebase",
                 "and commit benchmarks/baselines/*.json.",
             ]

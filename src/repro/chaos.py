@@ -34,6 +34,18 @@ Run it three ways:
   (``--modes reconfig,reconfig-crash`` for the elastic families);
 * ``python -m repro.chaos --smoke`` — the CI-sized sweep.
 
+Orthogonal to the mode, each case carries a *workload* shape
+(:data:`WORKLOADS`): ``uniform`` (the PR-2 traffic), or one of the
+adversarial families from :mod:`repro.data.adversarial` — ``zipf``
+(hot-stream skew), ``flash`` (a rate spike hitting every source),
+``straggler`` (one source pauses and trails its peers), ``late``
+(bounded out-of-order delivery).  The workload *is* part of the case
+derivation (non-uniform workloads get a case-id suffix); every shape
+still preserves the collision-free total-order invariant, so the
+sequential reference stays the ground truth.  The extra ``sessionize``
+app (``--apps sessionize``) runs per-key sessionization with
+timeout-triggered flushes through the same machinery.
+
 The *data plane* is a sweep-level axis, not part of the seed:
 ``--transport tcp`` runs every process-backend case over TCP stream
 sockets, and ``--transport tcp --nodes 2`` deploys each case across
@@ -55,10 +67,19 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from .apps import keycounter as kc
+from .apps import sessionize as sz
 from .apps import value_barrier as vb
 from .core.dependence import DependenceRelation
 from .core.events import Event, ImplTag
 from .core.program import DGSProgram, single_state_program
+from .data.adversarial import (
+    assert_collision_free,
+    flash_crowd_stream,
+    late_stream,
+    straggler_stream,
+    zipf_streams,
+)
+from .data.generators import uniform_stream
 from .plans.generation import root_and_leaves_plan
 from .plans.morph import max_width, plan_width
 from .plans.plan import SyncPlan
@@ -78,10 +99,19 @@ from .testing import Mismatch, compare_outputs
 
 APPS = ("value-barrier", "keycounter", "value-barrier-echo")
 
+#: Every app the harness can derive, including the sessionize family
+#: (kept out of :data:`APPS` so the default sweep's case ids stay
+#: byte-stable against PR 2).
+CHAOS_APPS = APPS + ("sessionize",)
+
 #: Scenario families: pure fault injection (the PR-2 sweep), pure
 #: elastic reconfiguration, and crash-during-reconfiguration (both
 #: schedules armed; recovery must restore into the then-current plan).
 MODES = ("faults", "reconfig", "reconfig-crash")
+
+#: Traffic shapes a case can carry: the PR-2 uniform workload plus the
+#: four adversarial families of :mod:`repro.data.adversarial`.
+WORKLOADS = ("uniform", "zipf", "flash", "straggler", "late")
 
 
 def make_echo_program() -> DGSProgram:
@@ -115,18 +145,24 @@ def make_echo_program() -> DGSProgram:
 class ChaosCase:
     """One seeded scenario; everything else derives from ``seed``.
 
-    ``mode`` selects the scenario family (see :data:`MODES`); the
-    default keeps PR-2 case ids — and their derivations — unchanged."""
+    ``mode`` selects the scenario family (see :data:`MODES`) and
+    ``workload`` the traffic shape (see :data:`WORKLOADS`); the
+    defaults keep PR-2 case ids — and their derivations — unchanged."""
 
     app: str
     backend: str
     seed: int
     mode: str = "faults"
+    workload: str = "uniform"
 
     @property
     def case_id(self) -> str:
         base = f"{self.app}-{self.backend}-s{self.seed}"
-        return base if self.mode == "faults" else f"{base}-{self.mode}"
+        if self.mode != "faults":
+            base = f"{base}-{self.mode}"
+        if self.workload != "uniform":
+            base = f"{base}-{self.workload}"
+        return base
 
 
 @dataclass
@@ -172,8 +208,13 @@ def _monotone_ts(rng: random.Random, n: int, start: float, mean_gap: float) -> L
 def build_workload(case: ChaosCase):
     """(program, streams, plan, sync_ts) for a case — the plan has the
     globally-synchronizing tag at the root (the Appendix D.2 shape
-    checkpoint recovery requires) and one leaf per parallel stream."""
+    checkpoint recovery requires) and one leaf per parallel stream.
+
+    ``case.workload`` selects the leaf traffic shape; the uniform path
+    is byte-identical to the PR-2 derivation."""
     rng = random.Random(case.seed * 2654435761 % (2**31))
+    if case.app == "sessionize":
+        return _sessionize_workload(case, rng)
     n_streams = rng.randint(2, 4)
     events_per_stream = rng.randint(8, 30)
     n_sync = rng.randint(3, 5)
@@ -191,25 +232,205 @@ def build_workload(case: ChaosCase):
         leaf_itags = [ImplTag(kc.inc_tag(0), f"i{s}") for s in range(n_streams)]
         sync_itag = ImplTag(kc.reset_tag(0), "r")
         payload = lambda: rng.randint(1, 3)  # noqa: E731
-    else:  # pragma: no cover - guarded by APPS
+    else:
         raise ValueError(f"unknown chaos app {case.app!r}")
 
-    span = events_per_stream * 1.0
-    streams = []
-    for itag in leaf_itags:
-        ts = _monotone_ts(rng, events_per_stream, rng.uniform(0.0, 0.5), 1.0)
-        events = tuple(Event(itag.tag, itag.stream, t, payload()) for t in ts)
-        streams.append(
-            InputStream(itag, events, heartbeat_interval=rng.choice((1.0, 2.0, 5.0)))
+    if case.workload == "uniform":
+        span = events_per_stream * 1.0
+        streams = []
+        for itag in leaf_itags:
+            ts = _monotone_ts(rng, events_per_stream, rng.uniform(0.0, 0.5), 1.0)
+            events = tuple(Event(itag.tag, itag.stream, t, payload()) for t in ts)
+            streams.append(
+                InputStream(itag, events, heartbeat_interval=rng.choice((1.0, 2.0, 5.0)))
+            )
+        sync_gap = span / (n_sync + 1)
+        sync_ts = _monotone_ts(rng, n_sync, sync_gap * 0.5, sync_gap)
+        sync_events = tuple(Event(sync_itag.tag, sync_itag.stream, t) for t in sync_ts)
+        streams.append(InputStream(sync_itag, sync_events, heartbeat_interval=2.0))
+    else:
+        streams, sync_ts = _adversarial_streams(
+            case.workload,
+            rng,
+            leaf_itags,
+            sync_itag,
+            events_per_stream=events_per_stream,
+            n_sync=n_sync,
+            payload=payload,
         )
-    sync_gap = span / (n_sync + 1)
-    sync_ts = _monotone_ts(rng, n_sync, sync_gap * 0.5, sync_gap)
-    sync_events = tuple(Event(sync_itag.tag, sync_itag.stream, t) for t in sync_ts)
-    streams.append(InputStream(sync_itag, sync_events, heartbeat_interval=2.0))
 
     plan = root_and_leaves_plan(
         prog, [sync_itag], [[t] for t in leaf_itags], shape=shape
     )
+    return prog, streams, plan, sync_ts
+
+
+def _sync_slots(
+    n_sync: int, lo: float, hi: float, period: float, phase: float
+) -> List[float]:
+    """``n_sync`` synchronizing timestamps spread evenly over ``(lo,
+    hi)``, snapped to the lattice ``{k * period + phase}`` so they can
+    never collide with leaf events whose fractional phases differ."""
+    gap = (hi - lo) / (n_sync + 1)
+    out: List[float] = []
+    for j in range(1, n_sync + 1):
+        k = max(1, round((lo + j * gap - phase) / period))
+        t = k * period + phase
+        if out and t <= out[-1]:
+            t = out[-1] + period
+        out.append(t)
+    return out
+
+
+def _adversarial_streams(
+    workload: str,
+    rng: random.Random,
+    leaf_itags: Sequence[ImplTag],
+    sync_itag: ImplTag,
+    *,
+    events_per_stream: int,
+    n_sync: int,
+    payload,
+):
+    """Leaf + synchronizing streams for one adversarial traffic shape,
+    all parameters drawn from the case's seed stream.
+
+    Each family keeps its leaves on a lattice with nonzero fractional
+    phases (or, for zipf, on whole periods) and puts the synchronizing
+    events on a disjoint phase, so the collision-free total order holds
+    by construction — asserted before returning."""
+    period = 1.0
+    n_streams = len(leaf_itags)
+    payload_fn = lambda i: payload()  # noqa: E731
+    if workload == "zipf":
+        # One arrival process dealt across streams: head streams carry
+        # most of the traffic.  Leaves occupy whole-period slots, so
+        # the sync stream takes the half-period phase.
+        total = events_per_stream * n_streams
+        leafs = zipf_streams(
+            leaf_itags,
+            n_events=total,
+            alpha=rng.choice((0.8, 1.1, 1.4)),
+            rate_per_ms=1.0 / period,
+            seed=rng.randrange(10**6),
+            payload_fn=payload_fn,
+        )
+        sync_phase = period / 2
+    elif workload == "flash":
+        # The spike hits every source over the same wall-clock window.
+        spike_factor = rng.choice((3, 4, 6))
+        quantum = period / spike_factor
+        span = events_per_stream * period
+        spike_start = 1.0 + rng.uniform(0.2, 0.5) * span
+        spike_width = rng.uniform(0.1, 0.3) * span
+        leafs = {
+            itag: flash_crowd_stream(
+                itag,
+                n_events=events_per_stream,
+                base_rate_per_ms=1.0 / period,
+                spike_factor=spike_factor,
+                spike_start_ms=spike_start,
+                spike_width_ms=spike_width,
+                offset=(s + 1) * quantum / (n_streams + 2),
+                payload_fn=payload_fn,
+            )
+            for s, itag in enumerate(leaf_itags)
+        }
+        sync_phase = 0.0
+    elif workload == "straggler":
+        # One seeded victim pauses mid-stream and trails its peers.
+        span = events_per_stream * period
+        victim = rng.randrange(n_streams)
+        pause_after = rng.randint(1, events_per_stream - 1)
+        lag_ms = rng.uniform(0.2, 0.9) * span
+        leafs = {}
+        for s, itag in enumerate(leaf_itags):
+            off = (s + 1) * period / (n_streams + 2)
+            if s == victim:
+                leafs[itag] = straggler_stream(
+                    itag,
+                    n_events=events_per_stream,
+                    rate_per_ms=1.0 / period,
+                    pause_after=pause_after,
+                    lag_ms=lag_ms,
+                    offset=off,
+                    payload_fn=payload_fn,
+                )
+            else:
+                leafs[itag] = uniform_stream(
+                    itag,
+                    rate_per_ms=1.0 / period,
+                    n_events=events_per_stream,
+                    offset=off,
+                    payload_fn=payload_fn,
+                )
+        sync_phase = 0.0
+    elif workload == "late":
+        grid = 8
+        quantum = period / grid
+        leafs = {
+            itag: late_stream(
+                itag,
+                n_events=events_per_stream,
+                rate_per_ms=1.0 / period,
+                max_disorder_ms=rng.uniform(1.0, 3.0) * period,
+                seed=rng.randrange(10**6),
+                grid=grid,
+                offset=(s + 1) * quantum / (n_streams + 2),
+                payload_fn=payload_fn,
+            )
+            for s, itag in enumerate(leaf_itags)
+        }
+        sync_phase = 0.0
+    else:
+        raise ValueError(
+            f"unknown workload {workload!r} (expected one of {WORKLOADS})"
+        )
+    assert_collision_free(leafs)
+    lo = min(e.ts for evs in leafs.values() for e in evs)
+    hi = max(e.ts for evs in leafs.values() for e in evs)
+    sync_ts = _sync_slots(n_sync, lo, hi, period, sync_phase)
+    streams = [
+        InputStream(itag, evs, heartbeat_interval=rng.choice((1.0, 2.0, 5.0)))
+        for itag, evs in leafs.items()
+    ]
+    sync_events = tuple(
+        Event(sync_itag.tag, sync_itag.stream, t) for t in sync_ts
+    )
+    streams.append(InputStream(sync_itag, sync_events, heartbeat_interval=2.0))
+    return streams, sync_ts
+
+
+def _sessionize_workload(case: ChaosCase, rng: random.Random):
+    """The sessionize app's chaos derivation: a seeded per-key
+    activity/flush workload, a rooted plan re-sharded to a seeded
+    width.  The flush ticks are the synchronizing events; ``zipf``
+    skews the per-key traffic, other adversarial shapes would change
+    the app's own semantics (gaps *are* the sessions) and are
+    rejected."""
+    if case.workload not in ("uniform", "zipf"):
+        raise ValueError(
+            f"workload {case.workload!r} is not defined for sessionize "
+            "(activity gaps are the app's semantics; use uniform or zipf)"
+        )
+    n_keys = rng.randint(2, 4)
+    wl = sz.make_workload(
+        n_keys=n_keys,
+        events_per_key=rng.randint(8, 24),
+        timeout_units=rng.randint(2, 5),
+        n_flushes=rng.randint(3, 5),
+        seed=rng.randrange(10**6),
+        skew_alpha=1.2 if case.workload == "zipf" else None,
+    )
+    prog = sz.make_program(n_keys, timeout_ms=wl.timeout_ms)
+    plan = sz.make_plan(
+        prog,
+        wl,
+        n_shards=rng.randint(2, n_keys),
+        shape=rng.choice(("balanced", "chain")),
+    )
+    streams = sz.make_streams(wl)
+    sync_ts = [e.ts for e in wl.flush_stream]
     return prog, streams, plan, sync_ts
 
 
@@ -381,11 +602,13 @@ def generate_cases(
     backends: Sequence[str] = ("threaded", "process"),
     apps: Sequence[str] = APPS,
     modes: Sequence[str] = ("faults",),
+    workloads: Sequence[str] = ("uniform",),
 ) -> List[ChaosCase]:
     """``n_cases`` seeded scenarios, spread round-robin over backends,
-    apps, and modes; the per-case seed stream is itself derived from
-    ``seed`` so the whole sweep reproduces from one integer.  The
-    default single-mode sweep generates exactly the PR-2 case ids."""
+    apps, modes, and workloads; the per-case seed stream is itself
+    derived from ``seed`` so the whole sweep reproduces from one
+    integer.  The default single-mode uniform sweep generates exactly
+    the PR-2 case ids."""
     rng = random.Random(seed)
     cases = []
     stride = len(apps) * len(backends)
@@ -396,6 +619,7 @@ def generate_cases(
                 backend=backends[(i // len(apps)) % len(backends)],
                 seed=rng.randrange(10**6),
                 mode=modes[(i // stride) % len(modes)],
+                workload=workloads[(i // (stride * len(modes))) % len(workloads)],
             )
         )
     return cases
@@ -482,6 +706,7 @@ class ChaosSummary:
                     "backend": o.case.backend,
                     "app": o.case.app,
                     "mode": o.case.mode,
+                    "workload": o.case.workload,
                     "ok": o.ok,
                     "attempts": o.attempts,
                     "crashes": o.crashes,
@@ -517,7 +742,9 @@ def run_chaos_suite(
     seed: int = 0,
     n_cases: int = 50,
     backends: Sequence[str] = ("threaded", "process"),
+    apps: Sequence[str] = APPS,
     modes: Sequence[str] = ("faults",),
+    workloads: Sequence[str] = ("uniform",),
     only: Optional[str] = None,
     timeout_s: float = 60.0,
     transport: Optional[str] = None,
@@ -525,7 +752,12 @@ def run_chaos_suite(
     metrics: bool = False,
 ) -> ChaosSummary:
     cases = generate_cases(
-        seed=seed, n_cases=n_cases, backends=backends, modes=modes
+        seed=seed,
+        n_cases=n_cases,
+        backends=backends,
+        apps=apps,
+        modes=modes,
+        workloads=workloads,
     )
     if only is not None:
         cases = [c for c in cases if c.case_id == only]
@@ -565,11 +797,28 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated runtime backends (default threaded,process)",
     )
     ap.add_argument(
+        "--apps",
+        default=",".join(APPS),
+        help=(
+            "comma-separated applications from "
+            f"{','.join(CHAOS_APPS)} (default {','.join(APPS)})"
+        ),
+    )
+    ap.add_argument(
         "--modes",
         default="faults",
         help=(
             "comma-separated scenario families from "
             f"{','.join(MODES)} (default faults)"
+        ),
+    )
+    ap.add_argument(
+        "--workloads",
+        "--workload",
+        default="uniform",
+        help=(
+            "comma-separated traffic shapes from "
+            f"{','.join(WORKLOADS)} (default uniform)"
         ),
     )
     ap.add_argument(
@@ -608,7 +857,9 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         n_cases=n_cases,
         backends=tuple(args.backends.split(",")),
+        apps=tuple(args.apps.split(",")),
         modes=tuple(args.modes.split(",")),
+        workloads=tuple(args.workloads.split(",")),
         only=args.only,
         transport=args.transport,
         nodes=args.nodes,

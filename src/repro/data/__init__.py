@@ -1,6 +1,17 @@
 """Synthetic workload generators replacing the paper's generated and
-recorded datasets (see the substitution table in DESIGN.md)."""
+recorded datasets (see the substitution table in DESIGN.md), plus the
+adversarial shapes (Zipf skew, flash crowds, stragglers, late
+arrivals) production traffic exhibits and the paper's inputs do not."""
 
+from .adversarial import (
+    assert_collision_free,
+    flash_crowd_stream,
+    late_stream,
+    straggler_stream,
+    zipf_rank_sequence,
+    zipf_streams,
+    zipf_weights,
+)
 from .generators import (
     PageViewWorkload,
     ValueBarrierWorkload,
@@ -12,7 +23,14 @@ from .generators import (
 __all__ = [
     "PageViewWorkload",
     "ValueBarrierWorkload",
+    "assert_collision_free",
+    "flash_crowd_stream",
+    "late_stream",
     "pageview_workload",
+    "straggler_stream",
     "uniform_stream",
     "value_barrier_workload",
+    "zipf_rank_sequence",
+    "zipf_streams",
+    "zipf_weights",
 ]

@@ -1,0 +1,324 @@
+"""Adversarial workload generators: skewed, bursty, lagging, and late
+traffic (ROADMAP item 5).
+
+The paper's synthetic inputs are well-behaved — uniform rates, a fixed
+hot-page set.  Production traffic is not, and skew is exactly where
+dependency-guided synchronization plans should shine or break.  This
+module generates the four canonical adversarial shapes, each **fully
+seeded** (same seed → byte-identical streams) and each preserving the
+documented collision-free total-order invariant: within every stream
+timestamps are strictly increasing, and across the streams of one
+family no two events ever share a timestamp.
+
+The four shapes:
+
+* :func:`zipf_streams` — one logical arrival process dealt across
+  streams by a Zipf draw, so head streams carry most of the mass (a
+  hot-key distribution over sources);
+* :func:`flash_crowd_stream` — a rate spike: inter-arrival gaps shrink
+  by ``spike_factor`` inside a window (a flash crowd hitting every
+  source at once when the family shares spike parameters);
+* :func:`straggler_stream` — a pause/resume lag: the stream stops for
+  ``lag_ms`` after ``pause_after`` events, then resumes at its old
+  cadence (its suffix arrives far behind its peers);
+* :func:`late_stream` — bounded out-of-order arrivals.  Per-stream
+  timestamp order cannot be violated (``InputStream`` requires strict
+  monotonicity), so lateness is modeled as delayed *delivery*: each
+  event occupies a uniform delivery slot but carries an event time up
+  to ``max_disorder_ms`` older, following a bounded seeded random walk.
+  Relative to the global timestamp order, such a stream's events arrive
+  up to the disorder bound after events with newer timestamps on other
+  streams — which is what exercises the mailbox's reordering machinery.
+
+Collision-freedom is by *construction*, not by rejection sampling:
+every generator keeps its timestamps on a per-stream lattice
+``{phase + k * quantum}`` with phases strictly inside ``(0, quantum)``
+and pairwise distinct across streams (the same trick
+:func:`~repro.data.generators.uniform_stream` families use), so two
+streams of one family can never collide at any rate or seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.events import Event, ImplTag
+
+PayloadFn = Optional[Callable[[int], Any]]
+
+
+def _payload(payload_fn: PayloadFn, i: int) -> Any:
+    return payload_fn(i) if payload_fn else 1
+
+
+def _check_common(n_events: int, rate_per_ms: float) -> float:
+    if n_events <= 0:
+        raise ValueError(f"n_events must be positive, got {n_events}")
+    if rate_per_ms <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_ms}")
+    return 1.0 / rate_per_ms
+
+
+# ---------------------------------------------------------------------------
+# Zipf-skewed key/stream distributions
+# ---------------------------------------------------------------------------
+
+def zipf_weights(n: int, alpha: float) -> Tuple[float, ...]:
+    """Normalized Zipf probabilities ``w_r ∝ 1/(r+1)^alpha`` for ranks
+    ``0..n-1``; ``alpha=0`` degenerates to uniform."""
+    if n <= 0:
+        raise ValueError(f"need at least one rank, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    raw = [1.0 / (r + 1) ** alpha for r in range(n)]
+    total = sum(raw)
+    return tuple(w / total for w in raw)
+
+
+def zipf_rank_sequence(
+    n_events: int, n_ranks: int, *, alpha: float, seed: int
+) -> List[int]:
+    """A seeded i.i.d. Zipf draw of ``n_events`` ranks — the per-event
+    key/stream choices behind :func:`zipf_streams`."""
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    weights = zipf_weights(n_ranks, alpha)
+    rng = random.Random(seed)
+    cum = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum.append(acc)
+    out = []
+    for _ in range(n_events):
+        u = rng.random()
+        # Linear scan: n_ranks is small (streams/keys, not events).
+        for r, c in enumerate(cum):
+            if u <= c:
+                out.append(r)
+                break
+        else:  # pragma: no cover - float-edge fallback
+            out.append(n_ranks - 1)
+    return out
+
+
+def zipf_streams(
+    itags: Sequence[ImplTag],
+    *,
+    n_events: int,
+    alpha: float,
+    rate_per_ms: float,
+    seed: int,
+    start_ms: float = 1.0,
+    payload_fn: PayloadFn = None,
+) -> Dict[ImplTag, Tuple[Event, ...]]:
+    """One aggregate arrival process at ``rate_per_ms`` dealt across
+    ``itags`` by a seeded Zipf(``alpha``) draw over stream ranks.
+
+    Every event occupies its own slot of the shared lattice
+    ``start + i * period``, so timestamps are collision-free across the
+    whole family by construction; the first ``len(itags)`` slots are
+    dealt round-robin so no stream is ever silently empty.
+    """
+    period = _check_common(n_events, rate_per_ms)
+    n_streams = len(itags)
+    if n_streams == 0:
+        raise ValueError("need at least one stream")
+    if n_events < n_streams:
+        raise ValueError(
+            f"n_events={n_events} cannot cover {n_streams} streams "
+            "(every stream must carry at least one event)"
+        )
+    ranks = zipf_rank_sequence(
+        n_events - n_streams, n_streams, alpha=alpha, seed=seed
+    )
+    out: Dict[ImplTag, List[Event]] = {it: [] for it in itags}
+    for i in range(n_events):
+        rank = i if i < n_streams else ranks[i - n_streams]
+        itag = itags[rank]
+        ts = start_ms + i * period
+        out[itag].append(
+            Event(itag.tag, itag.stream, ts, _payload(payload_fn, i))
+        )
+    return {it: tuple(evs) for it, evs in out.items()}
+
+
+# ---------------------------------------------------------------------------
+# Flash crowds
+# ---------------------------------------------------------------------------
+
+def flash_crowd_stream(
+    itag: ImplTag,
+    *,
+    n_events: int,
+    base_rate_per_ms: float,
+    spike_factor: int,
+    spike_start_ms: float,
+    spike_width_ms: float,
+    offset: float = 0.0,
+    start_ms: float = 1.0,
+    payload_fn: PayloadFn = None,
+) -> Tuple[Event, ...]:
+    """Events at ``base_rate_per_ms``, except inside the window
+    ``[spike_start_ms, spike_start_ms + spike_width_ms)`` where the
+    rate multiplies by ``spike_factor`` (inter-arrival gaps shrink to
+    ``period / spike_factor``).
+
+    Streams sharing the same rate/spike parameters produce identical
+    base schedules, so a family with pairwise-distinct fractional
+    ``offset``s — e.g. ``(s + 1) * period / (n_streams + 2)`` — never
+    collides across streams: the flash crowd hits every source at the
+    same wall-clock window, as a real one does.
+    """
+    period = _check_common(n_events, base_rate_per_ms)
+    if spike_factor < 1:
+        raise ValueError(f"spike_factor must be >= 1, got {spike_factor}")
+    if spike_width_ms <= 0:
+        raise ValueError(
+            f"zero-width flash window (spike_width_ms={spike_width_ms}): "
+            "a spike that never admits an event is a silent no-op"
+        )
+    spike_end = spike_start_ms + spike_width_ms
+    out: List[Event] = []
+    t = start_ms
+    for i in range(n_events):
+        gap = period / spike_factor if spike_start_ms <= t < spike_end else period
+        out.append(
+            Event(itag.tag, itag.stream, t + offset, _payload(payload_fn, i))
+        )
+        t += gap
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Stragglers
+# ---------------------------------------------------------------------------
+
+def straggler_stream(
+    itag: ImplTag,
+    *,
+    n_events: int,
+    rate_per_ms: float,
+    pause_after: int,
+    lag_ms: float,
+    offset: float = 0.0,
+    start_ms: float = 1.0,
+    payload_fn: PayloadFn = None,
+) -> Tuple[Event, ...]:
+    """A uniform stream that pauses for ``lag_ms`` after its
+    ``pause_after``-th event, then resumes at its old cadence — the
+    classic straggling source whose suffix trails its peers.
+
+    The lag is quantized *up* to whole periods so the stream stays on
+    its ``{start + offset + k * period}`` lattice (collision-freedom
+    against same-rate peers with distinct offsets is preserved).  A lag
+    longer than the un-paused stream span is rejected: the suffix would
+    arrive entirely after every peer finished, which is a different
+    scenario (a dead source), not a straggler.
+    """
+    period = _check_common(n_events, rate_per_ms)
+    if not 1 <= pause_after < n_events:
+        raise ValueError(
+            f"pause_after must be in [1, {n_events - 1}], got {pause_after} "
+            "(the pause must split the stream, not precede or follow it)"
+        )
+    if lag_ms <= 0:
+        raise ValueError(f"lag_ms must be positive, got {lag_ms}")
+    span = n_events * period
+    if lag_ms > span:
+        raise ValueError(
+            f"straggler lag {lag_ms}ms exceeds the stream span {span}ms: "
+            "the suffix would outlive the run (that is a dead source, "
+            "not a straggler)"
+        )
+    lag = math.ceil(lag_ms / period) * period
+    out: List[Event] = []
+    for i in range(n_events):
+        ts = start_ms + i * period + offset
+        if i >= pause_after:
+            ts += lag
+        out.append(Event(itag.tag, itag.stream, ts, _payload(payload_fn, i)))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Late / out-of-order arrivals (bounded disorder)
+# ---------------------------------------------------------------------------
+
+def late_stream(
+    itag: ImplTag,
+    *,
+    n_events: int,
+    rate_per_ms: float,
+    max_disorder_ms: float,
+    seed: int,
+    grid: int = 8,
+    offset: float = 0.0,
+    start_ms: float = 1.0,
+    payload_fn: PayloadFn = None,
+) -> Tuple[Event, ...]:
+    """Bounded out-of-order arrivals, modeled as delayed delivery.
+
+    Event ``i`` occupies the uniform delivery slot ``start + i *
+    period`` but carries an *event time* up to ``max_disorder_ms``
+    older: ``ts_i = slot_i - g_i * quantum`` where ``quantum = period /
+    grid`` and ``g_i`` follows a seeded random walk on ``[0,
+    max_disorder_ms / quantum]`` with steps strictly smaller than one
+    period.  Because per-step lateness growth is below one period,
+    per-stream timestamps stay strictly increasing (delivery is FIFO
+    within a stream — the invariant ``InputStream`` requires); the
+    disorder is *cross-stream*: peers that are on time deliver newer
+    timestamps while this stream's older ones are still arriving.
+
+    All timestamps live on the lattice ``{offset + k * quantum}``, so
+    a family with pairwise-distinct offsets inside ``(0, quantum)``
+    never collides.
+    """
+    period = _check_common(n_events, rate_per_ms)
+    if max_disorder_ms < 0:
+        raise ValueError(f"max_disorder_ms must be >= 0, got {max_disorder_ms}")
+    if grid < 2:
+        raise ValueError(f"grid must be >= 2, got {grid}")
+    quantum = period / grid
+    ceiling = int(max_disorder_ms / quantum)
+    rng = random.Random(seed)
+    out: List[Event] = []
+    g = 0
+    for i in range(n_events):
+        if ceiling > 0 and i > 0:
+            # Steps in (-grid, +grid): lateness can grow by at most one
+            # period per event, which is what keeps ts strictly rising.
+            g = min(ceiling, max(0, g + rng.randint(-(grid - 1), grid - 1)))
+        ts = start_ms + i * period - g * quantum + offset
+        out.append(Event(itag.tag, itag.stream, ts, _payload(payload_fn, i)))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Family-level checks (used by tests and the chaos harness)
+# ---------------------------------------------------------------------------
+
+def assert_collision_free(
+    streams: Dict[ImplTag, Tuple[Event, ...]]
+) -> None:
+    """Raise ``ValueError`` naming the first violation if any stream is
+    not strictly increasing or any two events in the family share a
+    timestamp — the documented total-order invariant."""
+    seen: Dict[float, ImplTag] = {}
+    for itag, events in streams.items():
+        prev = None
+        for e in events:
+            if prev is not None and e.ts <= prev:
+                raise ValueError(
+                    f"stream {itag!r} not strictly increasing at ts={e.ts}"
+                )
+            prev = e.ts
+            if e.ts in seen:
+                raise ValueError(
+                    f"timestamp collision at ts={e.ts} between "
+                    f"{seen[e.ts]!r} and {itag!r}"
+                )
+            seen[e.ts] = itag
+    return None

@@ -42,6 +42,11 @@ def uniform_stream(
     """Events at a constant rate with a per-stream phase offset."""
     if rate_per_ms <= 0:
         raise ValueError("rate must be positive")
+    if n_events <= 0:
+        raise ValueError(
+            f"n_events must be positive, got {n_events} — a silently "
+            "empty stream hides workload-construction bugs"
+        )
     period = 1.0 / rate_per_ms
     out = []
     for i in range(n_events):

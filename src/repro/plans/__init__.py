@@ -10,7 +10,9 @@ from .generation import (
     map_hosts,
     random_valid_plan,
     root_and_leaves_plan,
+    rooted_shards_plan,
     sequential_plan,
+    sharded_groups,
 )
 from .morph import (
     max_width,
@@ -54,7 +56,9 @@ __all__ = [
     "reconfig_violations",
     "repartition_plan",
     "root_and_leaves_plan",
+    "rooted_shards_plan",
     "sequential_plan",
+    "sharded_groups",
     "synchronizing_itags",
     "validity_violations",
     "widen_plan",

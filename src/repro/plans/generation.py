@@ -247,6 +247,55 @@ def random_valid_plan(
     return SyncPlan(build(all_itags))
 
 
+def sharded_groups(
+    groups: Sequence[Iterable[ImplTag]], n_shards: int
+) -> List[List[ImplTag]]:
+    """Deal per-key itag groups round-robin into ``n_shards`` leaf
+    groups (deterministic: groups are taken in the order given).
+
+    This is the static counterpart of
+    :func:`~repro.plans.morph.repartition_plan`'s component dealing: a
+    plan built from the sharded groups re-shards under live
+    reconfiguration to any width in ``[1, len(groups)]`` because each
+    original group stays a dependence component of its own.
+    """
+    if n_shards < 1:
+        raise PlanError(f"cannot shard into {n_shards} groups")
+    materialized = [list(g) for g in groups]
+    n = min(n_shards, len(materialized)) or 1
+    buckets: List[List[ImplTag]] = [[] for _ in range(n)]
+    for i, group in enumerate(materialized):
+        buckets[i % n].extend(group)
+    return [b for b in buckets if b]
+
+
+def rooted_shards_plan(
+    program: DGSProgram,
+    root_itags: Iterable[ImplTag],
+    key_groups: Sequence[Iterable[ImplTag]],
+    *,
+    n_shards: Optional[int] = None,
+    state_type: Optional[str] = None,
+    shape: str = "balanced",
+) -> SyncPlan:
+    """Synchronizing tags at the root over ``n_shards`` leaves, each
+    holding a round-robin share of the per-key groups (default: one
+    leaf per group — the widest rooted instance).
+
+    The shape every re-shardable app family uses: because the root
+    itags synchronize globally and each key group is an independent
+    dependence component, the resulting plan composes with checkpoint
+    recovery and live reconfiguration (morphing regroups the same
+    components at a different width).
+    """
+    groups = sharded_groups(
+        key_groups, len(key_groups) if n_shards is None else n_shards
+    )
+    return root_and_leaves_plan(
+        program, root_itags, groups, state_type=state_type, shape=shape
+    )
+
+
 # -- host placement helpers --------------------------------------------------
 
 def assign_hosts_round_robin(plan: SyncPlan, hosts: Sequence[str]) -> SyncPlan:

@@ -1,0 +1,224 @@
+"""Spec-level tests for the sessionize app family: the sequential
+update's session algebra (close-exactly-once, the strict timeout
+boundary, empty and single-event sessions), the fork/join pair, the
+seeded workload's invariants, and the re-shardable rooted plan hooks
+in repro.plans.generation."""
+
+import pytest
+
+from repro.apps import sessionize as sz
+from repro.core import Event
+from repro.core.errors import PlanError
+from repro.core.events import ImplTag
+from repro.data.adversarial import assert_collision_free
+from repro.plans import (
+    assert_p_valid,
+    max_width,
+    plan_width,
+    rooted_shards_plan,
+    sharded_groups,
+)
+from repro.runtime.runtime import run_sequential_reference
+
+
+def _act(key, ts):
+    return Event(sz.act_tag(key), f"a{key}", ts, None)
+
+
+def _flush(ts):
+    return Event(sz.FLUSH_TAG, "f", ts)
+
+
+def _run(events, timeout_ms):
+    """Feed events (assumed timestamp-ordered) through the sequential
+    update; returns (final_state, outputs)."""
+    update = sz.make_update(timeout_ms)
+    state, outs = {}, []
+    for e in events:
+        state, new = update(state, e)
+        outs.extend(new)
+    return state, outs
+
+
+class TestSequentialSpec:
+    def test_gap_splits_sessions_and_closes_exactly_once(self):
+        state, outs = _run(
+            [_act(0, 1.0), _act(0, 2.0), _act(0, 10.0), _flush(30.0)],
+            timeout_ms=5.0,
+        )
+        # The first session [1, 2] closed lazily by the 10.0 activity;
+        # the second [10] closed by the flush.  Nothing closed twice.
+        assert outs == [
+            ("session", 0, 1.0, 2.0, 2),
+            ("session", 0, 10.0, 10.0, 1),
+        ]
+        assert state == {}
+
+    def test_boundary_gap_exactly_timeout_stays_open(self):
+        # gap == timeout extends the session on both paths: the
+        # activity path (5.0 -> 10.0 with timeout 5) and the flush path
+        # (flush at last + timeout does not expire it).
+        state, outs = _run(
+            [_act(0, 5.0), _act(0, 10.0), _flush(15.0)], timeout_ms=5.0
+        )
+        assert outs == []
+        assert state == {0: (5.0, 10.0, 2)}
+        # One quantum past the boundary, it closes.
+        state, outs = _run(
+            [_act(0, 5.0), _act(0, 10.0), _flush(15.1)], timeout_ms=5.0
+        )
+        assert outs == [("session", 0, 5.0, 10.0, 2)]
+        assert state == {}
+
+    def test_flush_with_no_sessions_is_a_no_op(self):
+        state, outs = _run([_flush(1.0), _flush(2.0)], timeout_ms=5.0)
+        assert state == {} and outs == []
+
+    def test_single_event_sessions(self):
+        state, outs = _run(
+            [_act(0, 1.0), _act(0, 20.0), _act(0, 40.0), _flush(60.0)],
+            timeout_ms=5.0,
+        )
+        assert outs == [
+            ("session", 0, 1.0, 1.0, 1),
+            ("session", 0, 20.0, 20.0, 1),
+            ("session", 0, 40.0, 40.0, 1),
+        ]
+        assert state == {}
+
+    def test_open_sessions_are_never_emitted_without_a_flush(self):
+        state, outs = _run([_act(0, 1.0), _act(1, 2.0)], timeout_ms=5.0)
+        assert outs == []
+        assert state == {0: (1.0, 1.0, 1), 1: (2.0, 2.0, 1)}
+
+    def test_flush_closes_only_expired_keys_deterministically(self):
+        state, outs = _run(
+            [_act(2, 1.0), _act(0, 1.5), _act(1, 9.0), _flush(10.0)],
+            timeout_ms=5.0,
+        )
+        # Keys 0 and 2 expired (idle > 5), emitted in sorted key order;
+        # key 1 is fresh and stays open.
+        assert outs == [
+            ("session", 0, 1.5, 1.5, 1),
+            ("session", 2, 1.0, 1.0, 1),
+        ]
+        assert state == {1: (9.0, 9.0, 1)}
+
+    def test_update_is_pure(self):
+        update = sz.make_update(5.0)
+        s0 = {0: (1.0, 1.0, 1)}
+        update(s0, _act(0, 2.0))
+        update(s0, _flush(30.0))
+        assert s0 == {0: (1.0, 1.0, 1)}
+
+
+class TestForkJoin:
+    def test_fork_splits_by_key_ownership_and_join_restores(self):
+        prog = sz.make_program(3, timeout_ms=5.0)
+        state = {0: (1.0, 1.0, 1), 1: (2.0, 2.0, 1), 2: (3.0, 3.0, 2)}
+        pred1 = frozenset({sz.act_tag(0), sz.act_tag(2)})
+        pred2 = frozenset({sz.act_tag(1), sz.FLUSH_TAG})
+        s1, s2 = sz._fork(state, pred1, pred2)
+        assert set(s1) == {0, 2} and set(s2) == {1}
+        assert sz.state_eq(sz._join(s1, s2), state)
+
+    def test_program_shape(self):
+        prog = sz.make_program(4, timeout_ms=5.0)
+        tags = sz.tag_universe(4)
+        assert len(tags) == 5
+        # Flush synchronizes globally; distinct keys are independent.
+        assert sz.depends_fn(sz.FLUSH_TAG, sz.act_tag(2))
+        assert sz.depends_fn(sz.act_tag(1), sz.act_tag(1))
+        assert not sz.depends_fn(sz.act_tag(1), sz.act_tag(2))
+        assert prog.name.startswith("sessionize[")
+
+
+class TestWorkloadGenerator:
+    def test_collision_free_and_monotone(self):
+        wl = sz.make_workload(n_keys=4, events_per_key=30, seed=5)
+        streams = dict(wl.act_streams)
+        streams[wl.flush_itag] = wl.flush_stream
+        assert_collision_free(streams)
+
+    def test_drains_completely(self):
+        """The closing flush lands past every horizon: the sequential
+        spec ends with no open sessions and every activity accounted
+        for in exactly one emitted session."""
+        wl = sz.make_workload(n_keys=3, events_per_key=25, seed=11)
+        prog = sz.make_program(3, timeout_ms=wl.timeout_ms)
+        streams = sz.make_streams(wl)
+        outs = run_sequential_reference(prog, streams)
+        n_acts = sum(len(v) for v in wl.act_streams.values())
+        assert sum(o[4] for o in outs) == n_acts
+        assert all(o[0] == "session" and o[2] <= o[3] for o in outs)
+
+    def test_boundary_gap_exercised_by_construction(self):
+        """Some within-session gap equals the timeout exactly — the
+        generator's lattice guarantees the boundary path gets traffic."""
+        found = False
+        for seed in range(6):
+            wl = sz.make_workload(n_keys=4, events_per_key=40, seed=seed)
+            for evs in wl.act_streams.values():
+                for a, b in zip(evs, evs[1:]):
+                    if b.ts - a.ts == pytest.approx(wl.timeout_ms):
+                        found = True
+        assert found, "no gap ever landed exactly on the timeout"
+
+    def test_seed_determinism_and_skew(self):
+        a = sz.make_workload(n_keys=3, events_per_key=20, seed=3)
+        b = sz.make_workload(n_keys=3, events_per_key=20, seed=3)
+        assert a == b
+        skewed = sz.make_workload(
+            n_keys=4, events_per_key=20, seed=3, skew_alpha=1.5
+        )
+        counts = [len(v) for v in skewed.act_streams.values()]
+        assert counts[0] > counts[-1] >= 1
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="key"):
+            sz.make_workload(n_keys=0)
+        with pytest.raises(ValueError, match="events_per_key"):
+            sz.make_workload(events_per_key=0)
+        with pytest.raises(ValueError, match="timeout_units"):
+            sz.make_workload(timeout_units=1)
+
+
+class TestReshardablePlans:
+    def test_default_plan_is_widest_and_valid(self):
+        wl = sz.make_workload(n_keys=4, events_per_key=12, seed=1)
+        prog = sz.make_program(4, timeout_ms=wl.timeout_ms)
+        plan = sz.make_plan(prog, wl)
+        assert_p_valid(plan, prog)
+        assert plan_width(plan) == 4
+        assert max_width(prog, plan) == 4
+        # The flush itag owns the root.
+        assert wl.flush_itag in plan.root.itags
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 9])
+    def test_every_shard_width_is_valid(self, n_shards):
+        wl = sz.make_workload(n_keys=4, events_per_key=12, seed=2)
+        prog = sz.make_program(4, timeout_ms=wl.timeout_ms)
+        plan = sz.make_plan(prog, wl, n_shards=n_shards)
+        assert_p_valid(plan, prog)
+        assert plan_width(plan) == min(n_shards, 4)
+
+    def test_sharded_groups_deals_round_robin(self):
+        groups = [[ImplTag(("act", k), f"a{k}")] for k in range(5)]
+        dealt = sharded_groups(groups, 2)
+        assert [len(g) for g in dealt] == [3, 2]
+        assert sharded_groups(groups, 99) == [list(g) for g in groups]
+        with pytest.raises(PlanError):
+            sharded_groups(groups, 0)
+
+    def test_rooted_shards_plan_general_program(self):
+        """The hook works for any rooted app, not just sessionize:
+        rebuild keycounter's recovery-sound shape through it."""
+        from repro.apps import keycounter as kc
+
+        prog = kc.make_program(1)
+        incs = [ImplTag(kc.inc_tag(0), f"i{s}") for s in range(4)]
+        reset = ImplTag(kc.reset_tag(0), "r")
+        plan = rooted_shards_plan(prog, [reset], [[it] for it in incs], n_shards=2)
+        assert_p_valid(plan, prog)
+        assert plan_width(plan) == 2
+        assert reset in plan.root.itags

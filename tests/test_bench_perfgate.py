@@ -125,7 +125,8 @@ class TestDirsAndCli:
         assert not ok
         assert "perf_gate.py rebase" in report
         assert "bench_transport.py" in report
-        assert "bench_latency_openloop.py --smoke" in report
+        assert "bench_latency_openloop.py" in report
+        assert "bench_adversarial.py --smoke" in report
         assert "commit benchmarks/baselines" in report
 
     def test_empty_baselines_fail_closed(self, tmp_path):

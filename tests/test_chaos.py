@@ -16,7 +16,14 @@ for the fault sweep, or
     python -m repro.chaos --seed 20260729 --cases 24 \\
         --modes reconfig,reconfig-crash --only <case_id>
 
-for the reconfiguration matrix.
+for the reconfiguration matrix, or
+
+    python -m repro.chaos --seed 20260806 --cases 16 --apps value-barrier \\
+        --modes faults,reconfig --workloads zipf,flash,straggler \\
+        --only <case_id>
+
+for the adversarial-workload matrix (see TESTING.md; the late-arrival
+and sessionize families below carry their own seeds the same way).
 """
 
 import pytest
@@ -47,6 +54,42 @@ RECONFIG_CASES = generate_cases(
     n_cases=N_RECONFIG_CASES,
     backends=("threaded", "process"),
     modes=("reconfig", "reconfig-crash"),
+)
+
+# The adversarial-workload matrix: {zipf, flash, straggler} x {faults,
+# reconfig} x {threaded, process} on a single app keeps the stride
+# small enough that 16 cases cover every triple (the satellite floor).
+ADVERSARIAL_SEED = 20260806
+N_ADVERSARIAL_CASES = 16
+
+ADVERSARIAL_CASES = generate_cases(
+    seed=ADVERSARIAL_SEED,
+    n_cases=N_ADVERSARIAL_CASES,
+    backends=("threaded", "process"),
+    apps=("value-barrier",),
+    modes=("faults", "reconfig"),
+    workloads=("zipf", "flash", "straggler"),
+)
+
+# Bounded out-of-order delivery gets its own slice (on the app whose
+# read-resets are order-sensitive), and the sessionize family runs
+# uniform + zipf traffic through both chaos modes.
+LATE_CASES = generate_cases(
+    seed=ADVERSARIAL_SEED + 1,
+    n_cases=4,
+    backends=("threaded", "process"),
+    apps=("keycounter",),
+    modes=("faults", "reconfig"),
+    workloads=("late",),
+)
+
+SESSIONIZE_CASES = generate_cases(
+    seed=ADVERSARIAL_SEED + 2,
+    n_cases=8,
+    backends=("threaded", "process"),
+    apps=("sessionize",),
+    modes=("faults", "reconfig"),
+    workloads=("uniform", "zipf"),
 )
 
 _OUTCOMES = {}
@@ -152,6 +195,104 @@ def test_reconfig_sweep_exercised_migrations():
     crashed = [o for o in outcomes if o.case.mode == "reconfig-crash" and o.recovered]
     assert crashed, "no crash ever fired during a reconfigured execution"
     assert all(o.attempts >= 2 for o in crashed)
+
+
+@pytest.mark.parametrize(
+    "case",
+    ADVERSARIAL_CASES + LATE_CASES + SESSIONIZE_CASES,
+    ids=lambda c: c.case_id,
+)
+def test_adversarial_case_matches_spec(case):
+    outcome = run_chaos_case(case, timeout_s=60.0)
+    _OUTCOMES[case.case_id] = outcome
+    assert outcome.ok, (
+        f"{case.case_id}: outputs diverged from the sequential reference "
+        f"under the {case.workload} workload: {outcome.mismatch}"
+    )
+
+
+def test_adversarial_sweep_composition():
+    """The adversarial matrix covers what it claims: every (workload,
+    mode, backend) triple for the skew/burst/straggler shapes, the late
+    and sessionize slices likewise, and ids stay unique with the
+    workload encoded."""
+    triples = {
+        (c.workload, c.mode, c.backend) for c in ADVERSARIAL_CASES
+    }
+    assert triples == {
+        (w, m, b)
+        for w in ("zipf", "flash", "straggler")
+        for m in ("faults", "reconfig")
+        for b in ("threaded", "process")
+    }
+    assert len(ADVERSARIAL_CASES) >= 16
+    assert {(c.mode, c.backend) for c in LATE_CASES} == {
+        (m, b)
+        for m in ("faults", "reconfig")
+        for b in ("threaded", "process")
+    }
+    assert {(c.workload, c.mode, c.backend) for c in SESSIONIZE_CASES} == {
+        (w, m, b)
+        for w in ("uniform", "zipf")
+        for m in ("faults", "reconfig")
+        for b in ("threaded", "process")
+    }
+    all_cases = ADVERSARIAL_CASES + LATE_CASES + SESSIONIZE_CASES
+    assert len({c.case_id for c in all_cases}) == len(all_cases)
+    for c in all_cases:
+        if c.workload != "uniform":
+            assert c.case_id.endswith(f"-{c.workload}")
+
+
+def test_adversarial_sweep_exercised_faults_and_migrations():
+    """The adversarial schedules are not vacuous: crashes fired and
+    recovered in fault mode, migrations happened in reconfig mode, on
+    every workload family."""
+    cases = ADVERSARIAL_CASES + LATE_CASES + SESSIONIZE_CASES
+    outcomes = _outcomes_or_sample(cases, stride=3)
+    recovered = [o for o in outcomes if o.case.mode == "faults" and o.recovered]
+    assert recovered, "no adversarial fault schedule ever fired"
+    assert sum(o.replayed_events for o in recovered) > 0
+    migrated = [
+        o for o in outcomes if o.case.mode == "reconfig" and o.reconfigured
+    ]
+    assert migrated, "no adversarial reconfiguration ever fired"
+
+
+def test_adversarial_derivations_are_seeded():
+    """Same case -> byte-identical streams and schedules, for every
+    adversarial family and for sessionize."""
+    for workload, app in (
+        ("zipf", "value-barrier"),
+        ("flash", "value-barrier-echo"),
+        ("straggler", "keycounter"),
+        ("late", "value-barrier"),
+        ("uniform", "sessionize"),
+        ("zipf", "sessionize"),
+    ):
+        case = ChaosCase(
+            app=app, backend="threaded", seed=9001, workload=workload
+        )
+        a = build_workload(case)
+        b = build_workload(case)
+        assert [s.events for s in a[1]] == [s.events for s in b[1]], (
+            f"{workload}/{app} workload derivation is not deterministic"
+        )
+        assert a[2].pretty() == b[2].pretty()
+        fa = build_fault_schedule(case, a[1], a[2], a[3])
+        fb = build_fault_schedule(case, b[1], b[2], b[3])
+        assert fa.faults == fb.faults
+
+
+def test_sessionize_rejects_shape_changing_workloads():
+    """Flash/straggler/late traffic would change what a 'session' means
+    for the sessionize app; the derivation refuses instead of silently
+    producing a different program."""
+    case = ChaosCase(
+        app="sessionize", backend="threaded", seed=1, workload="flash"
+    )
+    with pytest.raises(ValueError, match="sessionize"):
+        build_workload(case)
 
 
 def test_case_derivation_is_deterministic():

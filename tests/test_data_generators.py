@@ -1,12 +1,26 @@
 """Tests for the synthetic workload generators (§4.1): timestamp
 uniqueness/monotonicity (the total order O), ratio preservation, and
-the valid-input-instance properties of Definition 3.3."""
+the valid-input-instance properties of Definition 3.3 — plus the
+adversarial families (repro.data.adversarial): hypothesis-driven
+collision-freedom and monotonicity across parameter space, seed
+determinism, Zipf head concentration, and the clean rejection of
+degenerate parameters."""
 
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.apps import fraud, pageview as pv, value_barrier as vb
 from repro.core import check_valid_input_instance, stream_is_monotone
+from repro.data.adversarial import (
+    assert_collision_free,
+    flash_crowd_stream,
+    late_stream,
+    straggler_stream,
+    zipf_rank_sequence,
+    zipf_streams,
+    zipf_weights,
+)
 from repro.data.generators import uniform_stream
 from repro.core.events import ImplTag
 
@@ -32,6 +46,13 @@ class TestUniformStream:
     def test_zero_rate_rejected(self):
         with pytest.raises(ValueError):
             uniform_stream(ImplTag("t", 0), rate_per_ms=0.0, n_events=1)
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_empty_stream_rejected(self, n):
+        # Regression: n_events=0 used to return a silently empty
+        # stream, hiding workload-construction bugs upstream.
+        with pytest.raises(ValueError, match="n_events"):
+            uniform_stream(ImplTag("t", 0), rate_per_ms=1.0, n_events=n)
 
 
 def _all_ts(workload):
@@ -126,3 +147,306 @@ class TestPageViewWorkload:
         assert all(isinstance(v, int) and 0 <= v < 5000 for v in vals)
         rules = [e.payload for e in wl.barrier_stream]
         assert rules == [29, 58]
+
+
+# -- adversarial families -----------------------------------------------------
+
+
+def _itags(n):
+    return [ImplTag("v", f"s{i}") for i in range(n)]
+
+
+def _family_offsets(n, quantum):
+    return [(s + 1) * quantum / (n + 2) for s in range(n)]
+
+
+class TestZipfProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weights_normalized_and_monotone(self, n, alpha):
+        w = zipf_weights(n, alpha)
+        assert len(w) == n
+        assert sum(w) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))  # head-heavy
+
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=20, max_value=200),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streams_collision_free_and_monotone(self, n_streams, n_events, alpha, seed):
+        streams = zipf_streams(
+            _itags(n_streams),
+            n_events=max(n_events, n_streams),
+            alpha=alpha,
+            rate_per_ms=7.0,
+            seed=seed,
+        )
+        assert_collision_free(streams)  # raises on violation
+        assert all(len(evs) >= 1 for evs in streams.values())
+        assert sum(len(evs) for evs in streams.values()) == max(
+            n_events, n_streams
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_head_concentration(self, seed):
+        """With real skew and enough mass, the head stream carries more
+        traffic than the tail stream — the whole point of the shape."""
+        streams = zipf_streams(
+            _itags(4), n_events=400, alpha=1.5, rate_per_ms=1.0, seed=seed
+        )
+        counts = [len(evs) for evs in streams.values()]
+        assert counts[0] > counts[-1]
+        assert counts[0] > 400 // 4  # strictly above the uniform share
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_determinism(self, seed):
+        a = zipf_streams(_itags(3), n_events=50, alpha=1.0, rate_per_ms=2.0, seed=seed)
+        b = zipf_streams(_itags(3), n_events=50, alpha=1.0, rate_per_ms=2.0, seed=seed)
+        assert a == b
+        ranks = zipf_rank_sequence(40, 4, alpha=1.0, seed=seed)
+        assert ranks == zipf_rank_sequence(40, 4, alpha=1.0, seed=seed)
+        assert all(0 <= r < 4 for r in ranks)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            zipf_weights(3, -0.1)
+        with pytest.raises(ValueError, match="cover"):
+            zipf_streams(_itags(5), n_events=3, alpha=1.0, rate_per_ms=1.0, seed=0)
+
+
+class TestFlashCrowdProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=10, max_value=80),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_family_collision_free(self, n_streams, n_events, spike_factor, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        period = 1.0 / 4.0
+        quantum = period / spike_factor
+        span = n_events * period
+        spike_start = 1.0 + rng.uniform(0.1, 0.6) * span
+        spike_width = rng.uniform(0.05, 0.4) * span
+        streams = {
+            itag: flash_crowd_stream(
+                itag,
+                n_events=n_events,
+                base_rate_per_ms=4.0,
+                spike_factor=spike_factor,
+                spike_start_ms=spike_start,
+                spike_width_ms=spike_width,
+                offset=off,
+            )
+            for itag, off in zip(
+                _itags(n_streams), _family_offsets(n_streams, quantum)
+            )
+        }
+        assert_collision_free(streams)
+
+    def test_spike_compresses_gaps(self):
+        evs = flash_crowd_stream(
+            ImplTag("v", 0),
+            n_events=60,
+            base_rate_per_ms=1.0,
+            spike_factor=5,
+            spike_start_ms=20.0,
+            spike_width_ms=10.0,
+        )
+        gaps_in = [
+            b.ts - a.ts
+            for a, b in zip(evs, evs[1:])
+            if 20.0 <= a.ts < 30.0
+        ]
+        gaps_out = [
+            b.ts - a.ts for a, b in zip(evs, evs[1:]) if a.ts < 20.0
+        ]
+        assert gaps_in and gaps_out
+        assert max(gaps_in) == pytest.approx(0.2)  # period / spike_factor
+        assert min(gaps_out) == pytest.approx(1.0)
+
+    def test_zero_width_window_rejected(self):
+        with pytest.raises(ValueError, match="zero-width"):
+            flash_crowd_stream(
+                ImplTag("v", 0),
+                n_events=5,
+                base_rate_per_ms=1.0,
+                spike_factor=3,
+                spike_start_ms=2.0,
+                spike_width_ms=0.0,
+            )
+        with pytest.raises(ValueError, match="spike_factor"):
+            flash_crowd_stream(
+                ImplTag("v", 0),
+                n_events=5,
+                base_rate_per_ms=1.0,
+                spike_factor=0,
+                spike_start_ms=2.0,
+                spike_width_ms=1.0,
+            )
+
+
+class TestStragglerProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=4, max_value=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_family_collision_free_with_uniform_peers(
+        self, n_streams, n_events, seed
+    ):
+        import random as _random
+
+        rng = _random.Random(seed)
+        period = 1.0 / 2.0
+        offs = _family_offsets(n_streams, period)
+        victim = rng.randrange(n_streams)
+        streams = {}
+        for s, (itag, off) in enumerate(zip(_itags(n_streams), offs)):
+            if s == victim:
+                streams[itag] = straggler_stream(
+                    itag,
+                    n_events=n_events,
+                    rate_per_ms=2.0,
+                    pause_after=rng.randint(1, n_events - 1),
+                    lag_ms=rng.uniform(0.01, 0.99) * n_events * period,
+                    offset=off,
+                )
+            else:
+                streams[itag] = uniform_stream(
+                    itag, rate_per_ms=2.0, n_events=n_events, offset=off
+                )
+        assert_collision_free(streams)
+
+    def test_pause_creates_the_lag(self):
+        evs = straggler_stream(
+            ImplTag("v", 0),
+            n_events=10,
+            rate_per_ms=1.0,
+            pause_after=4,
+            lag_ms=3.2,
+        )
+        gaps = [b.ts - a.ts for a, b in zip(evs, evs[1:])]
+        # Lag quantizes up to whole periods: ceil(3.2) = 4 extra periods.
+        assert gaps[3] == pytest.approx(5.0)
+        assert all(g == pytest.approx(1.0) for i, g in enumerate(gaps) if i != 3)
+
+    def test_degenerate_parameters_rejected(self):
+        common = dict(n_events=10, rate_per_ms=1.0)
+        with pytest.raises(ValueError, match="pause_after"):
+            straggler_stream(ImplTag("v", 0), pause_after=0, lag_ms=1.0, **common)
+        with pytest.raises(ValueError, match="pause_after"):
+            straggler_stream(ImplTag("v", 0), pause_after=10, lag_ms=1.0, **common)
+        with pytest.raises(ValueError, match="lag_ms"):
+            straggler_stream(ImplTag("v", 0), pause_after=3, lag_ms=0.0, **common)
+        # A lag longer than the stream span is a dead source, not a
+        # straggler — rejected instead of silently outliving the run.
+        with pytest.raises(ValueError, match="exceeds the stream span"):
+            straggler_stream(ImplTag("v", 0), pause_after=3, lag_ms=11.0, **common)
+
+
+class TestLateStreamProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=5, max_value=80),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_family_monotone_collision_free_and_bounded(
+        self, n_streams, n_events, max_disorder, seed
+    ):
+        period = 1.0
+        grid = 8
+        quantum = period / grid
+        streams = {
+            itag: late_stream(
+                itag,
+                n_events=n_events,
+                rate_per_ms=1.0,
+                max_disorder_ms=max_disorder,
+                seed=seed + s,
+                grid=grid,
+                offset=off,
+            )
+            for s, (itag, off) in enumerate(
+                zip(_itags(n_streams), _family_offsets(n_streams, quantum))
+            )
+        }
+        assert_collision_free(streams)
+        # Lateness is bounded: no event time ever trails its uniform
+        # delivery slot by more than the disorder bound.
+        for s, (itag, off) in enumerate(
+            zip(streams, _family_offsets(n_streams, quantum))
+        ):
+            for i, e in enumerate(streams[itag]):
+                slot = 1.0 + i * period + off
+                assert slot - e.ts <= max_disorder + 1e-9
+                assert e.ts <= slot + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_determinism_and_actual_disorder(self, seed):
+        kw = dict(n_events=60, rate_per_ms=1.0, max_disorder_ms=4.0, seed=seed)
+        a = late_stream(ImplTag("v", 0), **kw)
+        assert a == late_stream(ImplTag("v", 0), **kw)
+        # With a generous bound some event is genuinely late (a pure
+        # uniform stream would make the family a silent no-op).
+        assert any(
+            e.ts < 1.0 + i * 1.0 for i, e in enumerate(a)
+        ), "no event was ever delivered late"
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_disorder_ms"):
+            late_stream(
+                ImplTag("v", 0),
+                n_events=5,
+                rate_per_ms=1.0,
+                max_disorder_ms=-1.0,
+                seed=0,
+            )
+        with pytest.raises(ValueError, match="grid"):
+            late_stream(
+                ImplTag("v", 0),
+                n_events=5,
+                rate_per_ms=1.0,
+                max_disorder_ms=1.0,
+                seed=0,
+                grid=1,
+            )
+
+
+class TestAssertCollisionFree:
+    def test_accepts_disjoint_lattices(self):
+        a = uniform_stream(ImplTag("v", 0), rate_per_ms=1.0, n_events=5, offset=0.25)
+        b = uniform_stream(ImplTag("v", 1), rate_per_ms=1.0, n_events=5, offset=0.5)
+        assert_collision_free({ImplTag("v", 0): a, ImplTag("v", 1): b})
+
+    def test_rejects_cross_stream_collision(self):
+        a = uniform_stream(ImplTag("v", 0), rate_per_ms=1.0, n_events=5)
+        with pytest.raises(ValueError, match="collision"):
+            assert_collision_free({ImplTag("v", 0): a, ImplTag("v", 1): a})
+
+    def test_rejects_non_monotone_stream(self):
+        from repro.core import Event
+
+        evs = (
+            Event("v", 0, 2.0, None),
+            Event("v", 0, 1.0, None),
+        )
+        with pytest.raises(ValueError, match="strictly increasing"):
+            assert_collision_free({ImplTag("v", 0): evs})

@@ -12,17 +12,23 @@ from repro.apps import (
     keycounter as kc,
     outlier,
     pageview,
+    sessionize as sz,
     smarthome,
     value_barrier as vb,
 )
 from repro.core import Event, ImplTag
 from repro.plans import plan_width, root_and_leaves_plan, sequential_plan
 from repro.runtime import (
+    CrashFault,
+    FaultPlan,
     InputStream,
     ReconfigPoint,
     ReconfigSchedule,
     RunOptions,
+    every_root_join,
+    local_nodes,
     run_on_backend,
+    run_sequential_reference,
 )
 from repro.runtime.threaded import ThreadedRuntime
 from repro.testing import compare_outputs, diff_plans, diff_against_spec, fuzz_plans
@@ -135,10 +141,22 @@ def _app_case(name):
             smarthome.make_streams(houses, ticks, tit),
             smarthome.make_plan(prog, houses, tit),
         )
+    if name == "sessionize":
+        wl = sz.make_workload(n_keys=3, events_per_key=20, seed=9)
+        prog = sz.make_program(3, timeout_ms=wl.timeout_ms)
+        return prog, sz.make_streams(wl), sz.make_plan(prog, wl)
     raise AssertionError(name)
 
 
-ALL_APPS = ("value_barrier", "fraud", "pageview", "keycounter", "outlier", "smarthome")
+ALL_APPS = (
+    "value_barrier",
+    "fraud",
+    "pageview",
+    "keycounter",
+    "outlier",
+    "smarthome",
+    "sessionize",
+)
 
 
 class TestCrossRuntimeDifferential:
@@ -279,3 +297,78 @@ class TestElasticDifferential:
         assert plan_width(rec.final_plan) == mid
         # The migrated plan is a repartition of the original.
         assert rec.final_plan.all_itags() == plan.all_itags()
+
+
+class TestSessionizeFullMatrix:
+    """The seventh app family on every verification surface: spec vs
+    sim, threaded, process, and a two-node TCP cluster — then under an
+    injected crash *and* a mid-stream re-shard at once (the hardest
+    combination: the recovery must restore sessions into the
+    then-current plan shape)."""
+
+    def _case(self, *, skew_alpha=None, seed=31):
+        wl = sz.make_workload(
+            n_keys=4, events_per_key=24, seed=seed, skew_alpha=skew_alpha
+        )
+        prog = sz.make_program(4, timeout_ms=wl.timeout_ms)
+        return prog, sz.make_streams(wl), sz.make_plan(prog, wl), wl
+
+    def test_sim_and_tcp_cluster_agree_with_spec(self):
+        prog, streams, plan, _ = self._case()
+        impls = {
+            "sim": lambda: run_on_backend("sim", prog, plan, streams).outputs,
+            "tcp-2nodes": lambda: run_on_backend(
+                "process",
+                prog,
+                plan,
+                streams,
+                options=RunOptions(
+                    transport="tcp", nodes=local_nodes(2), timeout_s=120.0
+                ),
+            ).outputs,
+        }
+        report = diff_against_spec(prog, streams, impls)
+        assert report.ok, [str(m) for m in report.mismatches]
+
+    def test_skewed_traffic_stays_spec_identical(self):
+        prog, streams, plan, wl = self._case(skew_alpha=1.3)
+        # The skew is real: the head key carries strictly more traffic.
+        counts = [len(v) for v in wl.act_streams.values()]
+        assert counts[0] > counts[-1]
+        report = diff_against_spec(
+            prog,
+            streams,
+            {"threaded": lambda: run_on_backend("threaded", prog, plan, streams).outputs},
+        )
+        assert report.ok, [str(m) for m in report.mismatches]
+
+    @pytest.mark.parametrize("backend", ("threaded", "process"))
+    def test_crash_plus_reshard_mid_stream(self, backend):
+        prog, streams, plan, wl = self._case()
+        flush_ts = [e.ts for e in wl.flush_stream]
+        victim = next(
+            plan.owner_of(s.itag).id
+            for s in streams
+            if plan.owner_of(s.itag).id != plan.root.id
+        )
+        run = run_on_backend(
+            backend,
+            prog,
+            plan,
+            streams,
+            options=RunOptions(
+                fault_plan=FaultPlan(
+                    CrashFault(victim, at_ts=flush_ts[1] + 0.01)
+                ),
+                reconfig_schedule=ReconfigSchedule(
+                    ReconfigPoint(after_joins=1, to_leaves=2)
+                ),
+                checkpoint_predicate=every_root_join(),
+                timeout_s=120.0,
+            ),
+        )
+        rec = run.reconfig if run.reconfig is not None else run.recovery
+        assert rec.attempts >= 2, "neither the crash nor the migration fired"
+        ref = run_sequential_reference(prog, streams)
+        mismatch = compare_outputs(ref, run.outputs, backend)
+        assert mismatch is None, str(mismatch)

@@ -11,7 +11,10 @@
 * the same randomized differential sweep on the *real* substrates —
   threaded and process — with fixed seeds so failures reproduce
   exactly (the process runtime forks per case, so its sweep is seeded
-  rather than hypothesis-driven to keep the case count bounded).
+  rather than hypothesis-driven to keep the case count bounded);
+* adversarial traffic (zipf/flash/straggler/late) and the sessionize
+  app under hypothesis-chosen parameters: the chaos derivation stays
+  collision-free and the simulated runtime stays spec-identical.
 """
 
 import random
@@ -20,6 +23,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps import keycounter as kc
+from repro.apps import sessionize as sz
+from repro.chaos import ChaosCase, build_workload
 from repro.core import (
     DependenceRelation,
     Event,
@@ -339,3 +344,95 @@ def test_seeded_reconfig_sweep_on_process_backend(seed):
         1 <= plan_width(p) <= len(streams) - 1
         for p in run.reconfig.plan_history
     )
+
+
+# -- adversarial workloads (Theorem 3.5 under hostile traffic) ----------------
+#
+# Hypothesis picks the traffic family, the app, and the derivation
+# seed; the chaos harness turns that into streams + a rooted plan.  The
+# invariants: the derivation never produces a timestamp collision (the
+# total order O survives skew, bursts, stragglers, and bounded
+# disorder), and the simulated runtime's outputs stay multiset-equal to
+# the sequential spec.
+
+ADVERSARIAL_FAMILIES = ("zipf", "flash", "straggler", "late")
+
+
+@given(
+    st.sampled_from(("value-barrier", "keycounter", "value-barrier-echo")),
+    st.sampled_from(ADVERSARIAL_FAMILIES),
+    st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_adversarial_derivations_match_spec_on_sim(app, family, seed):
+    prog, streams, plan, _ = build_workload(
+        ChaosCase(app, "sim", seed, workload=family)
+    )
+    ts = [e.ts for s in streams for e in s.events]
+    assert len(ts) == len(set(ts)), (
+        f"{family} derivation broke the total order for seed {seed}"
+    )
+    res = FluminaRuntime(prog, plan).run(streams)
+    assert output_multiset(res.output_values()) == output_multiset(
+        run_sequential_reference(prog, streams)
+    ), f"sim diverged from spec under {family} traffic for seed {seed}"
+
+
+@pytest.mark.parametrize("backend", ["threaded", "process"])
+@pytest.mark.parametrize("family", ADVERSARIAL_FAMILIES)
+def test_adversarial_sweep_on_real_backends(backend, family):
+    """Fixed-seed slice of the same derivation on the real substrates
+    (the chaos suite covers the fault/reconfig modes; this is the
+    no-fault baseline)."""
+    prog, streams, plan, _ = build_workload(
+        ChaosCase("value-barrier", backend, 20260807, workload=family)
+    )
+    run = run_on_backend(
+        backend, prog, plan, streams, options=RunOptions(timeout_s=60.0)
+    )
+    assert output_multiset(run.outputs) == output_multiset(
+        run_sequential_reference(prog, streams)
+    ), f"{backend} diverged from spec under {family} traffic"
+
+
+# -- sessionize under hypothesis-chosen parameters ----------------------------
+
+
+@st.composite
+def sessionize_params(draw):
+    n_keys = draw(st.integers(min_value=1, max_value=4))
+    return (
+        n_keys,
+        draw(st.integers(min_value=2, max_value=30)),  # events_per_key
+        draw(st.integers(min_value=2, max_value=6)),  # timeout_units
+        draw(st.integers(min_value=0, max_value=10_000)),  # seed
+        draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            )
+        ),  # skew_alpha
+    )
+
+
+@given(sessionize_params(), st.integers(min_value=1, max_value=9))
+@settings(max_examples=20, deadline=None)
+def test_sessionize_runtime_matches_spec(params, n_shards):
+    n_keys, events_per_key, timeout_units, seed, skew = params
+    wl = sz.make_workload(
+        n_keys=n_keys,
+        events_per_key=events_per_key,
+        timeout_units=timeout_units,
+        seed=seed,
+        skew_alpha=skew,
+    )
+    prog = sz.make_program(n_keys, timeout_ms=wl.timeout_ms)
+    plan = sz.make_plan(prog, wl, n_shards=min(n_shards, n_keys))
+    streams = sz.make_streams(wl)
+    ref = run_sequential_reference(prog, streams)
+    res = FluminaRuntime(prog, plan).run(streams)
+    assert output_multiset(res.output_values()) == output_multiset(ref)
+    # Exactly-once, completely drained: each activity is counted in
+    # precisely one emitted session.
+    n_acts = sum(len(v) for v in wl.act_streams.values())
+    assert sum(o[4] for o in ref) == n_acts
