@@ -31,7 +31,7 @@ from repro.runtime import (
 )
 
 
-def describe(tag: str, run, reference) -> None:
+def describe(tag: str, run, reference) -> bool:
     rec = run.reconfig
     print(f"\n[{tag}]")
     for step in rec.reconfigurations:
@@ -45,6 +45,7 @@ def describe(tag: str, run, reference) -> None:
     print(f"  phases (leaf widths): {widths}")
     match = output_multiset(run.outputs) == output_multiset(reference)
     print(f"  outputs match sequential spec: {match}")
+    return match
 
 
 def main() -> None:
@@ -69,7 +70,7 @@ def main() -> None:
     run = run_on_backend(
         "threaded", prog, narrow, streams, options=RunOptions(reconfig_schedule=auto)
     )
-    describe("auto-scaler (queue-depth watermarks)", run, reference)
+    all_ok = describe("auto-scaler (queue-depth watermarks)", run, reference)
 
     # 2) Planned: narrow at the second barrier, widen back at the
     #    fourth — deterministic, reproducible, seedable.
@@ -80,7 +81,9 @@ def main() -> None:
     run2 = run_on_backend(
         "threaded", prog, narrow, streams, options=RunOptions(reconfig_schedule=planned)
     )
-    describe("planned points (seeded-schedule form)", run2, reference)
+    all_ok = describe("planned points (seeded-schedule form)", run2, reference) and all_ok
+    if not all_ok:
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

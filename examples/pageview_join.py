@@ -63,13 +63,16 @@ def main() -> None:
     result = FluminaRuntime(program, plan, topology=topo).run(streams)
     got = Counter(map(repr, result.output_values()))
     want = Counter(map(repr, run_sequential_reference(program, streams)))
-    print(f"\noutputs match sequential spec: {got == want}")
+    ok = got == want
+    print(f"\noutputs match sequential spec: {ok}")
     total_bytes = result.events_in * topo.params.bytes_per_event
     print(
         f"edge processing: {result.network.remote_bytes / 1000:.0f} KB crossed "
         f"the network out of {total_bytes / 1000:.0f} KB processed "
         f"({100 * result.network.remote_bytes / total_bytes:.1f}%)"
     )
+    if not ok:
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

@@ -74,6 +74,7 @@ def main() -> None:
     backends = available_backends() if args.backend == "all" else (args.backend,)
     cores = available_cores()
     print(f"host cores: {cores}; per-event spin: {args.spin}\n")
+    all_ok = True
     for name in backends:
         opts = (
             RunOptions(batch_size=args.batch_size, transport=args.transport)
@@ -82,12 +83,15 @@ def main() -> None:
         )
         run = run_on_backend(name, program, plan, streams, options=opts)
         ok = output_multiset(run.outputs) == want
+        all_ok = all_ok and ok
         print(
             f"{name:9s} outputs match spec: {ok}   "
             f"events={run.events_in}  joins={run.joins}  "
             f"wall={run.wall_s * 1e3:8.1f} ms  "
             f"throughput={run.throughput_events_per_s:10.0f} ev/s"
         )
+    if not all_ok:
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

@@ -58,12 +58,15 @@ def main() -> None:
     result = runtime.run(streams)
     got = Counter(result.output_values())
     want = Counter(run_sequential_reference(program, streams))
-    print(f"\noutputs match sequential spec: {got == want}")
+    ok = got == want
+    print(f"\noutputs match sequential spec: {ok}")
     print(
         f"events={result.events_in} joins={result.joins} "
         f"throughput={result.throughput_events_per_ms:.1f} events/ms "
         f"p50 latency={result.latency_percentiles([50])[0]:.2f} ms"
     )
+    if not ok:
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

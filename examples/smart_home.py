@@ -47,7 +47,8 @@ def main() -> None:
 
     got = Counter(map(repr, result.output_values()))
     want = Counter(map(repr, run_sequential_reference(program, streams)))
-    print(f"\noutputs match sequential spec: {got == want}")
+    ok = got == want
+    print(f"\noutputs match sequential spec: {ok}")
 
     house_preds = [
         (v[1], v[2]) for v, _, _ in result.outputs
@@ -68,6 +69,8 @@ def main() -> None:
         f"{total_bytes / 1000:.0f} KB processed (edge processing)"
     )
     print(f"checkpoints taken at root joins: {len(result.checkpoints)}")
+    if not ok:
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

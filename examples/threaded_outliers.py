@@ -30,18 +30,22 @@ def main() -> None:
     want = Counter(map(repr, spec))
 
     threaded = ThreadedRuntime(program, plan).run(streams)
+    threaded_ok = threaded.output_multiset() == want
     print(f"\nthreaded runtime ({plan.size()} worker threads):")
-    print(f"  outputs match spec: {threaded.output_multiset() == want}")
+    print(f"  outputs match spec: {threaded_ok}")
     print(f"  events processed: {threaded.events_processed}, joins: {threaded.joins}")
 
     simulated = FluminaRuntime(program, plan).run(streams)
+    simulated_ok = Counter(map(repr, simulated.output_values())) == want
     print("simulated runtime:")
-    print(f"  outputs match spec: {Counter(map(repr, simulated.output_values())) == want}")
+    print(f"  outputs match spec: {simulated_ok}")
 
     outliers = sorted(v for v in spec if v[0] == "outlier")
     print(f"\n{len(outliers)} definitive outliers flagged; first five:")
     for v in outliers[:5]:
         print(f"  id={v[1]} z-score={v[2]}")
+    if not (threaded_ok and simulated_ok):
+        raise SystemExit(1)  # checked, not asserted — and honest to $?
 
 
 if __name__ == "__main__":

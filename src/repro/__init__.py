@@ -7,20 +7,26 @@ Public API lives in the subpackages:
 * :mod:`repro.plans`   — synchronization plans, validity, optimizer (§3.2-3.3, App. B).
 * :mod:`repro.sim`     — deterministic discrete-event cluster simulator.
 * :mod:`repro.runtime` — the Flumina-style runtime (§3.4) + sequential/threaded executors.
+* :mod:`repro.serve`   — service mode: a long-running TCP ingest/egress tier.
 * :mod:`repro.flinklike`  — a mini Flink-style sharded dataflow baseline (§4.2-4.3).
 * :mod:`repro.timelylike` — a mini Timely-style epoch dataflow baseline (§4.2).
 * :mod:`repro.apps`    — the paper's applications and case studies (§4.1, App. A).
 * :mod:`repro.data`    — synthetic workload generators.
 * :mod:`repro.bench`   — throughput/latency measurement harness (§4).
 
-The supported entry point for *running* a program is re-exported here:
-build a :class:`RunOptions`, call :func:`run_on_backend` (or
-``get_backend(name).run(..., options=opts)``), and read the returned
-:class:`BackendRun` — including its ``metrics`` field (a
-:class:`RunMetrics`) when ``RunOptions(metrics=True)``.  Everything
-else in the subpackages is stable-but-internal: importable, but not
-covered by the deprecation policy that guards the names in
-``__all__`` below.
+The supported entry points are re-exported here.  For a *closed* run
+(finite streams in, outputs out): build a :class:`RunOptions`, call
+:func:`run_on_backend` (or ``get_backend(name).run(..., options=opts)``),
+and read the returned :class:`BackendRun` — including its ``metrics``
+field (a :class:`RunMetrics`) when ``RunOptions(metrics=True)``.
+
+For *service* mode (a long-running process ingesting external event
+streams over TCP and streaming committed outputs to subscribers with
+exactly-once delivery): build a :class:`ServeOptions`, call
+:func:`start_service`, and talk to it with :func:`connect` — see
+:mod:`repro.serve` and ``examples/service_mode.py``.  Everything else
+in the subpackages is stable-but-internal: importable, but not covered
+by the deprecation policy that guards the names in ``__all__`` below.
 """
 
 from .runtime import (
@@ -28,10 +34,12 @@ from .runtime import (
     BackendRun,
     RunMetrics,
     RunOptions,
+    ServeOptions,
     available_backends,
     get_backend,
     run_on_backend,
 )
+from .serve import ServiceClient, ServiceHandle, connect, start_service
 
 __version__ = "0.1.0"
 
@@ -40,8 +48,13 @@ __all__ = [
     "BackendRun",
     "RunMetrics",
     "RunOptions",
+    "ServeOptions",
+    "ServiceClient",
+    "ServiceHandle",
     "available_backends",
+    "connect",
     "get_backend",
     "run_on_backend",
+    "start_service",
     "__version__",
 ]

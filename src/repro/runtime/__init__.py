@@ -22,15 +22,14 @@ from __future__ import annotations
 
 import copy
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
 from ..core.errors import NoCheckpointError, RecoveryUnsoundError, RuntimeFault
 from ..core.program import DGSProgram
 from ..plans.plan import SyncPlan
-from .options import RunOptions
-from .protocol import RunStatsMixin
+from .options import RunOptions, ServeOptions
+from .protocol import INIT_STATE, RunStatsMixin
 from .checkpoint import (
     ByTimestampInterval,
     Checkpoint,
@@ -180,21 +179,54 @@ class RuntimeBackend:
         **kwargs: Any,
     ) -> BackendRun:
         if kwargs:
-            # One release of compatibility: loose keywords still
-            # collect into RunOptions, but options= is the API.
-            warnings.warn(
-                f"passing loose keyword arguments ({sorted(kwargs)}) to "
-                "backend.run()/run_on_backend() is deprecated; build a "
-                "RunOptions and pass options=",
-                DeprecationWarning,
-                stacklevel=3,
+            # The PR-6 deprecation grace is over: options= is the API.
+            raise TypeError(
+                f"backend.run()/run_on_backend() takes no loose keyword "
+                f"arguments (got {sorted(kwargs)}); build a "
+                f"RunOptions({', '.join(f'{k}=...' for k in sorted(kwargs))}) "
+                "and pass options= (RunOptions.collect merges overrides "
+                "onto a shared base)"
             )
-        opts = RunOptions.collect(options, **kwargs)
+        opts = options if options is not None else RunOptions()
         if opts.reconfig_schedule is not None:
             return self._run_elastic(program, plan, streams, opts)
         if opts.fault_plan is not None:
             return self._run_recovering(program, plan, streams, opts)
         return self._run_plain(program, plan, streams, opts)
+
+    def attempt(
+        self,
+        program: DGSProgram,
+        plan: SyncPlan,
+        streams: Sequence[InputStream],
+        *,
+        options: Any = None,
+        initial_state: Any = INIT_STATE,
+        reconfig_view: Any = None,
+    ) -> AttemptOutcome:
+        """One bounded execution attempt on this substrate.
+
+        This is the public form of the building block the recovery and
+        reconfiguration drivers compose: run the given streams from
+        ``initial_state`` (default: the program's ``init()``), honoring
+        the fault plan / checkpoint predicate in ``options`` and an
+        optional per-attempt :class:`RootReconfigView`, and return the
+        raw :class:`AttemptOutcome` — checkpoints, keyed outputs,
+        crash/quiesce records — without driving any restart loop.
+        Callers that sequence attempts themselves (the service tier in
+        :mod:`repro.serve` drives one attempt per ingest epoch) own the
+        exactly-once bookkeeping; everyone else wants :meth:`run`.
+
+        Output keys are always recorded (the whole point of an attempt
+        is committing by order-key prefix), and stateful checkpoint
+        predicates are deep-copied per attempt, matching the drivers'
+        semantics.
+        """
+        opts = options if options is not None else RunOptions()
+        return self._attempt(
+            program, plan, streams, initial_state,
+            self._attempt_options(opts), reconfig_view,
+        )
 
     def _attempt_options(self, opts: RunOptions) -> RunOptions:
         # Stateful predicates (EveryNthJoin's counter, ...) restart per
@@ -517,9 +549,11 @@ def run_on_backend(
     """Run a program + plan on the named backend (uniform entry point
     for benchmarks, examples, and tests).
 
-    Pass run configuration as ``options=RunOptions(...)``; loose
-    keyword arguments are deprecated (they still work for one release,
-    with a DeprecationWarning).
+    Run configuration travels as ``options=RunOptions(...)`` — the only
+    accepted keyword.  Loose keyword arguments (deprecated in the PR-6
+    release) now raise ``TypeError`` with a migration hint; use
+    :meth:`RunOptions.collect` to merge per-call overrides onto a
+    shared base ``RunOptions``.
     """
     return get_backend(name).run(program, plan, streams, **opts)
 
@@ -576,6 +610,7 @@ __all__ = [
     "RunOptions",
     "RunResult",
     "RuntimeBackend",
+    "ServeOptions",
     "SimBackend",
     "SocketTransport",
     "TRANSPORTS",

@@ -591,6 +591,10 @@ class MetricsExporter:
         #: is the unlabeled bucket plain (single-attempt) runs use.
         self._attempt = 0
         self._by_attempt: Dict[int, RunMetrics] = {0: RunMetrics()}
+        #: Service-tier gauges (repro.serve): name suffix -> value,
+        #: rendered as ``repro_serve_<name>``.  Empty outside service
+        #: mode, so closed runs expose nothing extra.
+        self._service: Dict[str, float] = {}
         self._server = http.server.ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self._thread = threading.Thread(
@@ -622,16 +626,50 @@ class MetricsExporter:
     ) -> None:
         self.update(MetricsSnapshot.from_wire(wire, bounds))
 
+    def set_service_gauges(self, gauges: Dict[str, float]) -> None:
+        """Publish service-tier gauges: each ``{name: value}`` renders
+        as ``repro_serve_<name> <value>`` on /metrics.  The whole set is
+        replaced atomically (the service loop pushes a consistent
+        snapshot of its counters after every epoch)."""
+        with self._lock:
+            self._service = dict(gauges)
+
+    _SERVE_HELP = {
+        "admitted_total": "Events admitted by the service ingest tier",
+        "rejected_total": "Events rejected by admission control",
+        "committed_total": "Outputs committed to the egress log",
+        "backlog": "Admitted-but-uncommitted events buffered",
+        "epochs_total": "Ingest epochs executed",
+        "attempts_total": "Backend attempts run across all epochs",
+        "crashes_recovered_total": "Worker crashes recovered across epochs",
+        "reconfigurations_total": "Plan migrations completed across epochs",
+        "admission_paused": "1 while admission control is rejecting",
+    }
+
+    def _render_service(self) -> str:
+        # Caller holds self._lock.
+        if not self._service:
+            return ""
+        lines: List[str] = []
+        for name, value in sorted(self._service.items()):
+            full = f"repro_serve_{name}"
+            help_ = self._SERVE_HELP.get(name, "Service-tier gauge")
+            lines.append(f"# HELP {full} {help_}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {float(value)}")
+        return "\n".join(lines) + "\n"
+
     def render(self) -> str:
         with self._lock:
+            service = self._render_service()
             if self._attempt == 0:
-                return self._by_attempt[0].prometheus_text()
+                return service + self._by_attempt[0].prometheus_text()
             groups = [
                 (f'attempt="{a}"', rm)
                 for a, rm in sorted(self._by_attempt.items())
                 if a > 0
             ]
-        return prometheus_render(groups)
+        return service + prometheus_render(groups)
 
     def stop(self) -> None:
         self._server.shutdown()

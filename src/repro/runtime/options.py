@@ -13,6 +13,11 @@ Per-*attempt* values (``initial_state``, the root's
 fields: they change between recovery/reconfiguration attempts while a
 ``RunOptions`` describes the whole execution.
 
+:class:`ServeOptions` is the sibling for the long-running service mode
+(:mod:`repro.serve`): it wraps a per-epoch ``RunOptions`` and adds the
+ingest-tier knobs (listener address, epoch sealing, admission
+watermarks, the exporter port).
+
 Fields typed ``Any`` to keep this module a leaf of the import graph
 (the registry and the substrates both import it):
 
@@ -131,3 +136,81 @@ class RunOptions:
         if self.flush_ms is not None:
             out["flush_ms"] = self.flush_ms
         return out
+
+
+@dataclass
+class ServeOptions:
+    """Configuration for the long-running service mode
+    (:mod:`repro.serve`) — the :class:`RunOptions` sibling for
+    executions that never end.
+
+    The service tier converts an unbounded ingest into a sequence of
+    bounded *epochs*, each run as one backend attempt; ``run`` is the
+    per-epoch :class:`RunOptions` (fault plans, reconfig schedules,
+    transport/cluster knobs, and the metrics plane all apply per
+    epoch).  Fields:
+
+    * ``backend`` — the substrate each epoch runs on (``"threaded"`` /
+      ``"process"``; ``nodes=`` on ``run`` deploys epochs cluster-wide);
+    * ``host`` / ``port`` — the ingest/egress TCP listener (``0`` picks
+      a free port); ``cookie`` — the shared secret every client hello
+      must echo (``None`` generates a fresh one per service);
+    * ``epoch_events`` — seal and run an epoch once this many events
+      are buffered (the idle timer seals smaller epochs);
+    * ``epoch_idle_ms`` — how long the server lets a non-empty buffer
+      sit before sealing it anyway (latency bound under light load);
+    * ``heartbeat_interval`` — per-epoch stream heartbeat cadence in
+      timestamp units (forwarded to each epoch's ``InputStream``\\ s);
+    * ``ingest_high_watermark`` / ``ingest_resume_watermark`` —
+      admission control on the count of admitted-but-uncommitted
+      events: admission pauses (events are *rejected, reported to the
+      client*) at the high watermark and resumes once the backlog
+      drains to the resume watermark (default: half the high);
+    * ``runtime_backlog_watermark`` — optional second signal from the
+      metrics plane: the previous epoch's cluster-wide mailbox backlog
+      high-water (the same number the :class:`AutoScaler` reads from
+      join responses).  Crossing it pauses admission until an epoch
+      completes below it.  Requires ``run.metrics=True`` (the service
+      enables it automatically when this is set);
+    * ``metrics_port`` — serve live Prometheus text (including the
+      ``repro_serve_*`` gauges) on ``http://host:<port>/metrics``
+      (``0`` picks a free port; ``None`` disables the exporter).
+    """
+
+    backend: str = "threaded"
+    run: RunOptions = field(default_factory=RunOptions)
+    host: str = "127.0.0.1"
+    port: int = 0
+    cookie: Optional[str] = None
+    epoch_events: int = 512
+    epoch_idle_ms: float = 50.0
+    heartbeat_interval: Optional[float] = 10.0
+    ingest_high_watermark: int = 4096
+    ingest_resume_watermark: Optional[int] = None
+    runtime_backlog_watermark: Optional[int] = None
+    metrics_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epoch_events < 1:
+            raise ValueError("epoch_events must be >= 1")
+        if self.epoch_idle_ms < 0:
+            raise ValueError("epoch_idle_ms must be >= 0")
+        if self.ingest_high_watermark < 1:
+            raise ValueError("ingest_high_watermark must be >= 1")
+        resume = self.ingest_resume_watermark
+        if resume is not None and not 0 <= resume < self.ingest_high_watermark:
+            raise ValueError(
+                "ingest_resume_watermark must be in "
+                "[0, ingest_high_watermark) — resuming at or above the "
+                "pause point would never resume"
+            )
+        if (
+            self.runtime_backlog_watermark is not None
+            and self.runtime_backlog_watermark < 1
+        ):
+            raise ValueError("runtime_backlog_watermark must be >= 1")
+
+    def resume_watermark(self) -> int:
+        if self.ingest_resume_watermark is not None:
+            return self.ingest_resume_watermark
+        return self.ingest_high_watermark // 2

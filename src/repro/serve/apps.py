@@ -1,0 +1,133 @@
+"""Ready-made service instances of the paper's applications.
+
+A :class:`ServiceApp` bundles what the service tier needs: a program,
+a rooted plan whose root tags synchronize globally (so epochs
+checkpoint at root joins — the service's commit points), and a
+deterministic generator of globally timestamp-ordered events
+(root-synchronizing traffic interleaved at a fixed cadence).  The
+bundles feed the CLI (``python -m repro.serve``), the service example,
+and the differential tests — which check a served run's committed
+outputs against :func:`spec_outputs`, the same sequential-reference
+oracle every other execution path in this repo is held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from ..apps import keycounter, value_barrier
+from ..core.events import Event, ImplTag
+from ..core.program import DGSProgram
+from ..plans.generation import root_and_leaves_plan
+from ..plans.plan import SyncPlan
+from ..runtime.runtime import InputStream, run_sequential_reference
+
+
+@dataclass(frozen=True)
+class ServiceApp:
+    """One servable application instance."""
+
+    name: str
+    program: DGSProgram
+    plan: SyncPlan
+    #: ``make_events(count, start_ts=0.0)`` -> globally ts-ordered
+    #: events (one timestamp unit apart, root traffic interleaved).
+    make_events: Callable[..., List[Event]]
+
+
+def keycounter_app(
+    num_keys: int = 1, shards: int = 2, reset_every: int = 25
+) -> ServiceApp:
+    """Figure 1's key counters: increments dealt round-robin across
+    ``shards`` leaf streams, read-resets (the root synchronizers and
+    output producers) every ``reset_every`` events."""
+    program = keycounter.make_program(num_keys)
+    plan = root_and_leaves_plan(
+        program,
+        [ImplTag(keycounter.reset_tag(k), "r") for k in range(num_keys)],
+        [
+            [ImplTag(keycounter.inc_tag(k), f"i{s}") for k in range(num_keys)]
+            for s in range(shards)
+        ],
+    )
+
+    def make_events(count: int, start_ts: float = 0.0) -> List[Event]:
+        events: List[Event] = []
+        ts = start_ts
+        incs = 0
+        for i in range(count):
+            ts += 1.0
+            if (i + 1) % reset_every == 0:
+                key = (i // reset_every) % num_keys
+                events.append(Event(keycounter.reset_tag(key), "r", ts, None))
+            else:
+                events.append(
+                    Event(
+                        keycounter.inc_tag(incs % num_keys),
+                        f"i{(incs // num_keys) % shards}",
+                        ts,
+                        1,
+                    )
+                )
+                incs += 1
+        return events
+
+    return ServiceApp(f"keycounter[{num_keys}x{shards}]", program, plan, make_events)
+
+
+def value_barrier_app(
+    n_value_streams: int = 2, barrier_every: int = 25
+) -> ServiceApp:
+    """Section 4.1's event-based windowing: per-window sums of values,
+    barriers (the root synchronizers) every ``barrier_every`` events."""
+    program = value_barrier.make_program()
+    plan = root_and_leaves_plan(
+        program,
+        [ImplTag(value_barrier.BARRIER_TAG, "b")],
+        [[ImplTag(value_barrier.VALUE_TAG, f"v{s}")] for s in range(n_value_streams)],
+    )
+
+    def make_events(count: int, start_ts: float = 0.0) -> List[Event]:
+        events: List[Event] = []
+        ts = start_ts
+        values = 0
+        for i in range(count):
+            ts += 1.0
+            if (i + 1) % barrier_every == 0:
+                events.append(Event(value_barrier.BARRIER_TAG, "b", ts, None))
+            else:
+                events.append(
+                    Event(
+                        value_barrier.VALUE_TAG,
+                        f"v{values % n_value_streams}",
+                        ts,
+                        1 + (values % 7),
+                    )
+                )
+                values += 1
+        return events
+
+    return ServiceApp(
+        f"value-barrier[{n_value_streams}]", program, plan, make_events
+    )
+
+
+#: CLI/test registry: name -> builder (keyword arguments per builder).
+SERVICE_APPS: Dict[str, Callable[..., ServiceApp]] = {
+    "keycounter": keycounter_app,
+    "value-barrier": value_barrier_app,
+}
+
+
+def spec_outputs(program: DGSProgram, events: List[Event]) -> List[Any]:
+    """The sequential-reference outputs for an admitted event set: the
+    oracle a served run's committed log must match as a multiset."""
+    by_itag: Dict[ImplTag, List[Event]] = {}
+    for event in events:
+        by_itag.setdefault(event.itag, []).append(event)
+    streams = [
+        InputStream(itag, tuple(evs))
+        for itag, evs in sorted(by_itag.items(), key=lambda kv: repr(kv[0]))
+    ]
+    return run_sequential_reference(program, streams)

@@ -1,0 +1,591 @@
+"""The service core: unbounded ingest on a bounded-run engine.
+
+Every substrate in :mod:`repro.runtime` executes *closed* runs — finite
+streams, a drain, a result.  :class:`ServiceRuntime` turns that engine
+into a long-running service by slicing the live ingest into **epochs**:
+
+1. **Admit** — :meth:`offer` buffers externally produced events,
+   subject to admission control (below).  Rejected events are counted
+   by reason and reported to the caller, never silently dropped.
+2. **Seal** — :meth:`run_epoch` snapshots the buffer into one
+   per-implementation-tag stream set (every itag of the plan gets a
+   stream, empty ones included, so closing heartbeats let the run
+   drain) and runs it as one backend attempt via the public
+   :meth:`~repro.runtime.RuntimeBackend.attempt` hook.
+3. **Commit** — after a clean attempt, outputs at or below the
+   attempt's newest root-join checkpoint key are appended to the
+   committed log (the egress channel's exactly-once source of truth);
+   the checkpoint state carries into the next epoch and the input
+   suffix above the key is replayed there.  This is precisely the
+   restore-and-replay bookkeeping of :mod:`repro.runtime.recovery`,
+   applied *forward* at every epoch boundary instead of only after
+   crashes.
+
+Crashes and reconfigurations keep working under live ingest because an
+epoch attempt is driven exactly like the recovery/reconfig drivers
+drive theirs: a crashed attempt restores the latest snapshot and
+replays (:func:`~repro.runtime.recovery.restart_from_crash`); a
+quiesced attempt commits the prefix, migrates the plan
+(:meth:`~repro.runtime.reconfigure.ReconfigSchedule.target_plan`), and
+the morphed plan persists across epochs.  Fault-plan and schedule
+firing bookkeeping is service-lifetime, so each crash fault and each
+planned reconfiguration point fires at most once per service.
+
+**Why commit-by-prefix is sound across epochs.**  The recovery
+theorem (paper Thm. 2.4 / Appendix D.2) needs two things: root
+snapshots must be timestamp-prefix states
+(:func:`~repro.runtime.recovery.assert_recovery_sound`, checked for
+every plan the service runs), and no event at or below a committed key
+may arrive afterwards.  The second is enforced by admission: the
+service tracks a **seal floor** — the highest event timestamp ever
+sealed into an epoch — and rejects (reason ``"late"``) any offer at or
+below it.  Every commit key originates from a sealed event, so the
+commit key can never climb above the floor, and an admitted event is
+always strictly above every past and future commit key.  Within one
+implementation tag, timestamps must also be strictly increasing
+(reason ``"out-of-order"``), matching the input-validity contract
+every closed run already has.
+
+**Backpressure.**  Admission pauses on either of two signals with
+pause/resume hysteresis (:class:`AdmissionGate`): the count of
+admitted-but-uncommitted events crossing ``ingest_high_watermark``,
+and — when ``runtime_backlog_watermark`` is set — the previous
+epoch's cluster-wide mailbox-backlog high-water crossing it.  The
+latter is the same piggybacked queue-depth signal the
+:class:`~repro.runtime.reconfigure.AutoScaler` reads, surfaced here
+from the metrics plane.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import RuntimeFault
+from ..core.events import Event, ImplTag
+from ..core.program import DGSProgram
+from ..plans.morph import max_width, plan_width
+from ..plans.plan import SyncPlan
+from ..plans.validity import assert_reconfig_compatible
+from ..runtime import get_backend
+from ..runtime.checkpoint import Checkpoint, every_root_join
+from ..runtime.faults import CrashRecord
+from ..runtime.metrics import RunMetrics, merge_attempt_metrics
+from ..runtime.options import RunOptions, ServeOptions
+from ..runtime.protocol import INIT_STATE
+from ..runtime.reconfigure import ReconfigStep
+from ..runtime.recovery import (
+    assert_recovery_sound,
+    restart_from_crash,
+    suffix_streams,
+)
+from ..runtime.runtime import InputStream
+
+#: Admission outcomes returned by :meth:`ServiceRuntime.offer`.
+ADMITTED = "admitted"
+REJECT_BACKPRESSURE = "backpressure"
+REJECT_UNKNOWN = "unknown-itag"
+REJECT_ORDER = "out-of-order"
+REJECT_LATE = "late"
+REJECT_CLOSED = "closed"
+
+REJECT_REASONS = (
+    REJECT_BACKPRESSURE,
+    REJECT_UNKNOWN,
+    REJECT_ORDER,
+    REJECT_LATE,
+    REJECT_CLOSED,
+)
+
+
+class AdmissionGate:
+    """Two-signal pause/resume hysteresis for ingest admission.
+
+    Trips when either the ingest backlog reaches ``high`` or the
+    runtime backlog high-water reaches ``runtime_watermark`` (when
+    configured); clears only when the ingest backlog has drained to
+    ``resume`` *and* the runtime signal is back under its watermark.
+    Hysteresis (``resume < high``) keeps admission from flapping
+    per-event at the boundary.
+    """
+
+    def __init__(
+        self, high: int, resume: int, runtime_watermark: Optional[int] = None
+    ) -> None:
+        if not 0 <= resume < high:
+            raise ValueError("need 0 <= resume < high")
+        self.high = high
+        self.resume = resume
+        self.runtime_watermark = runtime_watermark
+        self.paused = False
+
+    def decide(self, backlog: int, runtime_hw: int = 0) -> bool:
+        """Update and return the paused state for the current signals."""
+        rw = self.runtime_watermark
+        runtime_trip = rw is not None and runtime_hw >= rw
+        if self.paused:
+            if backlog <= self.resume and not runtime_trip:
+                self.paused = False
+        elif backlog >= self.high or runtime_trip:
+            self.paused = True
+        return self.paused
+
+
+@dataclass
+class ServiceCounters:
+    """Service-lifetime ingest/egress accounting."""
+
+    admitted: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    committed: int = 0
+    epochs: int = 0
+    attempts: int = 0
+    crashes_recovered: int = 0
+    reconfigurations: int = 0
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def note_rejected(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+@dataclass
+class EpochReport:
+    """One sealed-and-run ingest epoch."""
+
+    index: int
+    final: bool
+    sealed_events: int
+    attempts: int = 0
+    #: Outputs committed by this epoch; their egress sequence numbers
+    #: are ``[first_seq, first_seq + committed)``.
+    committed: int = 0
+    first_seq: int = 0
+    crashes: List[CrashRecord] = field(default_factory=list)
+    reconfigurations: List[ReconfigStep] = field(default_factory=list)
+    backlog_after: int = 0
+    wall_s: float = 0.0
+    #: Merge of the epoch's per-attempt RunMetrics (metrics plane on).
+    metrics: Optional[RunMetrics] = None
+
+
+class ServiceRuntime:
+    """Long-running execution of one program over a live ingest.
+
+    Thread-safe by construction: :meth:`offer` (called from the ingest
+    tier, possibly concurrently with a running epoch) only touches the
+    buffer under a lock, and :meth:`run_epoch` is internally
+    serialized.  The committed log only ever grows; egress readers
+    follow it by sequence number (:meth:`committed_since`).
+    """
+
+    def __init__(
+        self,
+        program: DGSProgram,
+        plan: SyncPlan,
+        *,
+        options: Optional[ServeOptions] = None,
+    ) -> None:
+        self.program = program
+        self.plan = plan
+        self.options = options if options is not None else ServeOptions()
+        run = self.options.run
+        if run.checkpoint_predicate is None:
+            # The service cannot make progress without commit points.
+            run = replace(run, checkpoint_predicate=every_root_join())
+        if self.options.runtime_backlog_watermark is not None and not run.metrics:
+            run = replace(run, metrics=True)
+        self._run_options: RunOptions = run
+        self._backend = get_backend(self.options.backend)
+        self._check_plan(plan)
+
+        # The itag universe is fixed at construction: every epoch must
+        # cover all of them (a missing stream would stall dependent
+        # frontiers at -inf and hang the drain).
+        itags = sorted(
+            {t for w in plan.workers() for t in w.itags}, key=repr
+        )
+        self._itags: Tuple[ImplTag, ...] = tuple(itags)
+        self._known = frozenset(itags)
+
+        self._lock = threading.Lock()
+        self._epoch_mutex = threading.Lock()
+        #: itag -> events admitted since the last seal.
+        self._inbox: Dict[ImplTag, List[Event]] = {t: [] for t in itags}
+        self._inbox_count = 0
+        #: itag -> sealed-but-uncommitted events (the replay suffix).
+        self._pending: Dict[ImplTag, List[Event]] = {t: [] for t in itags}
+        self._pending_count = 0
+        #: Per-itag last admitted timestamp (strict monotonicity).
+        self._last_ts: Dict[ImplTag, float] = {}
+        #: Highest timestamp ever sealed into an epoch; admission below
+        #: it is "late" (see module docstring for why this is the
+        #: exactly-once linchpin).
+        self._seal_floor = float("-inf")
+
+        self._state: Any = INIT_STATE
+        self._last_ckpt: Optional[Checkpoint] = None
+        self._runtime_backlog_hw = 0
+        self._finished = False
+
+        self.gate = AdmissionGate(
+            self.options.ingest_high_watermark,
+            self.options.resume_watermark(),
+            self.options.runtime_backlog_watermark,
+        )
+        self.counters = ServiceCounters()
+        #: The committed output log; index == egress sequence number.
+        self.committed: List[Any] = []
+        self.epochs: List[EpochReport] = []
+        self.plan_history: List[SyncPlan] = [plan]
+        #: Service-lifetime accumulated RunMetrics (None: plane off).
+        self.metrics: Optional[RunMetrics] = None
+
+        # Service-lifetime reconfiguration bookkeeping (mirrors the
+        # driver-local sets in run_with_reconfig).
+        self._reconfig_fired: set = set()
+        self._autoscale_spent = 0
+
+    def _check_plan(self, plan: SyncPlan) -> None:
+        # Single-worker plans take no root-join snapshots, so nothing
+        # would ever commit before finish(); that is a degenerate
+        # service.  Multi-worker plans must have prefix-state roots.
+        if len(plan.workers()) > 1:
+            assert_recovery_sound(plan, self.program)
+
+    # -- admission -------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Admitted-but-uncommitted events (inbox + replay suffix)."""
+        with self._lock:
+            return self._inbox_count + self._pending_count
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def itags(self) -> Tuple[ImplTag, ...]:
+        return self._itags
+
+    def offer(self, event: Event) -> str:
+        """Admit one external event, or reject it with a reason.
+
+        Returns :data:`ADMITTED` or one of the ``REJECT_*`` reasons;
+        every rejection is counted so the ingest tier can report it."""
+        with self._lock:
+            if self._finished:
+                reason = REJECT_CLOSED
+            elif event.itag not in self._known:
+                reason = REJECT_UNKNOWN
+            elif event.ts <= self._seal_floor:
+                reason = REJECT_LATE
+            elif event.ts <= self._last_ts.get(event.itag, float("-inf")):
+                reason = REJECT_ORDER
+            elif self.gate.decide(
+                self._inbox_count + self._pending_count, self._runtime_backlog_hw
+            ):
+                reason = REJECT_BACKPRESSURE
+            else:
+                self._inbox[event.itag].append(event)
+                self._inbox_count += 1
+                self._last_ts[event.itag] = event.ts
+                self.counters.admitted += 1
+                return ADMITTED
+            self.counters.note_rejected(reason)
+            return reason
+
+    def offer_batch(self, events: Sequence[Event]) -> Dict[str, int]:
+        """Admit a batch; returns ``{outcome: count}`` including
+        ``"admitted"`` (the ingest tier's ack payload)."""
+        out: Dict[str, int] = {}
+        for e in events:
+            r = self.offer(e)
+            out[r] = out.get(r, 0) + 1
+        return out
+
+    def admission_paused(self) -> bool:
+        """Re-evaluate and return the gate state (without an offer)."""
+        with self._lock:
+            return self.gate.decide(
+                self._inbox_count + self._pending_count, self._runtime_backlog_hw
+            )
+
+    # -- epochs ----------------------------------------------------------
+    def inbox_size(self) -> int:
+        with self._lock:
+            return self._inbox_count
+
+    def run_epoch(self, *, final: bool = False) -> EpochReport:
+        """Seal the buffer and run it as one (recoverable, elastic)
+        epoch, committing outputs up to the newest consistent snapshot.
+        With ``final=True`` the service closes: the epoch runs to full
+        drain, *everything* commits (closed-run semantics), and further
+        offers are rejected as ``"closed"``.
+        """
+        with self._epoch_mutex:
+            if self._finished:
+                raise RuntimeFault("service already finished")
+            with self._lock:
+                for t, buf in self._inbox.items():
+                    if buf:
+                        self._pending[t].extend(buf)
+                        self._seal_floor = max(self._seal_floor, buf[-1].ts)
+                        self._inbox[t] = []
+                self._pending_count += self._inbox_count
+                self._inbox_count = 0
+                sealed = self._pending_count
+                report = EpochReport(
+                    index=len(self.epochs),
+                    final=final,
+                    sealed_events=sealed,
+                    first_seq=len(self.committed),
+                )
+                if sealed == 0 and not final:
+                    report.backlog_after = 0
+                    return report
+                streams = self._streams_locked()
+                initial = self._state
+                if final:
+                    self._finished = True
+            t0 = time.perf_counter()
+            try:
+                self._drive(streams, initial, final, report)
+            finally:
+                report.wall_s = time.perf_counter() - t0
+                with self._lock:
+                    report.backlog_after = self._inbox_count + self._pending_count
+                    self.counters.epochs += 1
+                    self.epochs.append(report)
+            return report
+
+    def finish(self) -> EpochReport:
+        """Close the service: one final epoch that commits everything."""
+        return self.run_epoch(final=True)
+
+    def _streams_locked(self) -> List[InputStream]:
+        hb = self.options.heartbeat_interval
+        return [
+            InputStream(t, tuple(self._pending[t]), heartbeat_interval=hb)
+            for t in self._itags
+        ]
+
+    def _attempt_cap(self) -> int:
+        fp = self._run_options.fault_plan
+        sched = self._run_options.reconfig_schedule
+        budget = 2
+        if fp is not None:
+            budget += len([i for i in fp.crash_indices() if i not in fp.fired])
+        if sched is not None:
+            budget += len(
+                [i for i in range(len(sched.points)) if i not in self._reconfig_fired]
+            )
+            if sched.autoscaler is not None:
+                budget += max(
+                    0, sched.autoscaler.max_reconfigs - self._autoscale_spent
+                )
+        return budget
+
+    def _drive(
+        self,
+        streams: List[InputStream],
+        initial: Any,
+        final: bool,
+        report: EpochReport,
+    ) -> None:
+        """The per-epoch attempt loop: recover crashes, apply plan
+        migrations, then commit the clean attempt's snapshot prefix
+        (everything, when final)."""
+        opts = self._run_options
+        fault_plan = opts.fault_plan
+        sched = opts.reconfig_schedule
+        pending: Sequence[InputStream] = streams
+        last_ckpt = self._last_ckpt
+        if last_ckpt is None:
+            # Unlike a closed run, the service always has a sound
+            # restore point: the epoch's own initial conditions (the
+            # empty prefix before any commit).  A crash before the
+            # first root join simply replays the epoch from scratch.
+            last_ckpt = Checkpoint(
+                key=(float("-inf"),), ts=float("-inf"), state=initial
+            )
+        attempt_metrics: List[Any] = []
+        cap = self._attempt_cap()
+
+        for attempt in range(1, cap + 1):
+            view = None
+            if sched is not None:
+                view = sched.root_view(
+                    self.plan.root.id,
+                    width=plan_width(self.plan),
+                    ceiling=max_width(self.program, self.plan),
+                    fired=frozenset(self._reconfig_fired),
+                    autoscale_spent=self._autoscale_spent,
+                )
+            out = self._backend.attempt(
+                self.program,
+                self.plan,
+                pending,
+                options=opts,
+                initial_state=initial,
+                reconfig_view=view,
+            )
+            report.attempts += 1
+            self.counters.attempts += 1
+            if out.metrics is not None:
+                attempt_metrics.append(out.metrics)
+
+            if out.crashes:
+                report.crashes.extend(out.crashes)
+                self.counters.crashes_recovered += len(out.crashes)
+                if fault_plan is not None:
+                    for crash in out.crashes:
+                        fault_plan.mark_fired(crash.fault_index)
+                restart = restart_from_crash(
+                    attempt, out, pending, initial, last_ckpt,
+                    no_checkpoint_hint=(
+                        "crashed before any service checkpoint existed; "
+                        "the first epoch must reach a root join before a "
+                        "crash is recoverable"
+                    ),
+                )
+                if restart.last_ckpt is not last_ckpt:
+                    # The crashed attempt reached a new snapshot:
+                    # its sequential output prefix commits now and the
+                    # carried state advances with it.
+                    self._commit(restart.committed_delta, restart.last_ckpt, report)
+                pending = restart.pending
+                initial = restart.initial
+                last_ckpt = restart.last_ckpt
+                continue
+
+            if out.quiesce is not None:
+                q = out.quiesce
+                if q.point_index >= 0:
+                    if q.point_index in self._reconfig_fired:
+                        raise RuntimeFault(
+                            f"reconfiguration point #{q.point_index} fired twice"
+                        )
+                    self._reconfig_fired.add(q.point_index)
+                else:
+                    self._autoscale_spent += 1
+                delta = [v for k, v in out.keyed_outputs if k <= q.key]
+                assert sched is not None
+                new_plan = sched.target_plan(q, self.plan, self.program)
+                assert_reconfig_compatible(self.plan, new_plan, self.program)
+                self._check_plan(new_plan)
+                boundary = Checkpoint(q.key, q.ts, q.state)
+                self._commit(delta, boundary, report)
+                report.reconfigurations.append(
+                    ReconfigStep(
+                        attempt=attempt,
+                        reason=q.reason,
+                        key=q.key,
+                        ts=q.ts,
+                        from_leaves=plan_width(self.plan),
+                        to_leaves=plan_width(new_plan),
+                        queue_depth=q.queue_depth,
+                        pause_s=0.0,
+                    )
+                )
+                self.counters.reconfigurations += 1
+                with self._lock:
+                    self.plan = new_plan
+                self.plan_history.append(new_plan)
+                pending = suffix_streams(pending, q.key)
+                initial = q.state
+                last_ckpt = boundary
+                continue
+
+            # Clean attempt: commit.
+            if final:
+                self._commit_all(out.outputs, report)
+            else:
+                ckpt = max(out.checkpoints, key=lambda c: c.key, default=None)
+                if ckpt is not None:
+                    delta = [v for k, v in out.keyed_outputs if k <= ckpt.key]
+                    self._commit(delta, ckpt, report)
+                # No new snapshot: nothing commits, the whole sealed
+                # set stays pending and replays next epoch (progress
+                # resumes once root-synchronizing traffic arrives).
+            self._note_epoch_metrics(attempt_metrics, report)
+            return
+        raise RuntimeFault(
+            f"service epoch did not converge after {cap} attempts "
+            "(crash faults and reconfiguration points each fire at most "
+            "once per service, so this indicates a driver bug)"
+        )
+
+    def _commit(
+        self, values: List[Any], ckpt: Checkpoint, report: EpochReport
+    ) -> None:
+        """Append newly committed outputs and advance the carried state
+        to ``ckpt``; the replay suffix strictly above the key stays
+        pending."""
+        with self._lock:
+            self.committed.extend(values)
+            self.counters.committed += len(values)
+            report.committed += len(values)
+            self._state = ckpt.state
+            self._last_ckpt = ckpt
+            count = 0
+            for t in self._itags:
+                kept = [e for e in self._pending[t] if e.order_key > ckpt.key]
+                self._pending[t] = kept
+                count += len(kept)
+            self._pending_count = count
+
+    def _commit_all(self, outputs: Sequence[Any], report: EpochReport) -> None:
+        with self._lock:
+            self.committed.extend(outputs)
+            self.counters.committed += len(outputs)
+            report.committed += len(outputs)
+            for t in self._itags:
+                self._pending[t] = []
+            self._pending_count = 0
+
+    def _note_epoch_metrics(
+        self, attempt_metrics: List[Any], report: EpochReport
+    ) -> None:
+        merged = merge_attempt_metrics(attempt_metrics)
+        report.metrics = merged
+        if merged is None:
+            return
+        hw = merged.merged().max_backlog
+        with self._lock:
+            # The runtime-backlog signal is windowed per epoch: the
+            # *latest* epoch's high-water, so a drained service recovers.
+            self._runtime_backlog_hw = hw
+            if self.metrics is None:
+                self.metrics = RunMetrics(latency_buckets=merged.latency_buckets)
+            self.metrics.accumulate(merged)
+            self.metrics.attempts += report.attempts
+            self.metrics.reconfigurations += len(report.reconfigurations)
+
+    # -- egress ----------------------------------------------------------
+    def committed_since(self, seq: int) -> Tuple[List[Any], int]:
+        """The committed log's tail from sequence ``seq`` on, plus the
+        next sequence number (the subscriber's resume cursor)."""
+        with self._lock:
+            tail = self.committed[seq:]
+            return tail, len(self.committed)
+
+    # -- observability ---------------------------------------------------
+    def service_gauges(self) -> Dict[str, float]:
+        """A consistent snapshot of the ``repro_serve_*`` gauge set."""
+        with self._lock:
+            return {
+                "admitted_total": float(self.counters.admitted),
+                "rejected_total": float(self.counters.rejected_total),
+                "committed_total": float(self.counters.committed),
+                "backlog": float(self._inbox_count + self._pending_count),
+                "epochs_total": float(self.counters.epochs),
+                "attempts_total": float(self.counters.attempts),
+                "crashes_recovered_total": float(self.counters.crashes_recovered),
+                "reconfigurations_total": float(self.counters.reconfigurations),
+                "admission_paused": 1.0 if self.gate.paused else 0.0,
+            }

@@ -244,9 +244,11 @@ class TestRunEntryPoints:
         assert run.metrics.replayed_events == rec.replayed_events > 0
         assert run.metrics.to_json()["recovery"]["attempts"] == 2
 
-    def test_loose_kwargs_warn_and_options_do_not(self):
+    def test_loose_kwargs_raise_and_options_do_not(self):
         prog, streams, plan = _small_case(values_per_barrier=10, n_barriers=2)
-        with pytest.warns(DeprecationWarning, match="loose keyword arguments"):
+        # The PR-6 deprecation grace is over: loose kwargs are a
+        # TypeError carrying the migration hint.
+        with pytest.raises(TypeError, match=r"RunOptions\(timeout_s=\.\.\.\)"):
             run_on_backend("threaded", prog, plan, streams, timeout_s=60.0)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

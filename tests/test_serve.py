@@ -1,0 +1,558 @@
+"""Service-mode tests: the epoch engine (admission, commit ledger,
+crash recovery, reconfiguration), the wire protocol, the TCP
+ingest/egress tier, and the end-to-end acceptance scenario (10k+
+events over TCP with a mid-stream worker crash and an induced
+admission-pressure spike, differential against the sequential spec)."""
+
+import socket
+import threading
+import urllib.request
+from collections import Counter
+
+import pytest
+
+from repro.apps import keycounter
+from repro.core.errors import RuntimeFault
+from repro.core.events import Event, ImplTag
+from repro.plans.generation import root_and_leaves_plan
+from repro.plans.morph import plan_width
+from repro.runtime import (
+    CrashFault,
+    FaultPlan,
+    ReconfigPoint,
+    ReconfigSchedule,
+    RunOptions,
+    every_root_join,
+    get_backend,
+    run_on_backend,
+)
+from repro.runtime.options import ServeOptions
+from repro.runtime.wire import FRAME_LEN
+from repro.serve import (
+    ADMITTED,
+    REJECT_BACKPRESSURE,
+    REJECT_CLOSED,
+    REJECT_LATE,
+    REJECT_ORDER,
+    REJECT_UNKNOWN,
+    AdmissionGate,
+    ServiceRuntime,
+    connect,
+    keycounter_app,
+    spec_outputs,
+    start_service,
+    value_barrier_app,
+)
+from repro.serve.protocol import (
+    control_frame,
+    decode_outputs,
+    events_frame,
+    ingest_events_frame,
+    outputs_frame,
+    parse_frame,
+)
+
+
+def _multiset(values):
+    return Counter(map(repr, values))
+
+
+def _drain(svc, events, *, every=40):
+    """Offer all events, running an epoch every ``every`` admissions."""
+    for i, event in enumerate(events):
+        assert svc.offer(event) == ADMITTED
+        if i % every == every - 1:
+            svc.run_epoch()
+    return svc.finish()
+
+
+class TestAdmissionGate:
+    def test_trips_at_high_watermark_with_hysteresis(self):
+        gate = AdmissionGate(10, 5)
+        assert not gate.decide(9)
+        assert gate.decide(10)
+        # Paused until the backlog drains to the resume watermark.
+        assert gate.decide(9)
+        assert gate.decide(6)
+        assert not gate.decide(5)
+        assert not gate.decide(9)  # hysteresis: no flap below high
+
+    def test_runtime_backlog_signal(self):
+        gate = AdmissionGate(100, 50, runtime_watermark=8)
+        assert not gate.decide(0, runtime_hw=7)
+        assert gate.decide(0, runtime_hw=8)
+        # Ingest drained, but the runtime signal still holds it shut.
+        assert gate.decide(0, runtime_hw=8)
+        assert not gate.decide(0, runtime_hw=7)
+
+    def test_both_signals_must_clear(self):
+        gate = AdmissionGate(10, 5, runtime_watermark=8)
+        assert gate.decide(10, runtime_hw=0)
+        assert gate.decide(0, runtime_hw=9)  # ingest fine, runtime not
+        assert not gate.decide(0, runtime_hw=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(10, 10)
+        with pytest.raises(ValueError):
+            AdmissionGate(0, 0)
+
+
+class TestServeOptions:
+    def test_resume_watermark_defaults_to_half(self):
+        assert ServeOptions(ingest_high_watermark=100).resume_watermark() == 50
+        assert (
+            ServeOptions(
+                ingest_high_watermark=100, ingest_resume_watermark=10
+            ).resume_watermark()
+            == 10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeOptions(epoch_events=0)
+        with pytest.raises(ValueError):
+            ServeOptions(epoch_idle_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServeOptions(ingest_high_watermark=0)
+        with pytest.raises(ValueError):
+            ServeOptions(ingest_high_watermark=10, ingest_resume_watermark=10)
+        with pytest.raises(ValueError):
+            ServeOptions(runtime_backlog_watermark=0)
+
+
+class TestRunEntryFinalized:
+    """PR 6 deprecated loose kwargs on the run entry; the grace period
+    is over — they now raise with a migration hint."""
+
+    def _case(self):
+        app = keycounter_app(shards=2)
+        events = app.make_events(100)
+        by_itag = {}
+        for e in events:
+            by_itag.setdefault(e.itag, []).append(e)
+        from repro.runtime.runtime import InputStream
+
+        streams = [InputStream(t, tuple(v)) for t, v in by_itag.items()]
+        return app, streams
+
+    def test_loose_kwargs_raise_with_hint(self):
+        app, streams = self._case()
+        with pytest.raises(TypeError, match=r"RunOptions\(timeout_s=\.\.\.\)"):
+            run_on_backend("threaded", app.program, app.plan, streams, timeout_s=30.0)
+        with pytest.raises(TypeError, match="no loose keyword"):
+            get_backend("threaded").run(
+                app.program, app.plan, streams, fault_plan=None, metrics=True
+            )
+
+    def test_attempt_is_public_and_bounded(self):
+        app, streams = self._case()
+        out = get_backend("threaded").attempt(
+            app.program,
+            app.plan,
+            streams,
+            options=RunOptions(checkpoint_predicate=every_root_join()),
+        )
+        spec = spec_outputs(app.program, [e for s in streams for e in s.events])
+        assert _multiset(out.outputs) == _multiset(spec)
+        assert out.checkpoints and out.keyed_outputs
+        assert out.crashes == [] and out.quiesce is None
+
+
+class TestServiceRuntimeEpochs:
+    def test_epoch_ledger_matches_spec(self):
+        app = keycounter_app(shards=2, reset_every=10)
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        events = app.make_events(400)
+        _drain(svc, events, every=37)
+        assert _multiset(svc.committed) == _multiset(spec_outputs(app.program, events))
+        assert svc.counters.admitted == 400
+        assert svc.counters.committed == len(svc.committed)
+        assert svc.backlog == 0
+
+    def test_committed_since_cursors(self):
+        app = keycounter_app(shards=2, reset_every=5)
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        _drain(svc, app.make_events(50), every=25)
+        tail, nxt = svc.committed_since(0)
+        assert nxt == len(svc.committed) and tail == svc.committed
+        mid, nxt2 = svc.committed_since(4)
+        assert mid == svc.committed[4:] and nxt2 == nxt
+        assert svc.committed_since(nxt) == ([], nxt)
+
+    def test_empty_epoch_is_noop(self):
+        app = keycounter_app()
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        report = svc.run_epoch()
+        assert report.sealed_events == 0 and report.attempts == 0
+        assert svc.counters.epochs == 0  # a no-op seal is not an epoch
+
+    def test_epoch_without_root_traffic_commits_nothing_yet(self):
+        app = keycounter_app(shards=2)
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        incs = [
+            Event(keycounter.inc_tag(0), f"i{i % 2}", float(i + 1), 1)
+            for i in range(20)
+        ]
+        for e in incs:
+            assert svc.offer(e) == ADMITTED
+        report = svc.run_epoch()
+        # No root join in the batch -> no snapshot -> nothing commits;
+        # the whole sealed set stays pending for the next epoch.
+        assert report.committed == 0 and svc.backlog == 20
+        assert svc.offer(Event(keycounter.reset_tag(0), "r", 100.0, None)) == ADMITTED
+        svc.run_epoch()
+        assert [v for v in svc.committed] == [(0, 20)]
+        assert svc.backlog == 0  # commit key is the reset: all drained
+
+    def test_admission_rejection_reasons(self):
+        app = keycounter_app(shards=2, reset_every=5)
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        assert svc.offer(Event(("i", 99), "i0", 1.0, 1)) == REJECT_UNKNOWN
+        assert svc.offer(Event(keycounter.inc_tag(0), "i0", 5.0, 1)) == ADMITTED
+        assert svc.offer(Event(keycounter.inc_tag(0), "i0", 5.0, 1)) == REJECT_ORDER
+        # Seal: the floor rises to the highest sealed ts.
+        svc.run_epoch()
+        assert svc.offer(Event(keycounter.inc_tag(0), "i1", 4.0, 1)) == REJECT_LATE
+        assert svc.offer(Event(keycounter.inc_tag(0), "i1", 6.0, 1)) == ADMITTED
+        svc.finish()
+        assert svc.offer(Event(keycounter.inc_tag(0), "i0", 99.0, 1)) == REJECT_CLOSED
+        assert set(svc.counters.rejected) == {
+            REJECT_UNKNOWN,
+            REJECT_ORDER,
+            REJECT_LATE,
+            REJECT_CLOSED,
+        }
+
+    def test_backpressure_flips_and_recovers(self):
+        app = keycounter_app(shards=2, reset_every=5)
+        svc = ServiceRuntime(
+            app.program,
+            app.plan,
+            options=ServeOptions(
+                ingest_high_watermark=10, ingest_resume_watermark=3
+            ),
+        )
+        events = app.make_events(30)
+        admitted = [e for e in events[:10] if svc.offer(e) == ADMITTED]
+        assert len(admitted) == 10
+        # Watermark reached: admission pauses and reports it.
+        assert svc.offer(events[10]) == REJECT_BACKPRESSURE
+        assert svc.admission_paused()
+        assert svc.counters.rejected[REJECT_BACKPRESSURE] >= 1
+        # An epoch commits through the sealed resets and drains the
+        # backlog below the resume watermark: admission resumes.
+        svc.run_epoch()
+        assert svc.backlog <= 3
+        assert not svc.admission_paused()
+        assert svc.offer(events[11]) == ADMITTED
+        svc.finish()
+        final = admitted + [events[11]]
+        assert _multiset(svc.committed) == _multiset(spec_outputs(app.program, final))
+
+    def test_runtime_backlog_watermark_pauses_admission(self):
+        app = keycounter_app(shards=2, reset_every=5)
+        svc = ServiceRuntime(
+            app.program,
+            app.plan,
+            options=ServeOptions(runtime_backlog_watermark=1),
+        )
+        events = app.make_events(40)
+        for e in events[:20]:
+            assert svc.offer(e) == ADMITTED
+        svc.run_epoch()
+        # The epoch's mailbox high-water crossed the (tiny) watermark:
+        # the metrics-plane signal now holds admission shut.
+        assert svc.metrics is not None
+        assert svc.metrics.merged().max_backlog >= 1
+        assert svc.offer(events[20]) == REJECT_BACKPRESSURE
+        assert svc.counters.rejected[REJECT_BACKPRESSURE] == 1
+
+    def test_crash_before_first_checkpoint_replays_epoch(self):
+        app = keycounter_app(shards=2, reset_every=10)
+        leaf = app.plan.root.children[0].id
+        svc = ServiceRuntime(
+            app.program,
+            app.plan,
+            options=ServeOptions(
+                run=RunOptions(fault_plan=FaultPlan(CrashFault(leaf, after_events=1)))
+            ),
+        )
+        events = app.make_events(40)
+        _drain(svc, events, every=40)
+        assert svc.counters.crashes_recovered == 1
+        assert _multiset(svc.committed) == _multiset(spec_outputs(app.program, events))
+
+    def test_crash_mid_service_exactly_once(self):
+        app = keycounter_app(shards=2, reset_every=10)
+        leaf = app.plan.root.children[1].id
+        svc = ServiceRuntime(
+            app.program,
+            app.plan,
+            options=ServeOptions(
+                run=RunOptions(
+                    # Must fire within one epoch's attempt: each 60-event
+                    # epoch routes ~27 events to this shard's leaf.
+                    fault_plan=FaultPlan(CrashFault(leaf, after_events=20)),
+                    metrics=True,
+                )
+            ),
+        )
+        events = app.make_events(300)
+        _drain(svc, events, every=60)
+        assert svc.counters.crashes_recovered == 1
+        assert svc.counters.attempts == svc.counters.epochs + 1
+        assert _multiset(svc.committed) == _multiset(spec_outputs(app.program, events))
+        assert svc.metrics is not None and svc.metrics.attempts == svc.counters.attempts
+
+    def test_planned_reconfiguration_across_epochs(self):
+        prog = keycounter.make_program(1)
+        inc, reset = keycounter.inc_tag(0), keycounter.reset_tag(0)
+        plan = root_and_leaves_plan(
+            prog,
+            [ImplTag(reset, "r")],
+            [
+                [ImplTag(inc, "i0"), ImplTag(inc, "i1")],
+                [ImplTag(inc, "i2"), ImplTag(inc, "i3")],
+            ],
+        )
+        svc = ServiceRuntime(
+            prog,
+            plan,
+            options=ServeOptions(
+                run=RunOptions(
+                    reconfig_schedule=ReconfigSchedule(
+                        ReconfigPoint(at_ts=100.0, to_leaves=4)
+                    )
+                )
+            ),
+        )
+        events = []
+        ts = 0.0
+        for i in range(300):
+            ts += 1.0
+            if (i + 1) % 10 == 0:
+                events.append(Event(reset, "r", ts, None))
+            else:
+                events.append(Event(inc, f"i{i % 4}", ts, 1))
+        _drain(svc, events, every=60)
+        assert svc.counters.reconfigurations == 1
+        assert [plan_width(p) for p in svc.plan_history] == [2, 4]
+        # The migrated plan persists across later epochs.
+        assert plan_width(svc.plan) == 4
+        assert _multiset(svc.committed) == _multiset(spec_outputs(prog, events))
+
+    def test_service_gauges_snapshot(self):
+        app = keycounter_app(reset_every=5)
+        svc = ServiceRuntime(app.program, app.plan, options=ServeOptions())
+        _drain(svc, app.make_events(20), every=10)
+        gauges = svc.service_gauges()
+        assert gauges["admitted_total"] == 20.0
+        assert gauges["committed_total"] == float(len(svc.committed))
+        assert gauges["epochs_total"] == float(svc.counters.epochs)
+        assert gauges["admission_paused"] == 0.0
+        assert set(gauges) == {
+            "admitted_total",
+            "rejected_total",
+            "committed_total",
+            "backlog",
+            "epochs_total",
+            "attempts_total",
+            "crashes_recovered_total",
+            "reconfigurations_total",
+            "admission_paused",
+        }
+
+
+class TestProtocol:
+    def test_control_frame_round_trip(self):
+        frame = control_frame({"type": "hello", "v": 1})
+        (length,) = FRAME_LEN.unpack(frame[:4])
+        kind, blob = parse_frame(frame[4 : 4 + length])
+        assert kind == "control" and blob == {"type": "hello", "v": 1}
+
+    def test_events_frame_round_trip(self):
+        events = [Event(keycounter.inc_tag(0), "i0", float(i), i) for i in range(5)]
+        frame = ingest_events_frame(events)
+        kind, msgs = parse_frame(frame[4:])
+        assert kind == "events"
+        assert [m.event for m in msgs] == events
+
+    def test_outputs_frame_round_trip(self):
+        frame = outputs_frame([(0, 7), (1, 9)], start_seq=41)
+        _kind, msgs = parse_frame(frame[4:])
+        assert decode_outputs(msgs) == [(41, (0, 7)), (42, (1, 9))]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(RuntimeFault):
+            parse_frame(b"")
+        with pytest.raises(RuntimeFault):
+            parse_frame(b"\x00junk")
+        with pytest.raises(RuntimeFault):
+            parse_frame(b"C not json")
+        with pytest.raises(RuntimeFault):
+            parse_frame(b"C[1, 2]")  # JSON but not an object
+        with pytest.raises(RuntimeFault):
+            decode_outputs(parse_frame(events_frame([]))[1] + ["nonsense"])
+
+
+class TestServiceTCP:
+    @pytest.mark.parametrize("make_app", [keycounter_app, value_barrier_app])
+    def test_end_to_end_matches_spec(self, make_app):
+        app = make_app()
+        events = app.make_events(1200)
+        opts = ServeOptions(epoch_events=200, epoch_idle_ms=20.0)
+        with start_service(app.program, app.plan, options=opts) as handle:
+            received = []
+            sub = connect(handle.port, handle.cookie, mode="subscribe")
+            consumer = threading.Thread(
+                target=lambda: received.extend(sub.outputs())
+            )
+            consumer.start()
+            with connect(handle.port, handle.cookie) as ingest:
+                ack = ingest.send_events(events, batch=100)
+                assert ack.admitted == len(events) and ack.rejected == 0
+                total = ingest.finish()
+            consumer.join(timeout=60)
+            assert not consumer.is_alive()
+        seqs = [seq for seq, _ in received]
+        assert seqs == list(range(len(seqs)))  # gapless, duplicate-free
+        assert total == len(received)
+        want = _multiset(spec_outputs(app.program, events))
+        assert _multiset([v for _, v in received]) == want
+
+    def test_flush_and_late_subscriber_from_seq(self):
+        app = keycounter_app(reset_every=5)
+        opts = ServeOptions(epoch_events=10**9, epoch_idle_ms=10_000.0)
+        with start_service(app.program, app.plan, options=opts) as handle:
+            with connect(handle.port, handle.cookie) as ingest:
+                ingest.send_events(app.make_events(50))
+                committed = ingest.flush()
+                assert committed == 10
+                # A late subscriber catches up from its cursor.
+                with connect(
+                    handle.port, handle.cookie, mode="subscribe", from_seq=4
+                ) as sub:
+                    assert sub.server_seq == 10
+                ingest.finish()
+            with connect(
+                handle.port, handle.cookie, mode="subscribe", from_seq=4
+            ) as sub:
+                got = list(sub.outputs())
+            assert [seq for seq, _ in got] == list(range(4, 10))
+            assert [v for _, v in got] == handle.runtime.committed[4:]
+
+    def test_rejections_reported_in_ack(self):
+        app = keycounter_app()
+        opts = ServeOptions(epoch_events=10**9, epoch_idle_ms=10_000.0)
+        with start_service(app.program, app.plan, options=opts) as handle:
+            with connect(handle.port, handle.cookie) as ingest:
+                good = Event(keycounter.inc_tag(0), "i0", 10.0, 1)
+                stale = Event(keycounter.inc_tag(0), "i0", 10.0, 1)  # not increasing
+                unknown = Event(("i", 99), "i0", 11.0, 1)
+                ack = ingest.send_events([good, stale, unknown])
+                assert ack.admitted == 1 and ack.rejected == 2
+                assert ack.reasons == {REJECT_ORDER: 1, REJECT_UNKNOWN: 1}
+
+    def test_bad_cookie_and_garbage_are_strays(self):
+        app = keycounter_app(reset_every=5)
+        opts = ServeOptions(epoch_events=10**9, epoch_idle_ms=10_000.0)
+        with start_service(app.program, app.plan, options=opts) as handle:
+            # Wrong cookie: dropped before any state is touched.
+            with pytest.raises(RuntimeFault, match="closed while waiting"):
+                connect(handle.port, "not-the-cookie")
+            # Raw garbage: framed nonsense, then a dead socket.
+            sock = socket.create_connection(("127.0.0.1", handle.port), timeout=10)
+            sock.sendall(FRAME_LEN.pack(7) + b"Znoise!")
+            assert sock.recv(1024) == b""  # server hung up, no crash
+            sock.close()
+            # The service still works for authenticated clients.
+            with connect(handle.port, handle.cookie) as ingest:
+                events = app.make_events(20)
+                assert ingest.send_events(events).admitted == 20
+                assert ingest.finish() == 4
+            assert handle.server.strays == 2
+
+    def test_process_backend_epochs(self):
+        app = keycounter_app(reset_every=10)
+        opts = ServeOptions(
+            backend="process",
+            epoch_events=10**9,
+            epoch_idle_ms=30_000.0,
+        )
+        events = app.make_events(120)
+        with start_service(app.program, app.plan, options=opts) as handle:
+            with connect(handle.port, handle.cookie) as ingest:
+                assert ingest.send_events(events[:60]).admitted == 60
+                ingest.flush()
+                assert ingest.send_events(events[60:]).admitted == 60
+                ingest.finish()
+            got = _multiset(handle.runtime.committed)
+        assert got == _multiset(spec_outputs(app.program, events))
+
+
+class TestServiceAcceptance:
+    def test_10k_events_crash_and_backpressure_over_tcp(self):
+        """The PR's acceptance scenario: an external client streams
+        10k+ events over TCP while a worker crash fault is armed and
+        the ingest watermark is low enough that sustained sending
+        trips admission control.  The subscriber must receive exactly
+        the sequential-spec outputs of the *admitted* events — no
+        duplicates, no loss — and the rejections must have been
+        observed and reported to the client."""
+        app = keycounter_app(shards=2, reset_every=25)
+        leaf = app.plan.root.children[0].id
+        opts = ServeOptions(
+            epoch_events=10**9,  # epochs driven by flush below
+            epoch_idle_ms=60_000.0,
+            ingest_high_watermark=600,
+            ingest_resume_watermark=100,
+            run=RunOptions(
+                fault_plan=FaultPlan(CrashFault(leaf, after_events=150)),
+                metrics=True,
+            ),
+            metrics_port=0,
+        )
+        events = app.make_events(13_000)
+        admitted, rejected_total = [], 0
+        reasons = Counter()
+        with start_service(app.program, app.plan, options=opts) as handle:
+            received = []
+            sub = connect(
+                handle.port, handle.cookie, mode="subscribe", timeout=120.0
+            )
+            consumer = threading.Thread(target=lambda: received.extend(sub.outputs()))
+            consumer.start()
+            with connect(handle.port, handle.cookie, timeout=120.0) as ingest:
+                for event in events:
+                    ack = ingest.send_events([event])
+                    if ack.admitted:
+                        admitted.append(event)
+                    rejected_total += ack.rejected
+                    reasons.update(ack.reasons)
+                    if ack.paused or ack.rejected:
+                        ingest.flush()  # drain: admission must resume
+                ingest.finish()
+            consumer.join(timeout=120)
+            assert not consumer.is_alive()
+
+            counters = handle.runtime.counters
+            assert counters.crashes_recovered == 1
+            scrape = urllib.request.urlopen(
+                f"http://127.0.0.1:{handle.metrics_port}/metrics", timeout=10
+            ).read().decode()
+            assert "repro_serve_crashes_recovered_total 1.0" in scrape
+            assert f"repro_serve_admitted_total {float(len(admitted))}" in scrape
+
+        # Admission pressure was really induced, and reported.
+        assert rejected_total > 0
+        assert reasons[REJECT_BACKPRESSURE] == rejected_total
+        assert counters.rejected[REJECT_BACKPRESSURE] == rejected_total
+        # And the service still admitted the acceptance floor.
+        assert len(admitted) >= 10_000
+
+        # Exactly-once: gapless sequence numbers, spec-identical values.
+        seqs = [seq for seq, _ in received]
+        assert seqs == list(range(len(seqs)))
+        want = _multiset(spec_outputs(app.program, admitted))
+        assert _multiset([v for _, v in received]) == want
