@@ -31,7 +31,13 @@ from repro.core import DependenceRelation, Event, ImplTag
 from repro.plans import is_p_valid, random_valid_plan
 from repro.runtime import Mailbox
 from repro.runtime.messages import EventMsg
-from repro.runtime.wire import decode_batch, encode_batch, pack_frame, unpack_frame
+from repro.runtime.wire import (
+    coalesce_event_runs,
+    decode_batch,
+    encode_batch,
+    pack_frame,
+    unpack_frame,
+)
 from repro.sim import Simulator
 
 
@@ -92,17 +98,25 @@ def test_random_plan_generation_and_validation(benchmark):
 
 
 def test_wire_codec_roundtrip(benchmark):
-    """Round-trip throughput of both codec layers on producer-shaped
+    """Round-trip throughput of the codec layers on producer-shaped
     traffic (string tag/stream, float ts, int payload): the tuple
-    codec the queue transport ships, and the struct-packed frame codec
-    the pipe transport ships.  Emits the gated BENCH_wire_codec.json
-    record — the frame codec is the process runtime's hot path, so a
-    regression here is a transport regression."""
+    codec the queue transport ships, the struct-packed frame codec the
+    stream transports ship, and the columnar run path (``runs=True``)
+    where consecutive same-route events stay packed arrays end to end
+    instead of exploding into per-event objects.  Emits the gated
+    BENCH_wire_codec.json record — the frame codec is the process
+    runtime's hot path, so a regression here is a transport
+    regression.  The run path must hold a >= 5x advantage over
+    per-event decode: that multiple is the whole point of carrying
+    columnar runs through the data plane."""
     msgs = [
         EventMsg(Event("value", "v%d" % (i // 500), float(i), payload=i * 3))
         for i in range(2000)
     ]
     assert unpack_frame(pack_frame(msgs)) == msgs
+    assert (
+        sum(len(r) for r in unpack_frame(pack_frame(msgs), runs=True)) == 2000
+    )
 
     def run():
         return len(unpack_frame(pack_frame(msgs)))
@@ -122,6 +136,12 @@ def test_wire_codec_roundtrip(benchmark):
 
     frame_rate = rate(lambda: unpack_frame(pack_frame(msgs)))
     tuple_rate = rate(lambda: decode_batch(encode_batch(msgs)))
+    # The run path ships the same 2000 events as four columnar runs:
+    # pack once from coalesced runs, decode without materializing a
+    # single Event object.
+    runs = coalesce_event_runs(msgs, max_run=512)
+    run_rate = rate(lambda: unpack_frame(pack_frame(runs), runs=True))
+    run_speedup = run_rate / frame_rate if frame_rate > 0 else float("nan")
     publish_json(
         "wire_codec",
         bench_record(
@@ -130,12 +150,20 @@ def test_wire_codec_roundtrip(benchmark):
             metrics={
                 "frame_roundtrip_msgs_per_s": round(frame_rate),
                 "tuple_roundtrip_msgs_per_s": round(tuple_rate),
+                "run_roundtrip_msgs_per_s": round(run_rate),
+                "run_vs_per_event": round(run_speedup, 2),
             },
             gate={
                 "frame_roundtrip_msgs_per_s": "higher",
                 "tuple_roundtrip_msgs_per_s": "higher",
+                "run_roundtrip_msgs_per_s": "higher",
             },
         ),
+    )
+    assert run_speedup >= 5.0, (
+        f"columnar run decode reached only {run_speedup:.1f}x the "
+        "per-event frame path (floor: 5x); the batch fast path has "
+        "regressed into object materialization"
     )
 
 

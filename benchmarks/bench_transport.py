@@ -1,23 +1,30 @@
-"""Transport-layer benchmark: queue vs pipe vs TCP data planes x batch
-policies on the process runtime.
+"""Transport-layer benchmark: queue vs pipe vs TCP vs shared-memory
+data planes x batch policies on the process runtime.
 
 Not a paper artifact — the paper's speedup claims assume IPC is not
 the bottleneck; this table measures exactly the transport choices that
-make that true (framed raw pipes and TCP stream sockets vs
-``multiprocessing.Queue``, fixed vs adaptive batching, including the
-degenerate per-message batch=1 baseline that shows what batching buys
-in the first place).  Outputs are multiset-verified across every
-configuration, so no configuration can look fast by dropping or
-corrupting messages.
+make that true (framed raw pipes, TCP stream sockets, and fixed-slot
+shared-memory rings vs ``multiprocessing.Queue``, fixed vs adaptive
+batching, including the degenerate per-message batch=1 baseline that
+shows what batching buys in the first place).  Outputs are
+multiset-verified across every configuration, so no configuration can
+look fast by dropping or corrupting messages.
 
 Writes two records:
 
 * ``BENCH_transport_matrix.json`` — the full policy matrix (ungated,
   trajectory only);
-* ``BENCH_transport_modes.json`` — the queue/pipe/tcp comparison the
-  CI perf gate thresholds (``tcp_events_per_s``, direction higher);
-  the same-host sanity floor asserts TCP stays within 2x of the pipe
-  transport, so the distributed data plane cannot silently rot.
+* ``BENCH_transport_modes.json`` — the queue/pipe/tcp/shm comparison
+  the CI perf gate thresholds (``tcp_events_per_s`` and
+  ``shm_events_per_s``, direction higher); the same-host sanity
+  floors assert TCP and shm each stay within 2x of the pipe
+  transport, so neither the distributed data plane nor the
+  shared-memory fast path can silently rot.
+
+``test_shm_slot_exhaustion_backpressure`` is a correctness rider, not
+a measurement: a deliberately tiny ring must backpressure like the
+pipe sender's non-blocking path (senders park batches and retry via
+``on_block``) instead of deadlocking.
 """
 
 from conftest import quick
@@ -64,6 +71,8 @@ def test_transport_batching_matrix(benchmark):
         "pipe adaptive 5ms": RunOptions(transport="pipe", flush_ms=5.0),
         "tcp fixed(64)": RunOptions(transport="tcp", batch_size=64),
         "tcp adaptive": RunOptions(transport="tcp"),
+        "shm fixed(64)": RunOptions(transport="shm", batch_size=64),
+        "shm adaptive": RunOptions(transport="shm"),
     }
     res = benchmark.pedantic(
         lambda: compare_transports(
@@ -117,23 +126,29 @@ def test_transport_batching_matrix(benchmark):
 
 
 def test_transport_modes(benchmark):
-    """The queue/pipe/tcp comparison behind the distributed deployment:
-    all three data planes on one communication-bound workload, adaptive
-    batching, best-of-repeats.
+    """The queue/pipe/tcp/shm comparison behind the deployment story:
+    all four data planes on one communication-bound workload, fixed
+    16-event batches, best-of-repeats.  Fixed small batches on purpose:
+    adaptive batching grows frames until transport cost vanishes into
+    protocol work and every data plane ties — a transport record must
+    actually exercise the transport.
 
-    Two guarantees ride on this record: the CI perf gate thresholds
-    ``tcp_events_per_s`` against the committed baseline (the TCP frame
-    path must not rot while nobody benchmarks a cluster), and the
-    same-host assertion that TCP stays within 2x of the pipe transport
-    — loopback TCP pays a protocol tax over a raw pipe, but with
-    NODELAY and batched frames it must remain the same order of
-    magnitude, or the distributed lane's numbers are fiction."""
+    Three guarantees ride on this record: the CI perf gate thresholds
+    ``tcp_events_per_s`` and ``shm_events_per_s`` against the
+    committed baseline (neither the TCP frame path nor the
+    shared-memory ring may rot while nobody benchmarks them), and the
+    same-host assertions that TCP and shm each stay within 2x of the
+    pipe transport — loopback TCP pays a protocol tax over a raw pipe
+    but with NODELAY and batched frames must remain the same order of
+    magnitude, and the shm ring skips the kernel entirely so falling
+    behind the pipe means its spin/backoff policy has regressed."""
     QUICK = quick()
     prog, streams, plan = _workload(QUICK)
     configs = {
-        "queue": RunOptions(transport="queue", batch_size=64),
-        "pipe": RunOptions(transport="pipe"),
-        "tcp": RunOptions(transport="tcp"),
+        "queue": RunOptions(transport="queue", batch_size=16),
+        "pipe": RunOptions(transport="pipe", batch_size=16),
+        "tcp": RunOptions(transport="tcp", batch_size=16),
+        "shm": RunOptions(transport="shm", batch_size=16),
     }
     res = benchmark.pedantic(
         # Best-of-2 even under --smoke: tcp_events_per_s is a gated
@@ -154,9 +169,11 @@ def test_transport_modes(benchmark):
     labels = list(points)
     pipe_eps = points["pipe"].events_per_s
     tcp_eps = points["tcp"].events_per_s
+    shm_eps = points["shm"].events_per_s
     ratio = tcp_eps / pipe_eps if pipe_eps > 0 else float("nan")
+    shm_ratio = shm_eps / pipe_eps if pipe_eps > 0 else float("nan")
     text = render_table(
-        "Data planes (adaptive batching): wall-clock throughput (events/s)",
+        "Data planes (fixed batch 16): wall-clock throughput (events/s)",
         "transport",
         labels,
         {
@@ -185,16 +202,20 @@ def test_transport_modes(benchmark):
                 "queue_events_per_s": round(points["queue"].events_per_s),
                 "pipe_events_per_s": round(pipe_eps),
                 "tcp_events_per_s": round(tcp_eps),
+                "shm_events_per_s": round(shm_eps),
                 "tcp_vs_pipe": round(ratio, 3),
+                "shm_vs_pipe": round(shm_ratio, 3),
                 # Closed-loop p99: committed-output time relative to the
                 # source timeline — a drift detector for the data plane's
                 # queueing behavior, not an offered-rate latency claim
                 # (that's BENCH_latency_openloop.json).
                 "pipe_p99_latency_s": round(res.metrics["pipe"]["p99_latency_s"], 4),
                 "tcp_p99_latency_s": round(res.metrics["tcp"]["p99_latency_s"], 4),
+                "shm_p99_latency_s": round(res.metrics["shm"]["p99_latency_s"], 4),
             },
             gate={
                 "tcp_events_per_s": "higher",
+                "shm_events_per_s": "higher",
                 "pipe_p99_latency_s": "lower",
             },
         ),
@@ -204,4 +225,39 @@ def test_transport_modes(benchmark):
         f"tcp transport reached only {ratio:.2f}x the pipe transport's "
         "throughput on the same host (floor: 0.5x); the framed-socket "
         "hot path has regressed"
+    )
+    assert shm_eps >= 0.5 * pipe_eps, (
+        f"shm transport reached only {shm_ratio:.2f}x the pipe "
+        "transport's throughput (floor: 0.5x); the shared-memory ring "
+        "skips the kernel entirely, so its spin/backoff policy has "
+        "regressed"
+    )
+
+
+def test_shm_slot_exhaustion_backpressure():
+    """Slot exhaustion must backpressure like the pipe sender's
+    non-blocking path, not deadlock.
+
+    An 8-slot x 128-byte ring is far smaller than one adaptive batch's
+    frame, so every sender exhausts the ring constantly and parks
+    batches via ``on_block`` exactly as the pipe transport does when
+    the kernel buffer fills.  The run must still complete with the
+    sequential spec's exact output multiset — throughput is allowed to
+    be terrible; hanging or dropping events is not."""
+    from repro.core.semantics import output_multiset
+    from repro.runtime import run_on_backend
+    from repro.runtime.runtime import run_sequential_reference
+
+    prog = vb.make_program()
+    wl = vb.make_workload(n_value_streams=2, values_per_barrier=60, n_barriers=3)
+    streams, plan = vb.make_streams(wl), vb.make_plan(prog, wl)
+    run = run_on_backend(
+        "process", prog, plan, streams,
+        options=RunOptions(
+            transport="shm",
+            extra={"transport_options": {"slots": 8, "slot_bytes": 128}},
+        ),
+    )
+    assert output_multiset(run.outputs) == output_multiset(
+        run_sequential_reference(prog, streams)
     )

@@ -45,10 +45,11 @@ def main() -> None:
     )
     parser.add_argument(
         "--transport",
-        choices=("pipe", "queue"),
+        choices=("pipe", "queue", "tcp", "shm"),
         default="pipe",
-        help="process-backend data plane: framed raw pipes (default) or "
-        "the legacy multiprocessing.Queue fabric",
+        help="process-backend data plane: framed raw pipes (default), the "
+        "legacy multiprocessing.Queue fabric, loopback TCP stream "
+        "sockets, or shared-memory rings",
     )
     parser.add_argument(
         "--spin",

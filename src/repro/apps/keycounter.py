@@ -64,6 +64,30 @@ def _update(state: KeyCounterState, event: Event) -> Tuple[KeyCounterState, List
     raise ValueError(f"unknown tag kind {kind!r}")
 
 
+def _update_batch(
+    state: KeyCounterState, run: Any
+) -> Tuple[KeyCounterState, List[Tuple[int, Any]]]:
+    """Vectorized update over a columnar run (single tag per run).
+
+    An increment run for key ``k`` folds to one summed add — counting
+    is commutative, so the column sum is exactly the per-event fold.
+    Read-reset runs keep per-event semantics (the first read observes
+    the count; later reads in the same run observe zero)."""
+    kind, key = run.tag
+    if kind == "i":
+        pl = run.payloads
+        amount = len(run.ts) if pl is None else sum(map(int, pl))
+        new = dict(state)
+        new[key] = new.get(key, 0) + amount
+        return new, []
+    new = dict(state)
+    outs: List[Tuple[int, Any]] = []
+    for i in range(len(run.ts)):
+        outs.append((i, (key, new.get(key, 0))))
+        new[key] = 0
+    return new, outs
+
+
 def _fork(
     state: KeyCounterState, pred1: TagPredicate, pred2: TagPredicate
 ) -> Tuple[KeyCounterState, KeyCounterState]:
@@ -105,6 +129,7 @@ def make_program(num_keys: int = 2) -> DGSProgram:
         depends=depends,
         init=dict,
         update=_update,
+        update_batch=_update_batch,
         fork=_fork,
         join=_join,
     )

@@ -52,6 +52,21 @@ def _update(state: State, event: Event) -> Tuple[State, List[Any]]:
     return 0, [("window_sum", event.ts, state)]
 
 
+def _update_batch(state: State, run: Any) -> Tuple[State, List[Tuple[int, Any]]]:
+    """Vectorized update over a columnar run (one tag per run).
+
+    A value run folds to one ``sum`` over the packed payload column —
+    this is where the batch data plane pays off.  Barrier runs are rare
+    (and usually length 1); emit per event to keep window boundaries."""
+    if run.tag == VALUE_TAG:
+        return state + sum(run.payloads), []
+    outs: List[Tuple[int, Any]] = []
+    for i, ts in enumerate(run.ts):
+        outs.append((i, ("window_sum", ts, state)))
+        state = 0
+    return state, outs
+
+
 def _fork(state: State, pred1: TagPredicate, pred2: TagPredicate) -> Tuple[State, State]:
     # The side able to process barriers keeps the running sum (it will
     # need the total); with neither, default left.
@@ -71,6 +86,7 @@ def make_program() -> DGSProgram:
         depends=DependenceRelation.from_function(TAGS, depends_fn),
         init=lambda: 0,
         update=_update,
+        update_batch=_update_batch,
         fork=_fork,
         join=_join,
     )

@@ -14,7 +14,14 @@ latency-like metrics fail when they *rise*.  Records without gate
 entries are trajectory-only — uploaded as artifacts, never blocking.
 
 Baselines are machine-dependent (they capture absolute throughput on
-the CI runner class).  Refresh them whenever the hot path genuinely
+the CI runner class).  Every record carries a ``host`` provenance
+stamp (core count, python version, platform); when a result was
+measured on a *different* host class than its baseline — a laptop
+checking against CI numbers, or a runner-class change — failing checks
+on that record are downgraded to advisory warnings instead of gate
+failures, because comparing absolute throughput across machines is
+noise, not signal.  Matching hosts keep the gate fail-closed.
+Refresh baselines whenever the hot path genuinely
 changes or CI hardware shifts::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_core.py \\
@@ -34,7 +41,7 @@ import math
 import os
 import shutil
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .harness import BENCH_SCHEMA
 
@@ -43,7 +50,11 @@ DEFAULT_TOLERANCE = 0.25
 
 @dataclass(frozen=True)
 class GateCheck:
-    """One gated metric's verdict."""
+    """One gated metric's verdict.
+
+    ``advisory`` marks a check whose record was measured on a
+    different host class than its baseline: a failing advisory check
+    prints as ``warn`` and never fails the gate."""
 
     name: str
     metric: str
@@ -51,6 +62,8 @@ class GateCheck:
     baseline: float
     measured: float
     ok: bool
+    advisory: bool = False
+    note: str = ""
 
     @property
     def change(self) -> float:
@@ -61,12 +74,39 @@ class GateCheck:
         return delta if self.direction == "higher" else -delta
 
     def describe(self) -> str:
-        verdict = "ok  " if self.ok else "FAIL"
+        verdict = "ok  " if self.ok else ("warn" if self.advisory else "FAIL")
+        suffix = f" [{self.note}]" if self.note else ""
         return (
             f"  [{verdict}] {self.name}.{self.metric}: "
             f"baseline {self.baseline:g} -> measured {self.measured:g} "
-            f"({self.change:+.1%}, {self.direction} is better)"
+            f"({self.change:+.1%}, {self.direction} is better){suffix}"
         )
+
+
+def host_mismatch(base: dict, result: dict) -> Optional[str]:
+    """Describe the first provenance-relevant difference between two
+    records' ``host`` stamps, or ``None`` when they match.
+
+    Compares the knobs that change absolute throughput class: core
+    count, python major.minor, and the platform's leading token
+    (``Linux`` vs ``Darwin`` — distro/kernel point releases within a
+    platform are deliberately ignored).  Records that predate host
+    stamps compare as matching, keeping the gate fail-closed for
+    them."""
+    bh, rh = base.get("host") or {}, result.get("host") or {}
+    if not bh or not rh:
+        return None
+    if bh.get("cores") != rh.get("cores"):
+        return f"cores {bh.get('cores')} vs {rh.get('cores')}"
+    bpy = str(bh.get("python", "")).rsplit(".", 1)[0]
+    rpy = str(rh.get("python", "")).rsplit(".", 1)[0]
+    if bpy != rpy:
+        return f"python {bh.get('python')} vs {rh.get('python')}"
+    bplat = str(bh.get("platform", "")).split("-", 1)[0]
+    rplat = str(rh.get("platform", "")).split("-", 1)[0]
+    if bplat != rplat:
+        return f"platform {bplat!r} vs {rplat!r}"
+    return None
 
 
 def load_records(directory: str) -> Dict[str, dict]:
@@ -109,6 +149,9 @@ def compare(
                 f"({result.get('schema')} vs {base.get('schema')}); rebase the baseline"
             )
             continue
+        mismatch = host_mismatch(base, result)
+        advisory = mismatch is not None
+        note = f"host mismatch: {mismatch}; advisory only" if advisory else ""
         for metric, direction in sorted(gate.items()):
             baseline_value = base.get("metrics", {}).get(metric)
             measured = result.get("metrics", {}).get(metric)
@@ -136,7 +179,10 @@ def compare(
             else:
                 ok = measured <= baseline_value * (1.0 + tolerance)
             checks.append(
-                GateCheck(name, metric, direction, baseline_value, measured, ok)
+                GateCheck(
+                    name, metric, direction, baseline_value, measured, ok,
+                    advisory=advisory, note=note,
+                )
             )
     return checks, problems
 
@@ -161,7 +207,14 @@ def check_dirs(
     if not baselines:
         problems.append(f"no baselines found under {baselines_dir}")
         lines.append(f"  [FAIL] no baselines found under {baselines_dir}")
-    ok = not problems and all(c.ok for c in checks)
+    warns = [c for c in checks if not c.ok and c.advisory]
+    if warns:
+        lines.append(
+            f"perf gate: {len(warns)} advisory warning(s) — result host "
+            "differs from baseline host; run on the baseline's runner "
+            "class (or rebase) for an enforceable comparison"
+        )
+    ok = not problems and all(c.ok or c.advisory for c in checks)
     lines.append("perf gate: PASS" if ok else "perf gate: FAIL")
     if not ok:
         # Make the failure actionable straight from the CI log: the

@@ -826,7 +826,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="re-run a single case id from the sweep (reproduces a failure)",
     )
     ap.add_argument(
-        "--transport", default=None, choices=("pipe", "queue", "tcp"),
+        "--transport", default=None, choices=("pipe", "queue", "tcp", "shm"),
         help="process-backend data plane (default: the backend default, pipe)",
     )
     ap.add_argument(

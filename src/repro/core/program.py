@@ -24,7 +24,7 @@ semantics and the consistency checker will catch most such bugs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .dependence import DependenceRelation
 from .errors import ProgramError
@@ -34,6 +34,12 @@ from .predicates import TagPredicate, true_pred
 State = Any
 Output = Any
 UpdateFn = Callable[[State, Event], Tuple[State, List[Output]]]
+#: Vectorized update over a columnar run of same-tag events
+#: (:class:`repro.runtime.messages.EventRun`): returns the folded state
+#: and ``(event_index, output)`` pairs so outputs keep their per-event
+#: order keys.  Must be output-equivalent to folding ``update`` over
+#: the run's events.
+BatchUpdateFn = Callable[[State, Any], Tuple[State, List[Tuple[int, Output]]]]
 ForkImpl = Callable[[State, TagPredicate, TagPredicate], Tuple[State, State]]
 JoinImpl = Callable[[State, State], State]
 
@@ -42,11 +48,18 @@ INITIAL_STATE_TYPE = "State0"
 
 @dataclass(frozen=True)
 class StateType:
-    """A state type ``State_i`` with its event predicate ``pred_i``."""
+    """A state type ``State_i`` with its event predicate ``pred_i``.
+
+    ``update_batch`` is an optional vectorized opt-in: when present,
+    leaf workers on the runs-enabled data plane hand whole columnar
+    runs to it instead of calling ``update`` per event.  Programs that
+    leave it ``None`` still benefit from runs (framing and mailbox
+    costs amortize); the worker just folds ``update`` over the run."""
 
     name: str
     pred: TagPredicate
     update: UpdateFn
+    update_batch: Optional[BatchUpdateFn] = None
 
     def can_handle(self, tag: Tag) -> bool:
         return tag in self.pred
@@ -211,11 +224,12 @@ def single_state_program(
     update: UpdateFn,
     fork: ForkImpl,
     join: JoinImpl,
+    update_batch: Optional[BatchUpdateFn] = None,
 ) -> DGSProgram:
     """Convenience constructor for the common one-state-type program
     (all of the paper's evaluation applications have this shape)."""
     universe = frozenset(tags)
-    st = StateType(INITIAL_STATE_TYPE, true_pred(universe), update)
+    st = StateType(INITIAL_STATE_TYPE, true_pred(universe), update, update_batch)
     return DGSProgram(
         name=name,
         tags=universe,

@@ -22,10 +22,19 @@ Releases cascade through a tag workset exactly as described in the
 paper.  The mailbox is pure data-structure logic — no simulator
 dependencies — so it is unit-testable and reusable by both the
 simulated and the threaded runtimes.
+
+Columnar runs (:class:`~repro.runtime.messages.EventRun`) buffer as a
+*single* item keyed at their first event and release under exactly the
+per-event rule: when a run's front is releasable, the mailbox releases
+the maximal prefix every event of which satisfies the release
+condition, splitting the run when a dependent tag's timer or buffered
+front caps it.  ``buffered_count`` stays event-level (a run of ``n``
+counts ``n``), so backlog signals and drain checks are unchanged.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
@@ -33,6 +42,7 @@ from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..core.dependence import DependenceRelation
 from ..core.errors import InputError
 from ..core.events import ImplTag
+from .messages import EventRun
 
 OrderKey = Tuple
 
@@ -86,7 +96,10 @@ class Mailbox:
 
     def buffered_count(self, itag: Optional[ImplTag] = None) -> int:
         if itag is not None:
-            return len(self._buffers[itag])
+            return sum(
+                len(b.item) if type(b.item) is EventRun else 1
+                for b in self._buffers[itag]
+            )
         return self._total_buffered
 
     def buffer_empty(self, itag: ImplTag) -> bool:
@@ -121,6 +134,33 @@ class Mailbox:
         self._timers[itag] = key
         return self._cascade(itag)
 
+    def insert_run(self, run: EventRun) -> List[Buffered]:
+        """Buffer a columnar run as one item (keyed at its first event)
+        and return everything releasable, in order.
+
+        The run's internal keys are strictly increasing by stream
+        monotonicity (one route, one monotone producer), so only the
+        boundary conditions need checking; the timer advances straight
+        to the run's last key — exactly what inserting the events one
+        by one would have left behind."""
+        itag = run.itag
+        if itag not in self.itags:
+            raise InputError(f"mailbox does not know itag {itag!r}")
+        first = run.first_key
+        buf = self._buffers[itag]
+        if buf and buf[-1].key >= first:
+            raise InputError(
+                f"non-monotone arrival for {itag!r}: {first} after {buf[-1].key}"
+            )
+        if self._timers[itag] > first:
+            raise InputError(
+                f"item for {itag!r} arrives behind its heartbeat frontier"
+            )
+        buf.append(Buffered(itag, first, run))
+        self._total_buffered += len(run)
+        self._timers[itag] = run.last_key
+        return self._cascade(itag)
+
     def advance(self, itag: ImplTag, key: OrderKey) -> List[Buffered]:
         """Heartbeat: advance the timer without buffering anything."""
         if itag not in self.itags:
@@ -140,20 +180,57 @@ class Mailbox:
                 return False
         return True
 
+    def _release_bound(self, tag: ImplTag) -> Optional[OrderKey]:
+        """Inclusive key bound up to which ``tag``'s events may release:
+        the minimum over dependent tags of their timer and (if buffered)
+        their front item's key.  ``None`` means unconstrained (no deps)."""
+        bound: Optional[OrderKey] = None
+        for dep in self._deps[tag]:
+            t = self._timers[dep]
+            if bound is None or t < bound:
+                bound = t
+            dep_buf = self._buffers[dep]
+            if dep_buf and dep_buf[0].key < bound:
+                bound = dep_buf[0].key
+        return bound
+
     def _cascade(self, seed: ImplTag) -> List[Buffered]:
         """The paper's cascading-release procedure with a tag workset."""
         released: List[Buffered] = []
         workset: List[ImplTag] = [seed]
         workset.extend(self._rdeps[seed])
         in_set = set(workset)
+        any_runs = False
         while workset:
             tag = workset.pop()
             in_set.discard(tag)
             buf = self._buffers[tag]
             progressed = False
             while buf and self._releasable(buf[0]):
-                released.append(buf.popleft())
-                self._total_buffered -= 1
+                front = buf[0]
+                item = front.item
+                if type(item) is EventRun:
+                    any_runs = True
+                    bound = self._release_bound(tag)
+                    if bound is not None and item.last_key > bound:
+                        # Only a prefix of the run is releasable; split
+                        # at the bound (inclusive).  The front being
+                        # releasable guarantees a non-empty prefix, and
+                        # the remainder is provably blocked, so stop.
+                        n_rel = bisect_right(item.keys(), bound)
+                        prefix, rest = item.split(n_rel)
+                        released.append(Buffered(tag, front.key, prefix))
+                        buf[0] = Buffered(tag, rest.first_key, rest)
+                        self._total_buffered -= n_rel
+                        progressed = True
+                        break
+                    buf.popleft()
+                    released.append(front)
+                    self._total_buffered -= len(item)
+                else:
+                    buf.popleft()
+                    released.append(front)
+                    self._total_buffered -= 1
                 progressed = True
             if progressed:
                 for nxt in self._rdeps[tag]:
@@ -163,7 +240,35 @@ class Mailbox:
                 # Our own later items may also now be releasable; the
                 # inner while loop already drained them greedily.
         released.sort(key=lambda b: b.key)
+        if any_runs and len(released) > 1:
+            self._split_straddles(released)
         return released
+
+    @staticmethod
+    def _split_straddles(released: List[Buffered]) -> None:
+        """Enforce global per-event key order across a released batch.
+
+        ``released`` is sorted by (first) key, but a released run may
+        *span* a later-released item of another tag (possible under
+        asymmetric dependence: the run's tag has no dep on the other
+        tag, so its bound never saw it).  Split any such run at the next
+        item's key so consumers processing the list front-to-back see
+        events in global order, exactly as the per-event path would."""
+        i = 0
+        while i < len(released) - 1:
+            b = released[i]
+            item = b.item
+            if type(item) is EventRun and item.last_key > released[i + 1].key:
+                n = bisect_right(item.keys(), released[i + 1].key)
+                prefix, rest = item.split(n)
+                released[i] = Buffered(b.itag, b.key, prefix)
+                insort(
+                    released,
+                    Buffered(b.itag, rest.first_key, rest),
+                    lo=i + 1,
+                    key=lambda x: x.key,
+                )
+            i += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Mailbox(tags={len(self.itags)}, buffered={self.buffered_count()})"

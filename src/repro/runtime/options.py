@@ -43,9 +43,12 @@ class RunOptions:
 
     * ``transport`` — ``"pipe"`` (framed raw pipes, the default),
       ``"queue"`` (the original ``multiprocessing.Queue`` fabric, kept
-      as a measurable baseline), or ``"tcp"`` (the same frames over
-      TCP stream sockets — the single-host form of the distributed
-      data plane);
+      as a measurable baseline), ``"tcp"`` (the same frames over TCP
+      stream sockets — the single-host form of the distributed data
+      plane), or ``"shm"`` (fixed-slot shared-memory rings: zero
+      syscalls per message, same-host only; ring geometry is tunable
+      via ``transport_options={"slots": ..., "slot_bytes": ...}``
+      forwarded through ``extra``);
     * ``batch_size`` — ``None`` (default) selects *adaptive* batching
       (flush on size or latency deadline, per-channel targets driven
       by observed backlog); an explicit integer pins the old

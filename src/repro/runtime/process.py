@@ -79,6 +79,7 @@ from .transport import (
     plan_edges,
     resolve_policy,
 )
+from .wire import batch_message_count, coalesce_event_runs
 
 @dataclass
 class ProcessResult(RunStatsMixin):
@@ -189,7 +190,7 @@ def _drive_worker(
         if msgs is STOP:
             break
         if crash is not None or quiesce is not None:
-            control.mark_done(len(msgs))
+            control.mark_done(batch_message_count(msgs))
             continue
         try:
             for msg in msgs:
@@ -216,7 +217,9 @@ def _drive_worker(
         # the in-flight counter can never dip to zero while this
         # worker still owes messages to others.
         batcher.flush()
-        control.mark_done(len(msgs))
+        # Event-level: a columnar run of n events repays the n its
+        # sender charged the in-flight counter.
+        control.mark_done(batch_message_count(msgs))
         if wm is not None:
             # Low-rate live feed for the coordinator's Prometheus
             # exporter; best-effort (a full queue is never worth
@@ -285,6 +288,12 @@ def _worker_main(
     except BaseException as exc:  # pragma: no cover - exercised via fault tests
         control.errors.put((node_id, f"{exc!r}\n{traceback.format_exc()}"))
         raise
+    finally:
+        # Announce this worker's exit on transports that cannot observe
+        # it through the kernel (shared-memory rings have no EOF/EPIPE;
+        # peers watch the closed flags this sets).  Runs on every exit
+        # path, including crashes and KeyboardInterrupt.
+        transport.child_teardown(node_id)
 
 
 class ProcessRuntime:
@@ -307,12 +316,16 @@ class ProcessRuntime:
         transport: str = DEFAULT_TRANSPORT,
         flush_ms: Optional[float] = None,
         validate: bool = True,
+        transport_options: Optional[dict] = None,
     ) -> None:
         self.program = program
         if validate:
             assert_p_valid(plan, program)
         self.plan = plan
         self.transport_name = transport
+        #: Transport-specific tuning (only the shm transport takes any:
+        #: ``slots``, ``slot_bytes``); validated by ``make_transport``.
+        self.transport_options = dict(transport_options or {})
         self.policy = resolve_policy(batch_size, flush_ms)
         # fork (not spawn): children must inherit the program's
         # closures; only messages are ever pickled.
@@ -343,7 +356,10 @@ class ProcessRuntime:
         ``quiesce`` set instead of raising)."""
         workers = self.plan.workers()
         transport = make_transport(
-            self.transport_name, self._ctx, plan_edges(self.plan)
+            self.transport_name,
+            self._ctx,
+            plan_edges(self.plan),
+            **self.transport_options,
         )
         control = ControlPlane(self._ctx)
         leaf_states = initial_leaf_states(self.plan, self.program, initial_state)
@@ -419,7 +435,13 @@ class ProcessRuntime:
             else:
                 for stream in streams:
                     owner = self.plan.owner_of(stream.itag).id
-                    for msg in producer_messages(stream, end_ts):
+                    # Closed-loop pump: coalesce same-route stretches
+                    # into columnar runs so the whole data plane moves
+                    # packed arrays (the paced pump stays per-event —
+                    # it releases messages against the wall clock).
+                    for msg in coalesce_event_runs(
+                        producer_messages(stream, end_ts)
+                    ):
                         batcher.post(owner, msg)
                     result.events_in += len(stream.events)
             batcher.flush()

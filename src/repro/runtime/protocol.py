@@ -42,7 +42,14 @@ from ..plans.plan import PlanNode, SyncPlan
 from .checkpoint import Checkpoint, CheckpointPredicate
 from .faults import WorkerFaultView
 from .mailbox import Buffered, Mailbox
-from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+from .messages import (
+    EventMsg,
+    EventRun,
+    ForkStateMsg,
+    HeartbeatMsg,
+    JoinRequest,
+    JoinResponse,
+)
 
 PostFn = Callable[[str, Any], None]
 
@@ -113,6 +120,10 @@ class OutputSink:
     def count_event(self) -> None:
         self.events_processed += 1
 
+    def count_events(self, n: int) -> None:
+        """Batch counter for the vectorized run path."""
+        self.events_processed += n
+
     def count_join(self) -> None:
         self.joins += 1
 
@@ -174,6 +185,7 @@ class WorkerCore:
         self.is_leaf = node.is_leaf
         st = program.state_type(node.state_type)
         self.update = st.update
+        self.update_batch = getattr(st, "update_batch", None)
         if not self.is_leaf:
             left, right = node.children
             self.join_fn = program.join_for(left.state_type, right.state_type, node.state_type)
@@ -199,7 +211,9 @@ class WorkerCore:
 
     # -- entry point -----------------------------------------------------
     def handle(self, msg: Any) -> None:
-        if isinstance(msg, EventMsg):
+        if type(msg) is EventRun:
+            self._enqueue(self.mailbox.insert_run(msg))
+        elif isinstance(msg, EventMsg):
             self._enqueue(self.mailbox.insert(msg.event.itag, msg.event.order_key, msg))
         elif isinstance(msg, HeartbeatMsg):
             if self.faults is not None and self.faults.should_drop_heartbeat(msg.key):
@@ -217,13 +231,19 @@ class WorkerCore:
         self._relay_frontiers()
 
     def unprocessed(self) -> int:
-        """Items still buffered or pending — must be 0 after a drain."""
-        return self.mailbox.buffered_count() + len(self.pending)
+        """Items still buffered or pending (event-level: a columnar run
+        of ``n`` counts ``n``) — must be 0 after a drain."""
+        n = self.mailbox.buffered_count()
+        for b in self.pending:
+            n += len(b.item) if type(b.item) is EventRun else 1
+        return n
 
     # -- protocol --------------------------------------------------------
     def _enqueue(self, released: List[Buffered]) -> None:
         for b in released:
-            self._inflight_tags[b.itag] = self._inflight_tags.get(b.itag, 0) + 1
+            item = b.item
+            n = len(item) if type(item) is EventRun else 1
+            self._inflight_tags[b.itag] = self._inflight_tags.get(b.itag, 0) + n
         self.pending.extend(released)
 
     def _drain(self) -> None:
@@ -231,8 +251,22 @@ class WorkerCore:
             self.metrics.note_backlog(len(self.pending))
         while self.pending and not self.blocked:
             buffered = self.pending.pop(0)
-            self._inflight_tags[buffered.itag] -= 1
             item = buffered.item
+            if type(item) is EventRun:
+                if self.is_leaf and self.faults is None:
+                    self._inflight_tags[buffered.itag] -= len(item)
+                    self._process_run(item)
+                else:
+                    # Fallback boundary: fault hooks need the per-event
+                    # crash seam, and internal nodes join per event.
+                    # Expand in place; the per-event items below repay
+                    # the run's inflight count one by one.
+                    self.pending[0:0] = [
+                        Buffered(buffered.itag, e.order_key, EventMsg(e))
+                        for e in item.events()
+                    ]
+                continue
+            self._inflight_tags[buffered.itag] -= 1
             if isinstance(item, EventMsg):
                 self._process_event(item.event)
             else:
@@ -254,6 +288,49 @@ class WorkerCore:
                 m.observe_event_latency(_wall(), event.ts)
         else:
             self._start_join(("event", event))
+
+    def _process_run(self, run: EventRun) -> None:
+        """Vectorized leaf fast path: apply a whole released run in one
+        dispatch.  Only reached when the node is a leaf and no fault
+        view is armed (see ``_drain``); with an ``update_batch`` on the
+        state type the operator sees the packed columns directly,
+        otherwise we fold ``update`` over the run without going back
+        through the mailbox machinery."""
+        sink = self.sink
+        n = len(run)
+        sink.count_events(n)
+        m = self.metrics
+        if m is not None:
+            m.events_processed += n
+        ub = self.update_batch
+        if ub is not None:
+            self.state, indexed = ub(self.state, run)
+            if indexed:
+                if sink.record_keys:
+                    keys = run.keys()
+                    for i, out in indexed:
+                        sink.emit((out,), key=keys[i])
+                else:
+                    sink.emit([out for _, out in indexed])
+        else:
+            update = self.update
+            state = self.state
+            if sink.record_keys:
+                keys = run.keys()
+                for i, e in enumerate(run.events()):
+                    state, outs = update(state, e)
+                    if outs:
+                        sink.emit(outs, key=keys[i])
+            else:
+                for e in run.events():
+                    state, outs = update(state, e)
+                    if outs:
+                        sink.emit(outs)
+            self.state = state
+        if m is not None:
+            now = _wall()
+            for t in run.ts:
+                m.observe_event_latency(now, t)
 
     def _process_join_request(self, req: JoinRequest) -> None:
         if self.is_leaf:

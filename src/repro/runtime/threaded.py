@@ -140,6 +140,10 @@ class _SharedSink(OutputSink):
         with self.lock:
             self.result.events_processed += 1
 
+    def count_events(self, n: int) -> None:
+        with self.lock:
+            self.result.events_processed += n
+
     def count_join(self) -> None:
         with self.lock:
             self.result.joins += 1

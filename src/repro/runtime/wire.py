@@ -47,7 +47,14 @@ from typing import Any, List, Sequence, Tuple
 
 from ..core.errors import RuntimeFault
 from ..core.events import Event, ImplTag
-from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+from .messages import (
+    EventMsg,
+    EventRun,
+    ForkStateMsg,
+    HeartbeatMsg,
+    JoinRequest,
+    JoinResponse,
+)
 
 # Type codes: one small int per message kind.
 _EVENT = 0
@@ -55,6 +62,7 @@ _HEARTBEAT = 1
 _JOIN_REQ = 2
 _JOIN_RESP = 3
 _FORK = 4
+_EVT_RUN = 5
 
 WireMsg = Tuple[Any, ...]
 
@@ -66,6 +74,8 @@ def encode_msg(msg: Any) -> WireMsg:
         return (_EVENT, e.tag, e.stream, e.ts, e.payload)
     if isinstance(msg, HeartbeatMsg):
         return (_HEARTBEAT, msg.itag.tag, msg.itag.stream, msg.key)
+    if isinstance(msg, EventRun):
+        return (_EVT_RUN, msg.tag, msg.stream, msg.shape, msg.ts, msg.payloads)
     if isinstance(msg, JoinRequest):
         return (
             _JOIN_REQ,
@@ -110,6 +120,15 @@ def decode_msg(wire: WireMsg) -> Any:
         return JoinResponse(tuple(wire[1]), wire[2], wire[3], wire[4], backlog, metrics)
     if code == _FORK:
         return ForkStateMsg(tuple(wire[1]), wire[2], wire[3])
+    if code == _EVT_RUN:
+        payloads = wire[5]
+        return EventRun(
+            wire[1],
+            wire[2],
+            wire[3],
+            tuple(wire[4]),
+            tuple(payloads) if payloads is not None else None,
+        )
     raise RuntimeFault(f"unknown wire type code {code!r}")
 
 
@@ -119,6 +138,18 @@ def encode_batch(msgs: Sequence[Any]) -> List[WireMsg]:
 
 def decode_batch(batch: Sequence[WireMsg]) -> List[Any]:
     return [decode_msg(w) for w in batch]
+
+
+def batch_message_count(msgs: Sequence[Any]) -> int:
+    """Event-level message count of a batch: an :class:`EventRun`
+    counts as its length, everything else as one.  The in-flight
+    accounting (sender increment, receiver decrement) and the
+    ``messages_sent`` metric both use this, so a run coalesced on one
+    side and decoded per-event on the other still balances to zero."""
+    n = 0
+    for m in msgs:
+        n += len(m.ts) if type(m) is EventRun else 1
+    return n
 
 
 # ---------------------------------------------------------------------------
@@ -184,7 +215,8 @@ class FrameAssembler:
 # Frame codec: the pipe transport's byte-level format
 # ---------------------------------------------------------------------------
 #
-# frame   := <u32 count> message*
+# frame   := <u32 count> message*        (count is event-level: a run
+#                                          of n events contributes n)
 # message := 0x05 route shape:u8 n:u16 <columnar struct body>
 #                                                     (event-run fast path)
 #          | 0x06 route tskind:u8 <f64 | i64>         (self-keyed heartbeat)
@@ -403,8 +435,12 @@ def pack_frame(batch: Sequence[Any]) -> bytes:
 
     Order is preserved exactly (per-sender FIFO is a mailbox
     invariant), so fast-path and fallback messages interleave freely
-    within a frame."""
-    out: List[bytes] = [_U32.pack(len(batch))]
+    within a frame.  The frame header counts *event-level* messages
+    (:func:`batch_message_count`): an :class:`EventRun` batch item of
+    ``n`` events contributes ``n``, so the same frame decodes
+    consistently whether the receiver asks for runs or per-event
+    objects."""
+    out: List[bytes] = [_U32.pack(batch_message_count(batch))]
     append = out.append
     n_msgs = len(batch)
     i = 0
@@ -414,6 +450,30 @@ def pack_frame(batch: Sequence[Any]) -> bytes:
         mark = len(out)
         try:
             cls = type(msg)
+            if cls is EventRun:
+                # Already-columnar run (producer coalescing or a
+                # re-packed decode): route + shape + packed columns,
+                # no per-event objects touched.
+                route = _route_bytes(msg.tag, msg.stream)
+                count = len(msg.ts)
+                if route is None or not 1 <= count <= 0xFFFE:
+                    raise _Unpackable
+                if msg.payloads is None:
+                    flat: Any = msg.ts
+                else:
+                    flat = [None] * (2 * count)
+                    flat[0::2] = msg.ts
+                    flat[1::2] = msg.payloads
+                try:
+                    body = _run_struct(msg.shape, count).pack(*flat)
+                except (struct.error, IndexError):
+                    raise _Unpackable from None
+                append(bytes((_MSG_EVT_RUN,)))
+                append(route)
+                append(bytes((msg.shape,)))
+                append(_U16.pack(count))
+                append(body)
+                continue
             if cls is EventMsg:
                 e = msg.event
                 tag, stream = e.tag, e.stream
@@ -520,8 +580,16 @@ def pack_frame(batch: Sequence[Any]) -> bytes:
     return b"".join(out)
 
 
-def unpack_frame(data: bytes) -> List[Any]:
+def unpack_frame(data: bytes, *, runs: bool = False) -> List[Any]:
     """Inverse of :func:`pack_frame`: decode a frame back to messages.
+
+    With ``runs=True`` a columnar event run stays columnar — one
+    :class:`EventRun` carrying the packed timestamp/payload columns —
+    instead of exploding into per-event :class:`EventMsg` objects (the
+    default, kept for compatibility and for consumers that want plain
+    events).  The mailbox and :class:`~repro.runtime.protocol.
+    WorkerCore` accept runs natively; object materialization is
+    deferred to the fallback boundaries that actually need it.
 
     Truncated or corrupt frames raise :class:`RuntimeFault` — a
     half-written frame (e.g. from a writer that died mid-``write``)
@@ -530,15 +598,17 @@ def unpack_frame(data: bytes) -> List[Any]:
     try:
         total = _U32.unpack_from(data, 0)[0]
         pos = 4
+        seen = 0
         msgs: List[Any] = []
         mappend = msgs.append
-        while len(msgs) < total:
+        while seen < total:
             if pos >= len(data):
                 raise RuntimeFault(
-                    f"corrupt frame: truncated after {len(msgs)}/{total} messages"
+                    f"corrupt frame: truncated after {seen}/{total} messages"
                 )
             kind = data[pos]
             pos += 1
+            seen += 1
             if kind == _MSG_EVT_RUN:
                 tag, stream, pos = _read_route(data, pos)
                 shape = data[pos]
@@ -551,7 +621,15 @@ def unpack_frame(data: bytes) -> List[Any]:
                     )
                 vals = _run_struct(shape, count).unpack_from(data, pos)
                 pos += _SHAPE_WIDTH[shape] * count
-                if shape == _SHAPE_FN:
+                seen += count - 1
+                if runs and count > 1:
+                    if shape == _SHAPE_FN:
+                        mappend(EventRun(tag, stream, shape, vals, None))
+                    else:
+                        mappend(
+                            EventRun(tag, stream, shape, vals[0::2], vals[1::2])
+                        )
+                elif shape == _SHAPE_FN:
                     for ts in vals:
                         mappend(EventMsg(Event(tag, stream, ts, None)))
                 else:
@@ -606,3 +684,87 @@ def unpack_frame(data: bytes) -> List[Any]:
             f"corrupt frame: {len(data) - pos} trailing bytes after {total} messages"
         )
     return msgs
+
+
+def _run_vals_packable(shape: int, ts: Any, payload: Any) -> bool:
+    """True when (ts, payload) of a shape-eligible event also fits the
+    struct columns (i64 range for int columns) — the producer-side
+    guard that keeps :func:`pack_frame`'s run branch from ever hitting
+    ``struct.error`` on a coalesced run."""
+    if shape == _SHAPE_FI:
+        return _I64_MIN <= payload <= _I64_MAX
+    if shape == _SHAPE_II:
+        return _I64_MIN <= ts <= _I64_MAX and _I64_MIN <= payload <= _I64_MAX
+    return True
+
+
+def coalesce_event_runs(msgs: Sequence[Any], *, max_run: int = 512) -> List[Any]:
+    """Merge consecutive same-route, same-shape :class:`EventMsg`
+    items into columnar :class:`EventRun`\\ s.
+
+    The producer-side twin of :func:`pack_frame`'s run coalescing:
+    applying it *before* posting means the coordinator's batcher and
+    codec handle one object per run instead of one per event, and the
+    receiving worker's mailbox can release whole runs.  Messages that
+    are not run-eligible (heartbeats, heterogeneous routes, exotic
+    scalar shapes) pass through untouched, order preserved.
+    ``max_run`` bounds a run's length so frames and mailbox release
+    granularity stay reasonable under the batch policy."""
+    out: List[Any] = []
+    i, n = 0, len(msgs)
+    while i < n:
+        m = msgs[i]
+        if type(m) is not EventMsg:
+            out.append(m)
+            i += 1
+            continue
+        e = m.event
+        tag, stream = e.tag, e.stream
+        shape = _event_shape(e.ts, e.payload)
+        if (
+            shape < 0
+            or _route_bytes(tag, stream) is None
+            or not _run_vals_packable(shape, e.ts, e.payload)
+        ):
+            out.append(m)
+            i += 1
+            continue
+        ts_col = [e.ts]
+        pl_col: List[Any] = [] if shape == _SHAPE_FN else [e.payload]
+        j = i + 1
+        j_max = i + max_run
+        while j < n and j < j_max:
+            m2 = msgs[j]
+            if type(m2) is not EventMsg:
+                break
+            e2 = m2.event
+            if (
+                type(e2.stream) is not type(stream)
+                or e2.stream != stream
+                or type(e2.tag) is not type(tag)
+                or e2.tag != tag
+            ):
+                break
+            ts2, p2 = e2.ts, e2.payload
+            if _event_shape(ts2, p2) != shape or not _run_vals_packable(
+                shape, ts2, p2
+            ):
+                break
+            ts_col.append(ts2)
+            if shape != _SHAPE_FN:
+                pl_col.append(p2)
+            j += 1
+        if j - i == 1:
+            out.append(m)
+        else:
+            out.append(
+                EventRun(
+                    tag,
+                    stream,
+                    shape,
+                    tuple(ts_col),
+                    tuple(pl_col) if shape != _SHAPE_FN else None,
+                )
+            )
+        i = j
+    return out

@@ -43,7 +43,14 @@ from .checkpoint import Checkpoint
 from .faults import CrashRecord, WorkerCrash, WorkerFaultView
 from .mailbox import Buffered, Mailbox
 from .quiesce import QuiesceRecord, QuiesceSignal
-from .messages import EventMsg, ForkStateMsg, HeartbeatMsg, JoinRequest, JoinResponse
+from .messages import (
+    EventMsg,
+    EventRun,
+    ForkStateMsg,
+    HeartbeatMsg,
+    JoinRequest,
+    JoinResponse,
+)
 
 StateSizeFn = Callable[[Any], float]
 
@@ -201,6 +208,13 @@ class WorkerActor(Actor):
         if self.crashed:
             return  # fail-stop: messages to a dead node are lost
         try:
+            if type(msg) is EventRun:
+                # The simulator models per-event cost; expand runs at
+                # the door instead of threading them through its
+                # instrumented state machine.
+                for e in msg.events():
+                    self.handle(EventMsg(e), sender)
+                return
             if isinstance(msg, EventMsg):
                 released = self.mailbox.insert(msg.event.itag, msg.event.order_key, msg)
                 self._enqueue(released)

@@ -10,6 +10,7 @@ from repro.bench import bench_record, publish_json
 from repro.bench.perfgate import (
     check_dirs,
     compare,
+    host_mismatch,
     load_records,
     main,
     rebase,
@@ -18,6 +19,13 @@ from repro.bench.perfgate import (
 
 def rec(name, metrics, gate=None):
     return bench_record(name, config={"case": name}, metrics=metrics, gate=gate)
+
+
+def other_host(record, **changes):
+    """A copy of ``record`` whose host stamp differs from this machine's."""
+    host = dict(record["host"])
+    host.update(changes or {"cores": host.get("cores", 1) + 63})
+    return dict(record, host=host)
 
 
 class TestBenchRecord:
@@ -91,6 +99,90 @@ class TestCompare:
         res = {"b": dict(rec("b", {"eps": 100}), schema="repro-bench/999")}
         _, problems = compare(res, base)
         assert problems and "schema mismatch" in problems[0]
+
+
+class TestProvenance:
+    """Host-stamp provenance: cross-machine comparisons warn instead of
+    failing; same-host (and stamp-less) comparisons stay fail-closed."""
+
+    def test_host_mismatch_detects_class_changes(self):
+        a = rec("b", {"eps": 1})
+        assert host_mismatch(a, a) is None
+        assert "cores" in host_mismatch(a, other_host(a, cores=-1))
+        bumped = other_host(a, python="99.1.0")
+        assert "python" in host_mismatch(a, bumped)
+        moved = other_host(a, platform="Plan9-1.0-sparc")
+        assert "platform" in host_mismatch(a, moved)
+
+    def test_python_patch_and_kernel_point_releases_match(self):
+        a = rec("b", {"eps": 1})
+        py = a["host"]["python"]
+        patch = other_host(a, python=py.rsplit(".", 1)[0] + ".999")
+        assert host_mismatch(a, patch) is None
+        plat = a["host"]["platform"].split("-", 1)[0]
+        kernel = other_host(a, platform=plat + "-999.0.0-generic")
+        assert host_mismatch(a, kernel) is None
+
+    def test_stampless_records_compare_as_matching(self):
+        a = rec("b", {"eps": 1})
+        legacy = dict(a)
+        legacy.pop("host", None)
+        assert host_mismatch(a, legacy) is None
+        assert host_mismatch(legacy, a) is None
+
+    def test_mismatched_host_regression_is_advisory(self):
+        base = {"b": rec("b", {"eps": 1000}, gate={"eps": "higher"})}
+        res = {"b": other_host(rec("b", {"eps": 10}))}
+        checks, problems = compare(res, base)
+        assert not problems
+        (check,) = checks
+        assert not check.ok and check.advisory
+        assert "host mismatch" in check.note
+        assert "warn" in check.describe() and "FAIL" not in check.describe()
+
+    def test_matching_host_regression_still_fails(self):
+        base = {"b": rec("b", {"eps": 1000}, gate={"eps": "higher"})}
+        res = {"b": rec("b", {"eps": 10})}
+        (check,) = compare(res, base)[0]
+        assert not check.ok and not check.advisory
+        assert "FAIL" in check.describe()
+
+    def test_stampless_baseline_regression_still_fails(self):
+        """Records that predate host stamps keep the gate fail-closed."""
+        legacy = dict(rec("b", {"eps": 1000}, gate={"eps": "higher"}))
+        legacy.pop("host", None)
+        (check,) = compare({"b": rec("b", {"eps": 10})}, {"b": legacy})[0]
+        assert not check.ok and not check.advisory
+
+    def test_check_dirs_passes_with_advisory_warning(self, tmp_path):
+        results, baselines = tmp_path / "results", tmp_path / "baselines"
+        os.makedirs(results), os.makedirs(baselines)
+        base = rec("t", {"eps": 1000}, gate={"eps": "higher"})
+        with open(baselines / "BENCH_t.json", "w") as f:
+            json.dump(base, f)
+        with open(results / "BENCH_t.json", "w") as f:
+            json.dump(other_host(rec("t", {"eps": 10})), f)
+        ok, report = check_dirs(str(results), str(baselines))
+        assert ok
+        assert "advisory warning" in report
+        assert "perf gate: PASS" in report
+
+    def test_advisory_does_not_mask_same_host_failures(self, tmp_path):
+        """One cross-host warning must not let a same-host regression
+        through."""
+        results, baselines = tmp_path / "results", tmp_path / "baselines"
+        os.makedirs(results), os.makedirs(baselines)
+        for name, base_eps, res in (
+            ("cross", 1000, other_host(rec("cross", {"eps": 10}))),
+            ("local", 1000, rec("local", {"eps": 10})),
+        ):
+            with open(baselines / f"BENCH_{name}.json", "w") as f:
+                json.dump(rec(name, {"eps": base_eps}, gate={"eps": "higher"}), f)
+            with open(results / f"BENCH_{name}.json", "w") as f:
+                json.dump(res, f)
+        ok, report = check_dirs(str(results), str(baselines))
+        assert not ok and "perf gate: FAIL" in report
+        assert "warn" in report  # the cross-host check still reports
 
 
 class TestDirsAndCli:

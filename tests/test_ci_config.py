@@ -1,0 +1,141 @@
+"""CI hygiene checks on .github/workflows/ci.yml.
+
+The workflow is configuration the test suite can't execute, but it
+*can* hold to structural invariants that have each burned us at least
+once in design review: a job without ``timeout-minutes`` burns a
+runner for GitHub's 6-hour default when a socket wedges, a missing
+concurrency group queues stale pushes behind dead ones, and the
+perf-gate lane silently stops being a gate if someone drops the
+check step or the artifact upload.  Parsing the committed YAML keeps
+those properties reviewable by ``pytest -q`` instead of by waiting
+for CI to misbehave.
+"""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+CI_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    ".github",
+    "workflows",
+    "ci.yml",
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(CI_PATH) as f:
+        return yaml.safe_load(f)
+
+
+@pytest.fixture(scope="module")
+def jobs(workflow):
+    return workflow["jobs"]
+
+
+def steps_text(job):
+    """One searchable string of a job's step names + run commands."""
+    parts = []
+    for step in job.get("steps", ()):
+        parts.append(str(step.get("name", "")))
+        parts.append(str(step.get("run", "")))
+        parts.append(str(step.get("uses", "")))
+        parts.append(str(step.get("with", "")))
+    return "\n".join(parts)
+
+
+class TestHygiene:
+    def test_every_job_has_a_timeout(self, jobs):
+        missing = [name for name, job in jobs.items() if "timeout-minutes" not in job]
+        assert missing == [], (
+            f"jobs without timeout-minutes (6h GitHub default): {missing}"
+        )
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        conc = workflow.get("concurrency")
+        assert conc, "workflow must define a concurrency group"
+        assert conc.get("cancel-in-progress") is True
+        assert "github.ref" in conc.get("group", "")
+
+    def test_nightly_schedule_exists(self, workflow):
+        # yaml parses the `on:` key as boolean True
+        triggers = workflow.get("on") or workflow.get(True)
+        assert "schedule" in triggers, "nightly schedule trigger missing"
+
+
+class TestPerfGateLane:
+    def test_lane_runs_all_four_micro_benches(self, jobs):
+        text = steps_text(jobs["perf-gate"])
+        for bench in (
+            "bench_micro_core.py",
+            "bench_transport.py",
+            "bench_latency_openloop.py",
+            "bench_adversarial.py",
+        ):
+            assert bench in text, f"perf-gate lane no longer runs {bench}"
+        assert "--smoke" in text
+
+    def test_lane_gates_and_uploads_records(self, jobs):
+        text = steps_text(jobs["perf-gate"])
+        assert "perf_gate.py check" in text, "the gate step is the lane's point"
+        assert "upload-artifact" in text
+        assert "BENCH_*.json" in text
+        uploads = [
+            s
+            for s in jobs["perf-gate"]["steps"]
+            if "upload-artifact" in str(s.get("uses", ""))
+        ]
+        assert any(
+            s.get("with", {}).get("if-no-files-found") == "error" for s in uploads
+        ), "a silently-empty record upload would make the gate vacuous"
+
+    def test_lane_runs_on_push_and_pr_not_nightly(self, jobs):
+        assert "schedule" in jobs["perf-gate"].get("if", ""), (
+            "perf-gate must exclude schedule runs (the trend lane owns those)"
+        )
+
+    def test_results_cache_is_keyed_by_commit(self, jobs):
+        cache_steps = [
+            s
+            for s in jobs["perf-gate"]["steps"]
+            if "actions/cache" in str(s.get("uses", ""))
+        ]
+        assert cache_steps, "perf-gate lane must cache benchmarks/results/"
+        (cache,) = cache_steps
+        assert "github.sha" in cache["with"]["key"], (
+            "cache must be content-addressed by commit, not by ref"
+        )
+        assert "benchmarks/results" in cache["with"]["path"]
+        # The measuring step must honour the cache (skip on hit)...
+        measure = [
+            s
+            for s in jobs["perf-gate"]["steps"]
+            if "bench_transport.py" in str(s.get("run", ""))
+        ]
+        assert measure and "cache-hit" in measure[0].get("if", "")
+        # ...while the gate step runs unconditionally: a baseline change
+        # must still gate cached results.
+        gate = [
+            s
+            for s in jobs["perf-gate"]["steps"]
+            if "perf_gate.py check" in str(s.get("run", ""))
+        ]
+        assert gate and "if" not in gate[0]
+
+
+class TestPerfTrendLane:
+    def test_nightly_trend_uploads_ungated_records(self, jobs):
+        assert "perf-trend" in jobs, "nightly perf trend lane missing"
+        job = jobs["perf-trend"]
+        assert "schedule" in job.get("if", "")
+        text = steps_text(job)
+        assert "bench_transport.py" in text
+        assert "upload-artifact" in text and "BENCH_*.json" in text
+        # The trend run reports but never blocks the nightly.
+        checks = [
+            s for s in job["steps"] if "perf_gate.py check" in str(s.get("run", ""))
+        ]
+        assert checks and "|| true" in checks[0]["run"]

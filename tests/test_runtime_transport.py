@@ -47,6 +47,7 @@ from repro.runtime import (
 )
 from repro.runtime.messages import (
     EventMsg,
+    EventRun,
     ForkStateMsg,
     HeartbeatMsg,
     JoinRequest,
@@ -61,6 +62,7 @@ from repro.runtime.transport import (
     FrameReceiver,
     PipeTransport,
     QueueTransport,
+    SharedMemoryTransport,
     SocketTransport,
     TRANSPORTS,
     make_transport,
@@ -69,6 +71,7 @@ from repro.runtime.transport import (
 )
 from repro.runtime.wire import (
     FRAME_LEN,
+    batch_message_count,
     decode_batch,
     encode_batch,
     pack_frame,
@@ -96,6 +99,18 @@ def assert_same_messages(actual, expected):
 
 def roundtrip(msgs):
     return unpack_frame(pack_frame(msgs))
+
+
+def expand_runs(msgs):
+    """Normalize a framed-receiver delivery (columnar runs interleaved
+    with plain messages) back to the per-event message sequence."""
+    out = []
+    for m in msgs:
+        if type(m) is EventRun:
+            out.extend(EventMsg(e) for e in m.events())
+        else:
+            out.append(m)
+    return out
 
 
 class SubclassedTag(str):
@@ -460,9 +475,15 @@ class TestTransportFabric:
         tcp = make_transport("tcp", ctx, edges)
         assert isinstance(tcp, SocketTransport)
         tcp.close()
-        assert set(TRANSPORTS) == {"pipe", "queue", "tcp"}
+        shm = make_transport("shm", ctx, edges)
+        assert isinstance(shm, SharedMemoryTransport)
+        shm.close()
+        assert set(TRANSPORTS) == {"pipe", "queue", "tcp", "shm"}
         with pytest.raises(RuntimeFault):
             make_transport("carrier-pigeon", ctx, edges)
+        with pytest.raises(RuntimeFault):
+            # Options are shm-only; anything else must fail loudly.
+            make_transport("pipe", ctx, edges, slots=8)
 
     def test_plan_edges_covers_tree_and_coordinator(self):
         prog, _, plan = vb_case(n_value_streams=2)
@@ -478,10 +499,13 @@ class TestTransportFabric:
                 for child in node.children:
                     assert child.id in srcs
 
-    @pytest.mark.parametrize("name", ["pipe", "queue", "tcp"])
+    @pytest.mark.parametrize("name", ["pipe", "queue", "tcp", "shm"])
     def test_same_process_send_recv_stop(self, name):
-        """Both fabrics deliver frames in order and honour stop_all
-        (driven from one process: reader and writer share it)."""
+        """Every fabric delivers frames in order and honours stop_all
+        (driven from one process: reader and writer share it).  Framed
+        receivers decode consecutive same-route stretches as columnar
+        EventRun objects; expanding them must reproduce the posted
+        per-event sequence exactly."""
         ctx = mp.get_context("fork")
         tr = make_transport(name, ctx, {"w1": [COORDINATOR]})
         control = ControlPlane(ctx)
@@ -498,8 +522,14 @@ class TestTransportFabric:
             if item is STOP:
                 break
             got.extend(item)
-            control.mark_done(len(item))
-        assert_same_messages(got, msgs)
+            control.mark_done(batch_message_count(item))
+        expanded = []
+        for m in got:
+            if type(m) is EventRun:
+                expanded.extend(EventMsg(e) for e in m.events())
+            else:
+                expanded.append(m)
+        assert_same_messages(expanded, msgs)
         assert control.backlog() == 0
         assert control.idle.is_set()
         tr.drain()
@@ -562,7 +592,7 @@ class TestFrameOverSocketTorture:
         assert not rx._ready, "half a length prefix must not decode"
         feed(self.w, record[2:], rx)
         rx.poll()
-        assert_same_messages(rx.recv(), msgs)
+        assert_same_messages(expand_runs(rx.recv()), msgs)
 
     def test_split_mid_frame(self):
         msgs = [EventMsg(Event("v", "s", float(i), payload=i)) for i in range(40)]
@@ -575,7 +605,7 @@ class TestFrameOverSocketTorture:
         assert not rx._ready, "half a frame must not decode"
         feed(self.w, record[cut:], rx)
         rx.poll()
-        assert_same_messages(rx.recv(), msgs)
+        assert_same_messages(expand_runs(rx.recv()), msgs)
 
     def test_large_frame_straddles_many_segments(self):
         # A >64 KiB frame: far beyond one os.read(1 << 16), written in
@@ -594,8 +624,8 @@ class TestFrameOverSocketTorture:
         rx.poll()
         got = rx.recv()
         assert got[0].state == blob
-        assert_same_messages(rx.recv(), small)
-        assert_same_messages(rx.recv(), small)
+        assert_same_messages(expand_runs(rx.recv()), small)
+        assert_same_messages(expand_runs(rx.recv()), small)
 
     def test_peer_close_mid_frame_raises(self):
         msgs = [EventMsg(Event("v", "s", float(i), payload=i)) for i in range(30)]
@@ -620,7 +650,7 @@ class TestFrameOverSocketTorture:
         rx = FrameReceiver([self.r])
         feed(self.w, FRAME_LEN.pack(len(frame)) + frame, rx)
         os.close(self.w)  # exits cleanly between frames
-        assert_same_messages(rx.recv(), msgs)
+        assert_same_messages(expand_runs(rx.recv()), msgs)
         assert rx.recv() is STOP  # last live stream gone -> STOP
 
 
@@ -629,7 +659,7 @@ class TestFrameOverSocketTorture:
 # ---------------------------------------------------------------------------
 
 class TestTransportDifferential:
-    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp"])
+    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp", "shm"])
     @pytest.mark.parametrize("batch_size", [None, 1, 16])
     def test_value_barrier_matches_spec(self, transport, batch_size):
         prog, streams, plan = vb_case()
@@ -677,7 +707,7 @@ class TestTransportDifferential:
 
 
 class TestCrashMidFrame:
-    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp"])
+    @pytest.mark.parametrize("transport", ["pipe", "queue", "tcp", "shm"])
     def test_crash_mid_frame_recovers_exactly_once(self, transport):
         """A leaf crashes on an event that sits mid-batch inside a
         framed channel (fixed batches guarantee the triggering event
